@@ -1,0 +1,43 @@
+//! Criterion: end-to-end predictor inference — Teacher vs Student vs DART
+//! tables (the software analogue of Table V's 170x / 9.4x latency story;
+//! software ratios differ from the paper's hardware model but the ordering
+//! must hold).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dart_core::config::TabularConfig;
+use dart_core::tabularize::tabularize;
+use dart_nn::init::InitRng;
+use dart_nn::matrix::Matrix;
+use dart_nn::model::{AccessPredictor, ModelConfig, SequenceModel};
+
+fn rand_inputs(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = InitRng::new(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.next_f32())
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictor_inference");
+    group.sample_size(30);
+    let (t, di, dout) = (16usize, 8usize, 128usize);
+
+    let mut teacher = AccessPredictor::new(ModelConfig::teacher(di, dout, t), 1).unwrap();
+    let mut student = AccessPredictor::new(ModelConfig::student(di, dout, t), 2).unwrap();
+    let train = rand_inputs(400 * t, di, 3);
+    let tab_cfg = TabularConfig { k: 128, c: 2, fine_tune_epochs: 0, ..Default::default() };
+    let (dart, _) = tabularize(&student, &train, &tab_cfg);
+
+    let x = rand_inputs(t, di, 4);
+    group.bench_function("teacher_L4_D256", |b| {
+        b.iter(|| black_box(teacher.forward_logits(&x, false)))
+    });
+    group.bench_function("student_L1_D32", |b| {
+        b.iter(|| black_box(student.forward_logits(&x, false)))
+    });
+    group.bench_function("dart_tables_K128_C2", |b| {
+        b.iter(|| black_box(dart.forward_probs(&x)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks: tabularization kernels vs. the dense
+//! operations they replace (the software view of Table V's acceleration).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dart_nn::init::InitRng;
+use dart_nn::matrix::Matrix;
+use dart_pq::{AttentionTable, AttentionTableConfig, EncoderKind, LinearTable};
+
+fn rand_matrix(r: usize, c: usize, seed: u64) -> Matrix {
+    let mut rng = InitRng::new(seed);
+    Matrix::from_fn(r, c, |_, _| rng.normal())
+}
+
+fn bench_linear_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linear_kernel");
+    group.sample_size(30);
+    // DART-sized linear: T=16 tokens, D_I=32, D_O=128.
+    let (t, di, dout) = (16usize, 32usize, 128usize);
+    let train = rand_matrix(2000, di, 1);
+    let w = rand_matrix(dout, di, 2);
+    let b = vec![0.1f32; dout];
+    let x = rand_matrix(t, di, 3);
+
+    group.bench_function("dense_matmul", |bench| {
+        bench.iter(|| black_box(x.matmul_transb(&w).add_row_broadcast(&b)))
+    });
+    for (name, encoder) in
+        [("table_argmin_k128", EncoderKind::Argmin), ("table_hashtree_k128", EncoderKind::HashTree)]
+    {
+        let table = LinearTable::fit(&train, &w, &b, 2, 128, encoder, 7);
+        group.bench_function(name, |bench| bench.iter(|| black_box(table.query(&x))));
+    }
+    group.finish();
+}
+
+fn bench_attention_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention_kernel");
+    // One DART head: T=16, D_h=16.
+    let (t, dh) = (16usize, 16usize);
+    let q = rand_matrix(100 * t, dh, 11);
+    let k = rand_matrix(100 * t, dh, 12);
+    let v = rand_matrix(100 * t, dh, 13);
+    let cfg = AttentionTableConfig { k: 128, ck: 2, ct: 2, ..Default::default() };
+    let table = AttentionTable::fit(&q, &k, &v, t, &cfg);
+    let cfg_tree = AttentionTableConfig {
+        k: 128,
+        ck: 2,
+        ct: 2,
+        encoder: EncoderKind::HashTree,
+        ..Default::default()
+    };
+    let table_tree = AttentionTable::fit(&q, &k, &v, t, &cfg_tree);
+
+    let qs = q.slice_rows(0, t);
+    let ks = k.slice_rows(0, t);
+    let vs = v.slice_rows(0, t);
+
+    group.bench_function("dense_softmax_attention", |bench| {
+        bench.iter(|| {
+            let mut s = qs.matmul_transb(&ks);
+            s.scale_assign(1.0 / (dh as f32).sqrt());
+            black_box(s.softmax_rows().matmul(&vs))
+        })
+    });
+    group.bench_function("table_argmin_k128", |bench| {
+        bench.iter(|| black_box(table.query(&qs, &ks, &vs)))
+    });
+    group.bench_function("table_hashtree_k128", |bench| {
+        bench.iter(|| black_box(table_tree.query(&qs, &ks, &vs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_linear_kernel, bench_attention_kernel);
+criterion_main!(benches);

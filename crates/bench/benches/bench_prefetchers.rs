@@ -1,0 +1,86 @@
+//! Criterion: per-LLC-access cost of the online prefetchers (BO, ISB, DART).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dart_core::config::TabularConfig;
+use dart_core::tabularize::tabularize;
+use dart_nn::init::InitRng;
+use dart_nn::matrix::Matrix;
+use dart_nn::model::{AccessPredictor, ModelConfig};
+use dart_prefetch::{BestOffset, DartPrefetcher, Isb};
+use dart_sim::{LlcAccess, Prefetcher};
+use dart_trace::PreprocessConfig;
+
+fn accesses(n: usize) -> Vec<LlcAccess> {
+    (0..n)
+        .map(|i| {
+            let block = 0x40_0000 + (i as u64 * 3) % 10_000;
+            LlcAccess {
+                seq: i,
+                instr_id: i as u64 * 50,
+                pc: 0x400000 + (i as u64 % 7) * 4,
+                addr: block << 6,
+                block,
+                hit: i % 3 == 0,
+            }
+        })
+        .collect()
+}
+
+fn dart_prefetcher() -> DartPrefetcher {
+    let pre = PreprocessConfig::default();
+    let cfg = ModelConfig {
+        input_dim: pre.input_dim(),
+        dim: 32,
+        heads: 2,
+        layers: 1,
+        ffn_dim: 128,
+        output_dim: pre.output_dim(),
+        seq_len: pre.seq_len,
+    };
+    let student = AccessPredictor::new(cfg, 3).unwrap();
+    let mut rng = InitRng::new(9);
+    let train = Matrix::from_fn(300 * pre.seq_len, pre.input_dim(), |_, _| rng.next_f32());
+    let tab_cfg = TabularConfig { k: 128, c: 2, fine_tune_epochs: 0, ..Default::default() };
+    let (model, _) = tabularize(&student, &train, &tab_cfg);
+    DartPrefetcher::with_latency("DART", model, pre, 97, 0.5, 8)
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefetcher_on_access");
+    group.sample_size(30);
+    let stream = accesses(4096);
+
+    let mut bo = BestOffset::new();
+    let mut idx = 0usize;
+    group.bench_function("best_offset", |b| {
+        b.iter(|| {
+            let out = bo.on_access(&stream[idx % stream.len()]);
+            idx += 1;
+            black_box(out)
+        })
+    });
+
+    let mut isb = Isb::new();
+    let mut idx = 0usize;
+    group.bench_function("isb", |b| {
+        b.iter(|| {
+            let out = isb.on_access(&stream[idx % stream.len()]);
+            idx += 1;
+            black_box(out)
+        })
+    });
+
+    let mut dart = dart_prefetcher();
+    let mut idx = 0usize;
+    group.bench_function("dart_tables", |b| {
+        b.iter(|| {
+            let out = dart.on_access(&stream[idx % stream.len()]);
+            idx += 1;
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefetchers);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion: simulator throughput (accesses/second) with and without an
+//! active prefetcher.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dart_prefetch::BestOffset;
+use dart_sim::{NullPrefetcher, SimConfig, Simulator};
+use dart_trace::workload_by_name;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let trace = workload_by_name("bwaves").unwrap().generate(20_000, 77);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+
+    let sim = Simulator::new(SimConfig::table_iii());
+    group.bench_function("no_prefetch", |b| {
+        b.iter(|| black_box(sim.run(&trace, &mut NullPrefetcher, false)))
+    });
+    group.bench_function("best_offset", |b| {
+        b.iter(|| {
+            let mut bo = BestOffset::new();
+            black_box(sim.run(&trace, &mut bo, false))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

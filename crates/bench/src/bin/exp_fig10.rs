@@ -1,0 +1,39 @@
+//! Fig. 10 — latency and storage vs. prototypes `K` and subspaces `C`
+//! (analytic, Eq. 22–23): latency scales linearly with `log K` / `log C`
+//! while storage grows exponentially.
+
+use dart_bench::report::human_bytes;
+use dart_bench::{print_table, record_json, Table};
+use dart_core::config::PredictorConfig;
+use dart_core::configurator::{model_latency, model_storage_bytes, ShapeParams};
+
+fn main() {
+    let shape = ShapeParams::default();
+    let base = PredictorConfig::dart();
+
+    let mut tk = Table::new(&["K", "Latency (cycles)", "Storage"]);
+    let mut k_records = Vec::new();
+    for k in [16usize, 32, 64, 128, 256, 512, 1024] {
+        let cfg = PredictorConfig { k, ..base };
+        let (lat, sto) = (model_latency(&cfg), model_storage_bytes(&cfg, &shape));
+        tk.row(vec![k.to_string(), lat.to_string(), human_bytes(sto)]);
+        k_records.push(serde_json::json!({"k": k, "latency": lat, "storage": sto}));
+    }
+    print_table("Fig. 10a: cost vs prototypes K (C = 2)", &tk);
+
+    let mut tc = Table::new(&["C", "Latency (cycles)", "Storage"]);
+    let mut c_records = Vec::new();
+    for c in [1usize, 2, 4, 8] {
+        let cfg = PredictorConfig { c, ..base };
+        let (lat, sto) = (model_latency(&cfg), model_storage_bytes(&cfg, &shape));
+        tc.row(vec![c.to_string(), lat.to_string(), human_bytes(sto)]);
+        c_records.push(serde_json::json!({"c": c, "latency": lat, "storage": sto}));
+    }
+    print_table("Fig. 10b: cost vs subspaces C (K = 128)", &tc);
+
+    println!(
+        "\nShape check (paper): latency is linear in log(K) and log(C); storage is \
+         exponential (attention tables are K^2 per subspace)."
+    );
+    record_json("fig10", &serde_json::json!({"vs_k": k_records, "vs_c": c_records}));
+}

@@ -1,0 +1,32 @@
+//! Fig. 12 — prefetch accuracy of DART variants and all baselines.
+//!
+//! Set `DART_REUSE=1` to reuse the matrix computed by an earlier
+//! `exp_fig12/13/14` or `exp_prefetching` run.
+
+use dart_bench::prefetch_eval::{load_or_run, print_metric_table};
+use dart_bench::{record_json, ExperimentContext};
+
+/// Paper Fig. 12 mean accuracies.
+const PAPER: [(&str, f64); 9] = [
+    ("BO", 0.894),
+    ("ISB", 0.774), // read from the figure; the text highlights the others
+    ("DART-S", 0.806),
+    ("DART", 0.807),
+    ("DART-L", 0.825),
+    ("TransFetch", 0.786),
+    ("TransFetch-I", 0.896),
+    ("Voyager", 0.499),
+    ("Voyager-I", 0.951),
+];
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    let matrix = load_or_run(&ctx);
+    print_metric_table("Fig. 12: prefetch accuracy", &matrix, &PAPER, |c| c.accuracy, false);
+    println!(
+        "\nShape check (paper): the ideal NN prefetchers top the chart; adding \
+         real latency collapses Voyager hardest (0.951 -> 0.499) and dents \
+         TransFetch; DART stays close to its ideal because its latency is tiny."
+    );
+    record_json("fig12", &serde_json::to_value(&matrix).unwrap());
+}

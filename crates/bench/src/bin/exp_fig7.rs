@@ -1,0 +1,52 @@
+//! Fig. 7 — memory-access-pattern visualization: writes the
+//! (instruction, page, delta) scatter cloud of each workload to CSV under
+//! `target/experiments/fig7/` and prints a coarse ASCII density map.
+
+use std::fs;
+use std::io::Write as _;
+
+use dart_bench::ExperimentContext;
+use dart_trace::stats::pattern_cloud;
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    let out_dir = std::path::PathBuf::from("target/experiments/fig7");
+    fs::create_dir_all(&out_dir).expect("create output dir");
+
+    for p in ctx.prepare_all(0xF167) {
+        let cloud = pattern_cloud(&p.llc_trace, 2_000, 256);
+        let path = out_dir.join(format!("{}.csv", p.workload.name.replace('.', "_")));
+        let mut f = fs::File::create(&path).expect("create csv");
+        writeln!(f, "instr_frac,page_frac,delta_frac").unwrap();
+        for pt in &cloud {
+            writeln!(f, "{:.4},{:.4},{:.4}", pt.instr_frac, pt.page_frac, pt.delta_frac).unwrap();
+        }
+
+        // ASCII density map: x = time, y = page rank.
+        const W: usize = 64;
+        const H: usize = 12;
+        let mut grid = [[0u32; W]; H];
+        for pt in &cloud {
+            let x = ((pt.instr_frac * (W - 1) as f64) as usize).min(W - 1);
+            let y = ((pt.page_frac * (H - 1) as f64) as usize).min(H - 1);
+            grid[y][x] += 1;
+        }
+        println!("\n{} (pages vs time; CSV: {})", p.workload.name, path.display());
+        for row in grid.iter().rev() {
+            let line: String = row
+                .iter()
+                .map(|&c| match c {
+                    0 => ' ',
+                    1..=2 => '.',
+                    3..=6 => 'o',
+                    _ => '#',
+                })
+                .collect();
+            println!("|{line}|");
+        }
+    }
+    println!(
+        "\nEach cloud is the Fig. 7 scatter: streaming apps show diagonal sweeps, \
+         milc fills the page axis, mcf scatters uniformly (its deltas are unique)."
+    );
+}

@@ -1,0 +1,56 @@
+//! Fig. 9 — DART F1 vs. number of subspaces `C` (prototypes fixed at the
+//! DART config), without fine-tuning.
+
+use dart_bench::zoo::{tabular_config, train_dart};
+use dart_bench::{print_table, record_json, ExperimentContext, Table};
+use dart_core::config::PredictorConfig;
+use dart_core::eval::evaluate_tabular_f1;
+use dart_core::tabularize::tabularize;
+use dart_trace::spec_workloads;
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    let variant = PredictorConfig::dart();
+    let quick = matches!(ctx.scale, dart_bench::Scale::Quick);
+    let cs = [1usize, 2, 4, 8];
+    let workloads: Vec<_> = spec_workloads()
+        .into_iter()
+        .take(dart_bench::prefetch_eval::workload_limit().min(if quick { 4 } else { 8 }))
+        .collect();
+
+    let mut headers: Vec<String> = vec!["Application".into()];
+    headers.extend(cs.iter().map(|c| format!("C={c}")));
+    let mut t = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut records = Vec::new();
+    let mut means = vec![0.0f64; cs.len()];
+
+    for (wi, workload) in workloads.iter().enumerate() {
+        eprintln!("[fig9] {} ({}/{})", workload.name, wi + 1, workloads.len());
+        let prepared = ctx.prepare(workload, 0xF19 + wi as u64 * 13);
+        let artifacts = train_dart(&prepared, &ctx.pre, ctx.scale, &variant, false);
+        let mut row = vec![workload.name.clone()];
+        let mut series = Vec::new();
+        for (ci, &c) in cs.iter().enumerate() {
+            let mut cfg = tabular_config(ctx.scale, &variant).without_fine_tuning();
+            cfg.c = c;
+            let (tab, _) = tabularize(&artifacts.student, &prepared.train.inputs, &cfg);
+            let f1 = evaluate_tabular_f1(&tab, &prepared.test, 256);
+            row.push(format!("{f1:.3}"));
+            means[ci] += f1;
+            series.push(serde_json::json!({"c": c, "f1": f1}));
+        }
+        t.row(row);
+        records.push(serde_json::json!({"app": workload.name, "series": series}));
+    }
+    let mut mean_row = vec!["Mean".to_string()];
+    for m in &means {
+        mean_row.push(format!("{:.3}", m / workloads.len() as f64));
+    }
+    t.row(mean_row);
+    print_table("Fig. 9: F1 vs subspaces C (no fine-tuning)", &t);
+    println!(
+        "\nShape check (paper): higher C helps, but less sharply than K \
+         (paper: C=8 beats C=1 by ~6.6%)."
+    );
+    record_json("fig9", &serde_json::Value::Array(records));
+}

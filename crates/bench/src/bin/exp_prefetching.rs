@@ -1,0 +1,33 @@
+//! Combined Fig. 12 + 13 + 14 run: evaluates the prefetcher matrix once and
+//! prints all three figures (the individual `exp_fig1x` binaries recompute
+//! unless `DART_REUSE=1`).
+
+use dart_bench::prefetch_eval::{load_or_run, print_metric_table};
+use dart_bench::{record_json, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    let matrix = load_or_run(&ctx);
+    print_metric_table(
+        "Fig. 12: prefetch accuracy",
+        &matrix,
+        &[("BO", 0.894), ("DART", 0.807), ("TransFetch-I", 0.896), ("Voyager", 0.499)],
+        |c| c.accuracy,
+        false,
+    );
+    print_metric_table(
+        "Fig. 13: prefetch coverage",
+        &matrix,
+        &[("DART", 0.510), ("TransFetch", 0.144), ("Voyager", 0.021)],
+        |c| c.coverage,
+        false,
+    );
+    print_metric_table(
+        "Fig. 14: IPC improvement",
+        &matrix,
+        &[("BO", 31.5), ("DART", 37.6), ("TransFetch", 4.5), ("Voyager", 0.38)],
+        |c| c.ipc_improvement_pct,
+        true,
+    );
+    record_json("prefetching", &serde_json::to_value(&matrix).unwrap());
+}

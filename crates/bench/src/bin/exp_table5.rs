@@ -1,0 +1,72 @@
+//! Table V — model configurations and complexity: Teacher / Student / DART
+//! latency, storage, and arithmetic operations under the analytic cost
+//! models, next to the paper's values.
+
+use dart_bench::report::{human_bytes, human_count};
+use dart_bench::{print_table, record_json, Table};
+use dart_core::config::PredictorConfig;
+use dart_core::configurator::{model_cost, ShapeParams};
+use dart_nn::cost::attention_model_cost;
+use dart_nn::model::ModelConfig;
+
+fn main() {
+    let shape = ShapeParams::default(); // T = 16, D_O = 128
+    let teacher = ModelConfig::teacher(8, shape.output_dim, shape.seq_len);
+    let student = ModelConfig::student(8, shape.output_dim, shape.seq_len);
+    let dart = PredictorConfig::dart();
+
+    let tc = attention_model_cost(&teacher);
+    let sc = attention_model_cost(&student);
+    let dc = model_cost(&dart, &shape);
+
+    let mut t = Table::new(&[
+        "Model", "L", "D", "H", "K", "C", "Latency (paper)", "Latency (ours)",
+        "Storage (paper)", "Storage (ours)", "Ops (paper)", "Ops (ours)",
+    ]);
+    t.row(vec![
+        "Teacher".into(), "4".into(), "256".into(), "8".into(), "-".into(), "-".into(),
+        "16.5K".into(), human_count(tc.latency_cycles),
+        "86.2MB".into(), human_bytes(tc.storage_bytes),
+        "98.3M".into(), human_count(tc.ops),
+    ]);
+    t.row(vec![
+        "Student".into(), "1".into(), "32".into(), "2".into(), "-".into(), "-".into(),
+        "908".into(), human_count(sc.latency_cycles),
+        "827.4KB".into(), human_bytes(sc.storage_bytes),
+        "134.7K".into(), human_count(sc.ops),
+    ]);
+    t.row(vec![
+        "DART".into(), "1".into(), "32".into(), "2".into(), "128".into(), "2".into(),
+        "97".into(), dc.latency_cycles.to_string(),
+        "864.4KB".into(), human_bytes(dc.storage_bytes),
+        "11.0K".into(), human_count(dc.ops),
+    ]);
+    print_table("Table V: model configurations and complexity", &t);
+
+    println!("\nDerived headline ratios (paper: 170x / 9.4x acceleration, 99.99% / 91.83% op reduction):");
+    println!(
+        "  teacher/DART latency: {:.0}x   student/DART latency: {:.1}x",
+        tc.latency_cycles as f64 / dc.latency_cycles as f64,
+        sc.latency_cycles as f64 / dc.latency_cycles as f64
+    );
+    println!(
+        "  op reduction vs teacher: {:.2}%   vs student: {:.2}%",
+        (1.0 - dc.ops as f64 / tc.ops as f64) * 100.0,
+        (1.0 - dc.ops as f64 / sc.ops as f64) * 100.0
+    );
+    println!(
+        "\nNote: NN storage uses 4 B/parameter; the paper's storage assumptions are \
+         unstated (see EXPERIMENTS.md). Latency/ops reproduce Table V closely."
+    );
+    record_json(
+        "table5",
+        &serde_json::json!({
+            "teacher": tc, "student": sc, "dart": dc,
+            "paper": {
+                "teacher": {"latency": 16_500, "storage": 86_200_000u64, "ops": 98_300_000u64},
+                "student": {"latency": 908, "storage": 827_400, "ops": 134_700},
+                "dart": {"latency": 97, "storage": 864_400, "ops": 11_000},
+            }
+        }),
+    );
+}

@@ -1,0 +1,50 @@
+//! Table VIII — configurations chosen by the table configurator under the
+//! paper's three design-constraint pairs.
+
+use dart_bench::report::{human_bytes, human_count};
+use dart_bench::{print_table, record_json, Table};
+use dart_core::config::DesignConstraints;
+use dart_core::TableConfigurator;
+
+fn main() {
+    let conf = TableConfigurator::default();
+    let cases = [
+        ("DART-S", DesignConstraints::dart_s(), "(1,16,2,16,1)", "57", "29.9K", "1.6K"),
+        ("DART", DesignConstraints::dart(), "(1,32,2,128,2)", "97", "864.4K", "11.0K"),
+        ("DART-L", DesignConstraints::dart_l(), "(2,32,2,256,2)", "191", "3.75M", "17.5K"),
+    ];
+
+    let mut t = Table::new(&[
+        "Prefetcher", "Constraints (t/cyc, s/B)", "Config paper", "Config ours",
+        "Latency paper", "Latency ours", "Storage paper", "Storage ours", "Ops paper", "Ops ours",
+    ]);
+    let mut records = Vec::new();
+    for (name, constraints, p_cfg, p_lat, p_sto, p_ops) in cases {
+        let (cfg, cost) = conf.configure(&constraints).expect("feasible constraints");
+        t.row(vec![
+            name.into(),
+            format!("{}, {}", constraints.latency_cycles, human_bytes(constraints.storage_bytes)),
+            p_cfg.into(),
+            format!("({},{},{},{},{})", cfg.layers, cfg.dim, cfg.heads, cfg.k, cfg.c),
+            p_lat.into(),
+            cost.latency_cycles.to_string(),
+            p_sto.into(),
+            human_bytes(cost.storage_bytes),
+            p_ops.into(),
+            human_count(cost.ops),
+        ]);
+        records.push(serde_json::json!({
+            "name": name,
+            "constraints": constraints,
+            "config": cfg,
+            "cost": cost,
+        }));
+    }
+    print_table("Table VIII: DART configurations under design constraints", &t);
+    println!(
+        "\nThe greedy is latency-major (paper \u{a7}VI-C2): it may pick a different \
+         structural point than the paper within the same latency tier, but must \
+         respect both bounds."
+    );
+    record_json("table8", &serde_json::Value::Array(records));
+}

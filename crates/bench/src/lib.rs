@@ -1,0 +1,30 @@
+//! # dart-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§VII).
+//! Each `src/bin/exp_*.rs` binary prints one table/figure in the paper's
+//! row/series format, alongside the paper's reported values, and appends a
+//! machine-readable record under `target/experiments/`.
+//!
+//! Scale is controlled by the `DART_SCALE` environment variable:
+//! `quick` (default — minutes, reduced model/trace sizes) or
+//! `full` (paper-faithful sizes; expect an hour-plus on a laptop).
+
+pub mod context;
+pub mod prefetch_eval;
+pub mod report;
+pub mod zoo;
+
+pub use context::{ExperimentContext, Scale};
+pub use report::{print_table, record_json, Table};
+
+/// Canonical short names of the eight workloads (Table IV order).
+pub const WORKLOAD_NAMES: [&str; 8] = [
+    "410.bwaves",
+    "433.milc",
+    "437.leslie3d",
+    "462.libquantum",
+    "602.gcc",
+    "605.mcf",
+    "619.lbm",
+    "621.wrf",
+];

@@ -1,0 +1,147 @@
+//! Scale-dependent model-zoo construction: teacher, students, DART tables,
+//! and the Voyager-like LSTM, per workload.
+
+use dart_core::config::{PredictorConfig, TabularConfig};
+use dart_core::pipeline::{run_pipeline, PipelineArtifacts, PipelineConfig};
+use dart_core::DistillConfig;
+use dart_nn::model::{LstmConfig, LstmPredictor, ModelConfig};
+use dart_nn::optim::AdamConfig;
+use dart_nn::train::{train_bce, TrainConfig};
+use dart_trace::PreprocessConfig;
+
+use crate::context::{PreparedWorkload, Scale};
+
+/// Teacher architecture at a given scale.
+pub fn teacher_config(scale: Scale, pre: &PreprocessConfig) -> ModelConfig {
+    match scale {
+        Scale::Quick => ModelConfig {
+            input_dim: pre.input_dim(),
+            dim: 64,
+            heads: 4,
+            layers: 2,
+            ffn_dim: 256,
+            output_dim: pre.output_dim(),
+            seq_len: pre.seq_len,
+        },
+        Scale::Full => ModelConfig::teacher(pre.input_dim(), pre.output_dim(), pre.seq_len),
+    }
+}
+
+/// Student architecture for a DART variant.
+pub fn student_config(
+    variant: &PredictorConfig,
+    pre: &PreprocessConfig,
+) -> ModelConfig {
+    variant.to_model_config(pre.input_dim(), pre.output_dim(), pre.seq_len)
+}
+
+/// Training loop settings at a given scale.
+pub fn train_config(scale: Scale, epochs_quick: usize, epochs_full: usize) -> TrainConfig {
+    let epochs = match scale {
+        Scale::Quick => epochs_quick,
+        Scale::Full => epochs_full,
+    };
+    TrainConfig {
+        epochs,
+        batch_size: 64,
+        adam: AdamConfig { lr: 1e-3, ..Default::default() },
+        seed: 0xBEEF,
+        verbose: false,
+        ..Default::default()
+    }
+}
+
+/// Tabularization settings for a DART variant at a given scale.
+pub fn tabular_config(scale: Scale, variant: &PredictorConfig) -> TabularConfig {
+    let mut cfg = TabularConfig::from_predictor(variant);
+    cfg.fine_tune_epochs = match scale {
+        Scale::Quick => 4,
+        Scale::Full => 8,
+    };
+    cfg
+}
+
+/// The pipeline configuration for one DART variant.
+pub fn pipeline_config(
+    scale: Scale,
+    pre: &PreprocessConfig,
+    variant: &PredictorConfig,
+    with_no_kd: bool,
+) -> PipelineConfig {
+    PipelineConfig {
+        teacher: teacher_config(scale, pre),
+        student: student_config(variant, pre),
+        teacher_train: train_config(scale, 3, 8),
+        distill: DistillConfig { train: train_config(scale, 5, 12), ..Default::default() },
+        tabular: tabular_config(scale, variant),
+        train_student_without_kd: with_no_kd,
+        seed: 0x7EAC,
+    }
+}
+
+/// Run the full pipeline for one workload and DART variant.
+pub fn train_dart(
+    prepared: &PreparedWorkload,
+    pre: &PreprocessConfig,
+    scale: Scale,
+    variant: &PredictorConfig,
+    with_no_kd: bool,
+) -> PipelineArtifacts {
+    let cfg = pipeline_config(scale, pre, variant, with_no_kd);
+    run_pipeline(&prepared.train, &prepared.test, &cfg)
+}
+
+/// The three DART variants of Table VIII.
+pub fn dart_variants() -> Vec<(&'static str, PredictorConfig)> {
+    vec![
+        ("DART-S", PredictorConfig::dart_s()),
+        ("DART", PredictorConfig::dart()),
+        ("DART-L", PredictorConfig::dart_l()),
+    ]
+}
+
+/// Train the Voyager-like LSTM predictor on a prepared workload.
+pub fn train_voyager(
+    prepared: &PreparedWorkload,
+    pre: &PreprocessConfig,
+    scale: Scale,
+) -> LstmPredictor {
+    let hidden = match scale {
+        Scale::Quick => 32,
+        Scale::Full => 128,
+    };
+    let cfg = LstmConfig {
+        input_dim: pre.input_dim(),
+        hidden,
+        output_dim: pre.output_dim(),
+        seq_len: pre.seq_len,
+    };
+    let mut model = LstmPredictor::new(cfg, 0x70A6).expect("valid LSTM config");
+    let tcfg = train_config(scale, 3, 8);
+    train_bce(&mut model, &prepared.train, &tcfg);
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_valid() {
+        let pre = Scale::Quick.preprocess();
+        assert!(teacher_config(Scale::Quick, &pre).validate().is_ok());
+        assert!(teacher_config(Scale::Full, &PreprocessConfig::default()).validate().is_ok());
+        for (_, v) in dart_variants() {
+            assert!(student_config(&v, &pre).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn variants_match_table_viii() {
+        let v = dart_variants();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].1, PredictorConfig::dart_s());
+        assert_eq!(v[1].1, PredictorConfig::dart());
+        assert_eq!(v[2].1, PredictorConfig::dart_l());
+    }
+}

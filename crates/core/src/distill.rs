@@ -1,0 +1,168 @@
+//! Multi-label knowledge distillation (paper §VI-D).
+//!
+//! The teacher's logits over the training set are computed once; the student
+//! then minimizes `λ·KD + (1-λ)·BCE` where KD is the KL divergence between
+//! T-Sigmoid-softened teacher and student outputs (Eq. 24–25).
+
+use dart_nn::model::{AccessPredictor, ModelConfig};
+use dart_nn::train::{predict_logits, train_bce, Dataset, EpochStats, TrainConfig};
+use serde::{Deserialize, Serialize};
+
+/// Distillation hyperparameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DistillConfig {
+    /// Softening temperature `T` of the T-Sigmoid (Eq. 24).
+    pub temperature: f32,
+    /// Loss mixing weight `λ` (Eq. 25); 0 = pure BCE, 1 = pure KD.
+    pub lambda: f32,
+    /// Student training loop settings.
+    #[serde(skip)]
+    pub train: TrainConfig,
+    /// Weight-init seed for the student.
+    pub student_seed: u64,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        DistillConfig {
+            temperature: 2.0,
+            lambda: 0.5,
+            train: TrainConfig::default(),
+            student_seed: 0x57D,
+        }
+    }
+}
+
+/// Distill `teacher` into a fresh student with architecture `student_cfg`.
+///
+/// Returns the trained student and its per-epoch losses.
+pub fn distill(
+    teacher: &mut AccessPredictor,
+    student_cfg: ModelConfig,
+    data: &Dataset,
+    cfg: &DistillConfig,
+) -> (AccessPredictor, Vec<EpochStats>) {
+    let teacher_logits = predict_logits(teacher, data, cfg.train.batch_size.max(1));
+    let mut student =
+        AccessPredictor::new(student_cfg, cfg.student_seed).expect("valid student config");
+    let history = dart_nn::train::train_distill(
+        &mut student,
+        data,
+        &teacher_logits,
+        cfg.temperature,
+        cfg.lambda,
+        &cfg.train,
+    );
+    (student, history)
+}
+
+/// Train a student of the same architecture *without* distillation
+/// (the paper's "Stu w/o KD" baseline in Table VI).
+pub fn train_student_without_kd(
+    student_cfg: ModelConfig,
+    data: &Dataset,
+    train: &TrainConfig,
+    seed: u64,
+) -> (AccessPredictor, Vec<EpochStats>) {
+    let mut student = AccessPredictor::new(student_cfg, seed).expect("valid student config");
+    let history = train_bce(&mut student, data, train);
+    (student, history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_nn::model::SequenceModel;
+    use dart_nn::matrix::Matrix;
+    use dart_nn::train::evaluate_f1;
+
+    /// A learnable toy task: bit b is set iff the (normalized) mean of the
+    /// sample's inputs exceeds a per-bit threshold.
+    fn toy_dataset(n: usize, seq: usize, di: usize, dout: usize, seed: u64) -> Dataset {
+        use dart_nn::init::InitRng;
+        let mut rng = InitRng::new(seed);
+        let mut inputs = Matrix::zeros(n * seq, di);
+        let mut targets = Matrix::zeros(n, dout);
+        for i in 0..n {
+            let level = rng.next_f32();
+            for t in 0..seq {
+                for d in 0..di {
+                    inputs.set(i * seq + t, d, level + rng.normal() * 0.05);
+                }
+            }
+            for b in 0..dout {
+                if level > (b + 1) as f32 / (dout + 1) as f32 {
+                    targets.set(i, b, 1.0);
+                }
+            }
+        }
+        Dataset::new(inputs, targets, seq)
+    }
+
+    fn small_teacher_cfg() -> ModelConfig {
+        ModelConfig {
+            input_dim: 4,
+            dim: 16,
+            heads: 2,
+            layers: 2,
+            ffn_dim: 32,
+            output_dim: 6,
+            seq_len: 4,
+        }
+    }
+
+    fn small_student_cfg() -> ModelConfig {
+        ModelConfig { dim: 8, layers: 1, ffn_dim: 16, ..small_teacher_cfg() }
+    }
+
+    #[test]
+    fn distilled_student_learns_task() {
+        let data = toy_dataset(256, 4, 4, 6, 11);
+        let (train, test) = data.split(0.8);
+
+        let mut teacher = AccessPredictor::new(small_teacher_cfg(), 1).unwrap();
+        let tcfg = TrainConfig { epochs: 20, batch_size: 32, ..Default::default() };
+        train_bce(&mut teacher, &train, &tcfg);
+        let teacher_f1 = evaluate_f1(&mut teacher, &test, 64);
+        assert!(teacher_f1 > 0.8, "teacher failed to learn: F1 {teacher_f1}");
+
+        let dcfg = DistillConfig {
+            train: TrainConfig { epochs: 20, batch_size: 32, ..Default::default() },
+            ..Default::default()
+        };
+        let (mut student, history) = distill(&mut teacher, small_student_cfg(), &train, &dcfg);
+        let student_f1 = evaluate_f1(&mut student, &test, 64);
+        assert!(student_f1 > 0.7, "student F1 {student_f1}");
+        assert!(history.last().unwrap().loss < history.first().unwrap().loss);
+    }
+
+    #[test]
+    fn lambda_zero_is_pure_bce() {
+        // With lambda = 0 distillation reduces to plain supervised training,
+        // so the teacher is irrelevant: two different teachers must produce
+        // identical students (same seeds).
+        let data = toy_dataset(64, 4, 4, 6, 13);
+        let mut t1 = AccessPredictor::new(small_teacher_cfg(), 1).unwrap();
+        let mut t2 = AccessPredictor::new(small_teacher_cfg(), 999).unwrap();
+        let dcfg = DistillConfig {
+            lambda: 0.0,
+            train: TrainConfig { epochs: 2, batch_size: 16, ..Default::default() },
+            ..Default::default()
+        };
+        let (mut s1, _) = distill(&mut t1, small_student_cfg(), &data, &dcfg);
+        let (mut s2, _) = distill(&mut t2, small_student_cfg(), &data, &dcfg);
+        let x = data.batch(0, 4).0;
+        assert_eq!(s1.forward_logits(&x, false), s2.forward_logits(&x, false));
+    }
+
+    #[test]
+    fn student_without_kd_trains() {
+        let data = toy_dataset(128, 4, 4, 6, 17);
+        let tcfg = TrainConfig { epochs: 10, batch_size: 32, ..Default::default() };
+        let (mut student, history) =
+            train_student_without_kd(small_student_cfg(), &data, &tcfg, 3);
+        assert!(history.last().unwrap().loss < history.first().unwrap().loss);
+        let f1 = evaluate_f1(&mut student, &data, 64);
+        assert!(f1 > 0.6, "F1 {f1}");
+    }
+}

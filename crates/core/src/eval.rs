@@ -1,0 +1,122 @@
+//! Evaluation helpers: F1 for the tabular predictor and layer-similarity
+//! comparisons (paper Fig. 11, Tables VI–VII).
+
+use dart_nn::train::{Dataset, MultiLabelCounts};
+
+use crate::tabular_model::TabularModel;
+use crate::tabularize::TabularizationReport;
+
+/// Micro-F1 of a tabular model over a dataset at threshold 0.5.
+pub fn evaluate_tabular_f1(model: &TabularModel, data: &Dataset, batch_size: usize) -> f64 {
+    let mut counts = MultiLabelCounts::default();
+    let mut start = 0;
+    while start < data.len() {
+        let end = (start + batch_size).min(data.len());
+        let (x, y) = data.batch(start, end);
+        let probs = model.forward_probs(&x);
+        counts.accumulate(&probs, &y, 0.5);
+        start = end;
+    }
+    counts.f1()
+}
+
+/// Pair up two tabularization reports (e.g. with and without fine-tuning)
+/// by layer name for the Fig. 11 comparison. Returns
+/// `(layer, cosine_a, cosine_b)` rows in forward order.
+pub fn compare_reports(
+    a: &TabularizationReport,
+    b: &TabularizationReport,
+) -> Vec<(String, f32, f32)> {
+    a.similarities
+        .iter()
+        .filter_map(|sa| {
+            b.similarities
+                .iter()
+                .find(|sb| sb.layer == sa.layer)
+                .map(|sb| (sa.layer.clone(), sa.cosine, sb.cosine))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TabularConfig;
+    use crate::tabularize::tabularize;
+    use dart_nn::init::InitRng;
+    use dart_nn::matrix::Matrix;
+    use dart_nn::model::{AccessPredictor, ModelConfig};
+    use dart_nn::train::evaluate_f1;
+
+    #[test]
+    fn tabular_f1_close_to_student_f1_with_high_k() {
+        // Build a student that has learned a simple threshold task, then
+        // check the tabular model's F1 lands near the student's.
+        use dart_nn::train::{train_bce, TrainConfig};
+        let mut rng = InitRng::new(41);
+        let (n, seq, di, dout) = (220, 4, 4, 6);
+        let mut inputs = Matrix::zeros(n * seq, di);
+        let mut targets = Matrix::zeros(n, dout);
+        for i in 0..n {
+            let level = rng.next_f32();
+            for t in 0..seq {
+                for d in 0..di {
+                    inputs.set(i * seq + t, d, level + rng.normal() * 0.05);
+                }
+            }
+            for b in 0..dout {
+                if level > (b + 1) as f32 / (dout + 1) as f32 {
+                    targets.set(i, b, 1.0);
+                }
+            }
+        }
+        let data = Dataset::new(inputs, targets, seq);
+        let (train, test) = data.split(0.8);
+
+        let cfg = ModelConfig {
+            input_dim: di,
+            dim: 8,
+            heads: 2,
+            layers: 1,
+            ffn_dim: 16,
+            output_dim: dout,
+            seq_len: seq,
+        };
+        let mut student = AccessPredictor::new(cfg, 1).unwrap();
+        train_bce(
+            &mut student,
+            &train,
+            &TrainConfig { epochs: 25, batch_size: 32, ..Default::default() },
+        );
+        let student_f1 = evaluate_f1(&mut student, &test, 64);
+
+        let tab_cfg = TabularConfig { k: 128, c: 2, fine_tune_epochs: 6, ..Default::default() };
+        let (table, _) = tabularize(&student, &train.inputs, &tab_cfg);
+        let tab_f1 = evaluate_tabular_f1(&table, &test, 64);
+        assert!(
+            tab_f1 > student_f1 - 0.15,
+            "tabular F1 {tab_f1} too far below student {student_f1}"
+        );
+    }
+
+    #[test]
+    fn compare_reports_aligns_layers() {
+        use crate::tabularize::LayerSimilarity;
+        let a = TabularizationReport {
+            similarities: vec![
+                LayerSimilarity { layer: "x".into(), cosine: 0.9 },
+                LayerSimilarity { layer: "y".into(), cosine: 0.8 },
+            ],
+        };
+        let b = TabularizationReport {
+            similarities: vec![
+                LayerSimilarity { layer: "y".into(), cosine: 0.7 },
+                LayerSimilarity { layer: "x".into(), cosine: 0.95 },
+            ],
+        };
+        let rows = compare_reports(&a, &b);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], ("x".into(), 0.9, 0.95));
+        assert_eq!(rows[1], ("y".into(), 0.8, 0.7));
+    }
+}

@@ -1,0 +1,37 @@
+//! # dart-core — the DART approach
+//!
+//! The paper's contribution, end to end (§IV–§VI):
+//!
+//! * [`configurator`] — the **table configurator**: whole-model latency and
+//!   storage formulas (Eq. 22–23) over the kernel costs of `dart-pq`, and
+//!   the latency-major greedy search that picks a valid
+//!   `(L, D, H, K, C)` under prefetcher design constraints `(τ, s)`,
+//! * [`mod@distill`] — **multi-label knowledge distillation** with the
+//!   T-Sigmoid softening (Eq. 24–25): teacher logits are cached once, then
+//!   the student trains on `λ·KD + (1-λ)·BCE`,
+//! * [`tabular_model`] — the **hierarchy of tables**: a table-based mirror
+//!   of the attention predictor (linear kernels, per-head attention kernels,
+//!   exact LayerNorm/residuals, LUT sigmoid) whose inference performs no
+//!   matrix multiplications,
+//! * [`mod@tabularize`] — **layer-wise tabularization with fine-tuning**
+//!   (Algorithm 1): each linear layer is re-fit by MSE against the original
+//!   layer outputs with the *approximated* inputs produced by the tables
+//!   built so far, mitigating error accumulation,
+//! * [`eval`] — F1 and per-layer cosine-similarity diagnostics (Fig. 11),
+//! * [`pipeline`] — the three-step workflow (attention → distillation →
+//!   tabularization) packaged for examples and the experiment harness.
+
+pub mod config;
+pub mod configurator;
+pub mod distill;
+pub mod eval;
+pub mod pipeline;
+pub mod tabular_model;
+pub mod tabularize;
+
+pub use config::{DesignConstraints, PredictorConfig, TabularConfig};
+pub use configurator::TableConfigurator;
+pub use distill::{distill, DistillConfig};
+pub use pipeline::{run_pipeline, PipelineArtifacts, PipelineConfig};
+pub use tabular_model::TabularModel;
+pub use tabularize::{tabularize, TabularizationReport};

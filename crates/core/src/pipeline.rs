@@ -1,0 +1,171 @@
+//! The end-to-end DART workflow (paper Fig. 2): attention-model training,
+//! knowledge distillation, and layer-wise tabularization, with F1
+//! bookkeeping at every stage.
+
+use dart_nn::model::{AccessPredictor, ModelConfig};
+use dart_nn::train::{evaluate_f1, train_bce, Dataset, TrainConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::config::TabularConfig;
+use crate::distill::{distill, train_student_without_kd, DistillConfig};
+use crate::eval::evaluate_tabular_f1;
+use crate::tabular_model::TabularModel;
+use crate::tabularize::{tabularize, TabularizationReport};
+
+/// Configuration of the full pipeline.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Teacher architecture (trained with plain BCE).
+    pub teacher: ModelConfig,
+    /// Student architecture (from the table configurator).
+    pub student: ModelConfig,
+    /// Teacher training settings.
+    pub teacher_train: TrainConfig,
+    /// Distillation settings (includes the student training loop).
+    pub distill: DistillConfig,
+    /// Tabularization settings.
+    pub tabular: TabularConfig,
+    /// Also train a no-KD student for the Table VI comparison.
+    pub train_student_without_kd: bool,
+    /// Teacher weight-init seed.
+    pub seed: u64,
+}
+
+/// F1 scores of every stage, measured on held-out data.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct F1Summary {
+    /// The large attention model.
+    pub teacher: f64,
+    /// The distilled student.
+    pub student: f64,
+    /// The student trained without KD (if requested).
+    pub student_no_kd: Option<f64>,
+    /// The tabular predictor (DART).
+    pub dart: f64,
+}
+
+/// Everything the pipeline produces.
+pub struct PipelineArtifacts {
+    /// Trained teacher.
+    pub teacher: AccessPredictor,
+    /// Distilled student.
+    pub student: AccessPredictor,
+    /// No-KD student, when requested.
+    pub student_no_kd: Option<AccessPredictor>,
+    /// The hierarchy of tables.
+    pub tabular: TabularModel,
+    /// Layer-similarity diagnostics from tabularization.
+    pub report: TabularizationReport,
+    /// Held-out F1 of every stage.
+    pub f1: F1Summary,
+}
+
+/// Run attention → distillation → tabularization on a train/test split.
+pub fn run_pipeline(train: &Dataset, test: &Dataset, cfg: &PipelineConfig) -> PipelineArtifacts {
+    let eval_batch = 256;
+
+    // Step 1: attention-based teacher (paper §VI-B).
+    let mut teacher = AccessPredictor::new(cfg.teacher.clone(), cfg.seed).expect("teacher config");
+    train_bce(&mut teacher, train, &cfg.teacher_train);
+    let f1_teacher = evaluate_f1(&mut teacher, test, eval_batch);
+
+    // Step 2: knowledge distillation (paper §VI-D).
+    let (mut student, _) = distill(&mut teacher, cfg.student.clone(), train, &cfg.distill);
+    let f1_student = evaluate_f1(&mut student, test, eval_batch);
+
+    let (student_no_kd, f1_no_kd) = if cfg.train_student_without_kd {
+        let (mut s, _) = train_student_without_kd(
+            cfg.student.clone(),
+            train,
+            &cfg.distill.train,
+            cfg.distill.student_seed,
+        );
+        let f1 = evaluate_f1(&mut s, test, eval_batch);
+        (Some(s), Some(f1))
+    } else {
+        (None, None)
+    };
+
+    // Step 3: layer-wise tabularization with fine-tuning (paper §VI-E).
+    let (tabular, report) = tabularize(&student, &train.inputs, &cfg.tabular);
+    let f1_dart = evaluate_tabular_f1(&tabular, test, eval_batch);
+
+    PipelineArtifacts {
+        teacher,
+        student,
+        student_no_kd,
+        tabular,
+        report,
+        f1: F1Summary {
+            teacher: f1_teacher,
+            student: f1_student,
+            student_no_kd: f1_no_kd,
+            dart: f1_dart,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_nn::init::InitRng;
+    use dart_nn::matrix::Matrix;
+
+    fn toy_dataset(n: usize, seq: usize, di: usize, dout: usize, seed: u64) -> Dataset {
+        let mut rng = InitRng::new(seed);
+        let mut inputs = Matrix::zeros(n * seq, di);
+        let mut targets = Matrix::zeros(n, dout);
+        for i in 0..n {
+            let level = rng.next_f32();
+            for t in 0..seq {
+                for d in 0..di {
+                    inputs.set(i * seq + t, d, level + rng.normal() * 0.05);
+                }
+            }
+            for b in 0..dout {
+                if level > (b + 1) as f32 / (dout + 1) as f32 {
+                    targets.set(i, b, 1.0);
+                }
+            }
+        }
+        Dataset::new(inputs, targets, seq)
+    }
+
+    #[test]
+    fn full_pipeline_produces_sane_f1_ordering() {
+        let data = toy_dataset(300, 4, 4, 6, 51);
+        let (train, test) = data.split(0.8);
+        let teacher = ModelConfig {
+            input_dim: 4,
+            dim: 16,
+            heads: 2,
+            layers: 2,
+            ffn_dim: 32,
+            output_dim: 6,
+            seq_len: 4,
+        };
+        let student = ModelConfig { dim: 8, layers: 1, ffn_dim: 16, ..teacher.clone() };
+        let cfg = PipelineConfig {
+            teacher,
+            student,
+            teacher_train: TrainConfig { epochs: 20, batch_size: 32, ..Default::default() },
+            distill: DistillConfig {
+                train: TrainConfig { epochs: 20, batch_size: 32, ..Default::default() },
+                ..Default::default()
+            },
+            tabular: TabularConfig { k: 64, c: 2, fine_tune_epochs: 4, ..Default::default() },
+            train_student_without_kd: true,
+            seed: 7,
+        };
+        let artifacts = run_pipeline(&train, &test, &cfg);
+        let f1 = artifacts.f1;
+        assert!(f1.teacher > 0.8, "teacher F1 {}", f1.teacher);
+        assert!(f1.student > 0.6, "student F1 {}", f1.student);
+        assert!(f1.dart > 0.5, "DART F1 {}", f1.dart);
+        assert!(f1.student_no_kd.is_some());
+        // The tabular model approximates the student, so it cannot
+        // meaningfully exceed it, and should not collapse either.
+        assert!(f1.dart <= f1.student + 0.1);
+        assert!(!artifacts.report.similarities.is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Weight initialization schemes.
+//!
+//! All initializers are deterministic given a seed, built on a small xorshift
+//! PRNG so initialization does not depend on `rand` version internals.
+
+use crate::matrix::Matrix;
+
+/// Deterministic 64-bit xorshift* generator used for weight init.
+///
+/// Kept separate from `rand` so that saved experiments remain reproducible
+/// even across `rand` crate upgrades.
+#[derive(Clone, Debug)]
+pub struct InitRng {
+    state: u64,
+}
+
+impl InitRng {
+    /// Create a generator; a zero seed is remapped to a fixed odd constant.
+    pub fn new(seed: u64) -> Self {
+        InitRng { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f32 {
+        let u1 = self.next_f32().max(1e-9);
+        let u2 = self.next_f32();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Xavier/Glorot uniform initialization for a `fan_out x fan_in` weight.
+pub fn xavier_uniform(fan_out: usize, fan_in: usize, rng: &mut InitRng) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::from_fn(fan_out, fan_in, |_, _| rng.uniform(-limit, limit))
+}
+
+/// Kaiming/He normal initialization (for ReLU fan-in).
+pub fn kaiming_normal(fan_out: usize, fan_in: usize, rng: &mut InitRng) -> Matrix {
+    let std = (2.0 / fan_in as f32).sqrt();
+    Matrix::from_fn(fan_out, fan_in, |_, _| rng.normal() * std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = InitRng::new(42);
+        let mut b = InitRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_uniform_in_range() {
+        let mut rng = InitRng::new(7);
+        for _ in 0..1000 {
+            let v = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = InitRng::new(1);
+        let w = xavier_uniform(16, 8, &mut rng);
+        let limit = (6.0 / 24.0f32).sqrt();
+        assert!(w.max_abs() <= limit);
+        // And is not degenerate.
+        assert!(w.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let mut rng = InitRng::new(3);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut rng = InitRng::new(5);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

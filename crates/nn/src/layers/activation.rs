@@ -1,0 +1,129 @@
+//! Element-wise activation layers: ReLU and Sigmoid.
+
+use crate::layers::{Layer, Param};
+use crate::matrix::Matrix;
+
+/// Rectified linear unit, `max(0, x)`.
+#[derive(Clone, Debug, Default)]
+pub struct Relu {
+    cache_x: Option<Matrix>,
+}
+
+impl Relu {
+    /// New ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad: &Matrix) -> Matrix {
+        let x = self.cache_x.as_ref().expect("backward before forward(train=true)");
+        assert_eq!(grad.shape(), x.shape());
+        let mut out = grad.clone();
+        for (g, &xi) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            if xi <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        out
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`.
+#[derive(Clone, Debug, Default)]
+pub struct Sigmoid {
+    cache_y: Option<Matrix>,
+}
+
+impl Sigmoid {
+    /// New sigmoid layer.
+    pub fn new() -> Self {
+        Sigmoid::default()
+    }
+}
+
+/// Scalar logistic sigmoid, shared across the workspace.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let y = x.map(sigmoid);
+        if train {
+            self.cache_y = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Matrix) -> Matrix {
+        let y = self.cache_y.as_ref().expect("backward before forward(train=true)");
+        assert_eq!(grad.shape(), y.shape());
+        let mut out = grad.clone();
+        for (g, &yi) in out.as_mut_slice().iter_mut().zip(y.as_slice()) {
+            *g *= yi * (1.0 - yi);
+        }
+        out
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::grad_check_input;
+
+    #[test]
+    fn relu_forward_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Matrix::from_vec(1, 4, vec![-2.0, -0.5, 0.0, 3.0]);
+        assert_eq!(relu.forward(&x, false).as_slice(), &[0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn relu_gradient_check() {
+        let mut relu = Relu::new();
+        // Avoid points exactly at 0 where ReLU is non-differentiable.
+        let x = Matrix::from_fn(3, 5, |r, c| (r as f32 - 1.3) * 0.7 + c as f32 * 0.31 - 0.9);
+        let err = grad_check_input(&mut relu, &x, 1e-3);
+        assert!(err < 1e-2, "relative grad error {err}");
+    }
+
+    #[test]
+    fn sigmoid_forward_range_and_midpoint() {
+        let mut s = Sigmoid::new();
+        let x = Matrix::from_vec(1, 3, vec![-10.0, 0.0, 10.0]);
+        let y = s.forward(&x, false);
+        assert!(y.as_slice()[0] < 1e-4);
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[2] > 1.0 - 1e-4);
+    }
+
+    #[test]
+    fn sigmoid_gradient_check() {
+        let mut s = Sigmoid::new();
+        let x = Matrix::from_fn(2, 6, |r, c| (r * 6 + c) as f32 * 0.37 - 1.5);
+        let err = grad_check_input(&mut s, &x, 1e-3);
+        assert!(err < 1e-2, "relative grad error {err}");
+    }
+}

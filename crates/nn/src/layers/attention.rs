@@ -1,0 +1,288 @@
+//! Multi-head self-attention (paper Eq. 3–4).
+//!
+//! Input arrives stacked as `(batch * seq_len) x dim`. The Q/K/V projections
+//! run as one fused `dim -> 3*dim` linear (matching Eq. 23, which accounts a
+//! single `3 H D_A`-wide linear kernel), the scaled-dot-product core runs
+//! per-sample in parallel with rayon, and the head outputs are concatenated
+//! and passed through the output projection `W_O`.
+
+use rayon::prelude::*;
+
+use crate::init::InitRng;
+use crate::layers::{Layer, Linear, Param};
+use crate::matrix::Matrix;
+
+/// Multi-head self-attention layer.
+#[derive(Clone, Debug)]
+pub struct Msa {
+    /// Fused query/key/value projection, `dim -> 3*dim`.
+    pub qkv: Linear,
+    /// Output projection `W_O`, `dim -> dim`.
+    pub out: Linear,
+    heads: usize,
+    seq_len: usize,
+    cache: Option<MsaCache>,
+}
+
+#[derive(Clone, Debug)]
+struct MsaCache {
+    /// Stacked Q/K/V, each `(batch*seq) x dim`.
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Softmax attention weights, one `seq x seq` matrix per `(sample, head)`,
+    /// indexed `sample * heads + head`.
+    attn: Vec<Matrix>,
+}
+
+impl Msa {
+    /// New MSA layer over sequences of `seq_len` tokens with `dim` features
+    /// split across `heads` heads.
+    ///
+    /// # Panics
+    /// If `dim % heads != 0`.
+    pub fn new(dim: usize, heads: usize, seq_len: usize, rng: &mut InitRng) -> Self {
+        assert!(heads > 0 && dim.is_multiple_of(heads), "dim {dim} must divide into {heads} heads");
+        Msa {
+            qkv: Linear::new(dim, 3 * dim, rng),
+            out: Linear::new(dim, dim, rng),
+            heads,
+            seq_len,
+            cache: None,
+        }
+    }
+
+    /// Model (hidden) dimension.
+    pub fn dim(&self) -> usize {
+        self.out.in_dim()
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Sequence length this layer was built for.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Per-head dimension `D_h = D / h`.
+    pub fn head_dim(&self) -> usize {
+        self.dim() / self.heads
+    }
+
+    fn batch_of(&self, x: &Matrix) -> usize {
+        assert_eq!(
+            x.rows() % self.seq_len,
+            0,
+            "stacked rows {} not divisible by seq_len {}",
+            x.rows(),
+            self.seq_len
+        );
+        x.rows() / self.seq_len
+    }
+
+    /// The scaled-dot-product core for one sample: returns the concatenated
+    /// head outputs (`seq x dim`) and the per-head attention matrices.
+    fn attend_sample(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> (Matrix, Vec<Matrix>) {
+        let t = self.seq_len;
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut y = Matrix::zeros(t, self.dim());
+        let mut attns = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let (lo, hi) = (h * dh, (h + 1) * dh);
+            let qh = q.slice_cols(lo, hi);
+            let kh = k.slice_cols(lo, hi);
+            let vh = v.slice_cols(lo, hi);
+            let mut scores = qh.matmul_transb(&kh);
+            scores.scale_assign(scale);
+            let a = scores.softmax_rows();
+            let yh = a.matmul(&vh);
+            for r in 0..t {
+                y.row_mut(r)[lo..hi].copy_from_slice(yh.row(r));
+            }
+            attns.push(a);
+        }
+        (y, attns)
+    }
+}
+
+impl Layer for Msa {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let batch = self.batch_of(x);
+        let dim = self.dim();
+        let t = self.seq_len;
+
+        let qkv_out = self.qkv.forward(x, train);
+        let q = qkv_out.slice_cols(0, dim);
+        let k = qkv_out.slice_cols(dim, 2 * dim);
+        let v = qkv_out.slice_cols(2 * dim, 3 * dim);
+
+        let per_sample: Vec<(Matrix, Vec<Matrix>)> = (0..batch)
+            .into_par_iter()
+            .map(|n| {
+                let qs = q.slice_rows(n * t, (n + 1) * t);
+                let ks = k.slice_rows(n * t, (n + 1) * t);
+                let vs = v.slice_rows(n * t, (n + 1) * t);
+                self.attend_sample(&qs, &ks, &vs)
+            })
+            .collect();
+
+        let mut concat = Matrix::zeros(batch * t, dim);
+        let mut attn = Vec::with_capacity(batch * self.heads);
+        for (n, (y, a)) in per_sample.into_iter().enumerate() {
+            concat.set_rows(n * t, &y);
+            attn.extend(a);
+        }
+
+        if train {
+            self.cache = Some(MsaCache { q, k, v, attn });
+        }
+        self.out.forward(&concat, train)
+    }
+
+    fn backward(&mut self, grad: &Matrix) -> Matrix {
+        let d_concat = self.out.backward(grad);
+        let cache = self.cache.as_ref().expect("backward before forward(train=true)");
+        let t = self.seq_len;
+        let dim = self.dim();
+        let dh = self.head_dim();
+        let heads = self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let batch = d_concat.rows() / t;
+
+        let d_qkv_blocks: Vec<Matrix> = (0..batch)
+            .into_par_iter()
+            .map(|n| {
+                let mut d_qkv = Matrix::zeros(t, 3 * dim);
+                let qs = cache.q.slice_rows(n * t, (n + 1) * t);
+                let ks = cache.k.slice_rows(n * t, (n + 1) * t);
+                let vs = cache.v.slice_rows(n * t, (n + 1) * t);
+                let dy = d_concat.slice_rows(n * t, (n + 1) * t);
+                for h in 0..heads {
+                    let (lo, hi) = (h * dh, (h + 1) * dh);
+                    let a = &cache.attn[n * heads + h];
+                    let qh = qs.slice_cols(lo, hi);
+                    let kh = ks.slice_cols(lo, hi);
+                    let vh = vs.slice_cols(lo, hi);
+                    let dyh = dy.slice_cols(lo, hi);
+
+                    // dV = A^T dY ; dA = dY V^T
+                    let dvh = a.matmul_transa(&dyh);
+                    let da = dyh.matmul_transb(&vh);
+
+                    // Softmax backward per row: dS = A ⊙ (dA - rowsum(dA ⊙ A))
+                    let mut ds = Matrix::zeros(t, t);
+                    for r in 0..t {
+                        let arow = a.row(r);
+                        let darow = da.row(r);
+                        let dot: f32 = arow.iter().zip(darow).map(|(x, y)| x * y).sum();
+                        let dsrow = ds.row_mut(r);
+                        for c in 0..t {
+                            dsrow[c] = arow[c] * (darow[c] - dot);
+                        }
+                    }
+                    ds.scale_assign(scale);
+
+                    // dQ = dS K ; dK = dS^T Q
+                    let dqh = ds.matmul(&kh);
+                    let dkh = ds.matmul_transa(&qh);
+
+                    for r in 0..t {
+                        d_qkv.row_mut(r)[lo..hi].copy_from_slice(dqh.row(r));
+                        d_qkv.row_mut(r)[dim + lo..dim + hi].copy_from_slice(dkh.row(r));
+                        d_qkv.row_mut(r)[2 * dim + lo..2 * dim + hi].copy_from_slice(dvh.row(r));
+                    }
+                }
+                d_qkv
+            })
+            .collect();
+
+        let d_qkv = Matrix::vstack(&d_qkv_blocks);
+        self.qkv.backward(&d_qkv)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.qkv.visit_params(f);
+        self.out.visit_params(f);
+    }
+
+    fn name(&self) -> &'static str {
+        "msa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::grad_check_input;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = InitRng::new(3);
+        let mut msa = Msa::new(8, 2, 4, &mut rng);
+        let x = Matrix::from_fn(2 * 4, 8, |r, c| ((r * 8 + c) as f32 * 0.1).sin());
+        let y = msa.forward(&x, false);
+        assert_eq!(y.shape(), (8, 8));
+    }
+
+    #[test]
+    fn attention_weights_are_row_stochastic() {
+        let mut rng = InitRng::new(4);
+        let mut msa = Msa::new(8, 2, 4, &mut rng);
+        let x = Matrix::from_fn(4, 8, |r, c| (r as f32 - c as f32) * 0.2);
+        let _ = msa.forward(&x, true);
+        let cache = msa.cache.as_ref().unwrap();
+        assert_eq!(cache.attn.len(), 2); // 1 sample * 2 heads
+        for a in &cache.attn {
+            for r in 0..a.rows() {
+                let s: f32 = a.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_small() {
+        let mut rng = InitRng::new(9);
+        let mut msa = Msa::new(4, 2, 3, &mut rng);
+        let x = Matrix::from_fn(2 * 3, 4, |r, c| ((r * 4 + c) as f32 * 0.29).cos() * 0.5);
+        let err = grad_check_input(&mut msa, &x, 1e-2);
+        assert!(err < 3e-2, "relative grad error {err}");
+    }
+
+    #[test]
+    fn batch_independence() {
+        // Attention over sample 0 must not be affected by sample 1.
+        let mut rng = InitRng::new(12);
+        let mut msa = Msa::new(8, 2, 4, &mut rng);
+        let a = Matrix::from_fn(4, 8, |r, c| ((r * 8 + c) as f32 * 0.17).sin());
+        let b = Matrix::from_fn(4, 8, |r, c| ((r * 8 + c) as f32 * 0.05).cos());
+        let ya = msa.forward(&a, false);
+        let stacked = Matrix::vstack(&[a.clone(), b.clone()]);
+        let y_stacked = msa.forward(&stacked, false);
+        let ya2 = y_stacked.slice_rows(0, 4);
+        for i in 0..ya.len() {
+            assert!((ya.as_slice()[i] - ya2.as_slice()[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible by seq_len")]
+    fn rejects_bad_stack() {
+        let mut rng = InitRng::new(1);
+        let mut msa = Msa::new(4, 1, 3, &mut rng);
+        let x = Matrix::zeros(4, 4);
+        let _ = msa.forward(&x, false);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = InitRng::new(1);
+        let mut msa = Msa::new(8, 2, 4, &mut rng);
+        // qkv: 24*8 + 24 ; out: 8*8 + 8
+        assert_eq!(msa.param_count(), 24 * 8 + 24 + 64 + 8);
+    }
+}

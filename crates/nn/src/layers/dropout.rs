@@ -1,0 +1,107 @@
+//! Inverted dropout: active only in training mode, identity at inference.
+
+use crate::init::InitRng;
+use crate::layers::{Layer, Param};
+use crate::matrix::Matrix;
+
+/// Inverted dropout with keep-probability scaling.
+#[derive(Clone, Debug)]
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub p: f32,
+    rng: InitRng,
+    mask: Option<Matrix>,
+}
+
+impl Dropout {
+    /// New dropout layer.
+    ///
+    /// # Panics
+    /// If `p` is not in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Dropout {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1)");
+        Dropout { p, rng: InitRng::new(seed), mask: None }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Matrix::zeros(x.rows(), x.cols());
+        for m in mask.as_mut_slice() {
+            *m = if self.rng.next_f32() < keep { scale } else { 0.0 };
+        }
+        let out = x.hadamard(&mask);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad: &Matrix) -> Matrix {
+        match &self.mask {
+            Some(mask) => grad.hadamard(mask),
+            None => grad.clone(),
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_inference() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Matrix::from_fn(4, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn preserves_expectation_in_training() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Matrix::full(200, 50, 1.0);
+        let y = d.forward(&x, true);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn zeroes_fraction_close_to_p() {
+        let mut d = Dropout::new(0.4, 3);
+        let x = Matrix::full(100, 100, 1.0);
+        let y = d.forward(&x, true);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / y.len() as f32;
+        assert!((frac - 0.4).abs() < 0.03, "dropped {frac}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 4);
+        let x = Matrix::full(10, 10, 2.0);
+        let y = d.forward(&x, true);
+        let grad = Matrix::full(10, 10, 1.0);
+        let gx = d.backward(&grad);
+        // Gradient flows exactly where activations flowed.
+        for (yv, gv) in y.as_slice().iter().zip(gx.as_slice()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn p_zero_is_identity_even_training() {
+        let mut d = Dropout::new(0.0, 5);
+        let x = Matrix::from_fn(3, 3, |r, c| (r + c) as f32);
+        assert_eq!(d.forward(&x, true), x);
+    }
+}

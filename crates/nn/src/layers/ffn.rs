@@ -1,0 +1,85 @@
+//! Feed-forward network: `Linear_O(max(0, Linear_H(x)))` (paper Eq. 2).
+
+use crate::init::InitRng;
+use crate::layers::{Layer, Linear, Param, Relu};
+use crate::matrix::Matrix;
+
+/// Two-layer feed-forward block with ReLU.
+#[derive(Clone, Debug)]
+pub struct Ffn {
+    /// Hidden linear (`dim -> hidden`).
+    pub hidden: Linear,
+    /// ReLU between the two linears.
+    pub relu: Relu,
+    /// Output linear (`hidden -> dim`).
+    pub output: Linear,
+}
+
+impl Ffn {
+    /// New FFN with model dimension `dim` and inner dimension `hidden_dim`.
+    pub fn new(dim: usize, hidden_dim: usize, rng: &mut InitRng) -> Self {
+        Ffn {
+            hidden: Linear::new(dim, hidden_dim, rng),
+            relu: Relu::new(),
+            output: Linear::new(hidden_dim, dim, rng),
+        }
+    }
+
+    /// Model dimension.
+    pub fn dim(&self) -> usize {
+        self.hidden.in_dim()
+    }
+
+    /// Inner (feed-forward) dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden.out_dim()
+    }
+}
+
+impl Layer for Ffn {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let h = self.hidden.forward(x, train);
+        let a = self.relu.forward(&h, train);
+        self.output.forward(&a, train)
+    }
+
+    fn backward(&mut self, grad: &Matrix) -> Matrix {
+        let da = self.output.backward(grad);
+        let dh = self.relu.backward(&da);
+        self.hidden.backward(&dh)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.hidden.visit_params(f);
+        self.output.visit_params(f);
+    }
+
+    fn name(&self) -> &'static str {
+        "ffn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::grad_check_input;
+
+    #[test]
+    fn shapes() {
+        let mut rng = InitRng::new(2);
+        let mut ffn = Ffn::new(6, 12, &mut rng);
+        let x = Matrix::from_fn(5, 6, |r, c| (r + c) as f32 * 0.1);
+        assert_eq!(ffn.forward(&x, false).shape(), (5, 6));
+        assert_eq!(ffn.dim(), 6);
+        assert_eq!(ffn.hidden_dim(), 12);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = InitRng::new(8);
+        let mut ffn = Ffn::new(4, 7, &mut rng);
+        let x = Matrix::from_fn(3, 4, |r, c| ((r * 4 + c) as f32 * 0.41).sin());
+        let err = grad_check_input(&mut ffn, &x, 1e-2);
+        assert!(err < 2e-2, "relative grad error {err}");
+    }
+}

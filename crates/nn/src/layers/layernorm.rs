@@ -1,0 +1,183 @@
+//! Layer normalization over the feature (last) dimension.
+//!
+//! Algorithm 1 of the paper keeps LayerNorm as exact arithmetic in the
+//! tabular model ("dimension-wise simple arithmetic operation without matrix
+//! multiplication"), so this implementation is shared verbatim between the
+//! neural and tabular predictors.
+
+use crate::layers::{Layer, Param};
+use crate::matrix::Matrix;
+
+/// Layer normalization with learned scale (`gamma`) and shift (`beta`).
+#[derive(Clone, Debug)]
+pub struct LayerNorm {
+    /// Scale, shape `1 x dim`.
+    pub gamma: Param,
+    /// Shift, shape `1 x dim`.
+    pub beta: Param,
+    eps: f32,
+    cache: Option<LnCache>,
+}
+
+#[derive(Clone, Debug)]
+struct LnCache {
+    x_hat: Matrix,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// New LayerNorm over `dim` features (`gamma = 1`, `beta = 0`).
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(Matrix::full(1, dim, 1.0)),
+            beta: Param::new(Matrix::zeros(1, dim)),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.gamma.value.cols()
+    }
+
+    /// Forward pass without caching.
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        self.normalize(x).0
+    }
+
+    fn normalize(&self, x: &Matrix) -> (Matrix, Matrix, Vec<f32>) {
+        let dim = self.dim();
+        assert_eq!(x.cols(), dim, "LayerNorm dim mismatch");
+        let mut y = Matrix::zeros(x.rows(), dim);
+        let mut x_hat = Matrix::zeros(x.rows(), dim);
+        let mut inv_stds = Vec::with_capacity(x.rows());
+        let gamma = self.gamma.value.as_slice();
+        let beta = self.beta.value.as_slice();
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / dim as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / dim as f32;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds.push(inv_std);
+            let xh = x_hat.row_mut(r);
+            let yr = y.row_mut(r);
+            for c in 0..dim {
+                let h = (row[c] - mean) * inv_std;
+                xh[c] = h;
+                yr[c] = gamma[c] * h + beta[c];
+            }
+        }
+        (y, x_hat, inv_stds)
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let (y, x_hat, inv_std) = self.normalize(x);
+        if train {
+            self.cache = Some(LnCache { x_hat, inv_std });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Matrix) -> Matrix {
+        let cache = self.cache.as_ref().expect("backward before forward(train=true)");
+        let dim = self.dim();
+        assert_eq!(grad.shape(), cache.x_hat.shape());
+        let gamma = self.gamma.value.as_slice();
+
+        let mut dx = Matrix::zeros(grad.rows(), dim);
+        for r in 0..grad.rows() {
+            let g = grad.row(r);
+            let xh = cache.x_hat.row(r);
+            let inv_std = cache.inv_std[r];
+
+            // Accumulate parameter grads.
+            {
+                let dgamma = self.gamma.grad.as_mut_slice();
+                let dbeta = self.beta.grad.as_mut_slice();
+                for c in 0..dim {
+                    dgamma[c] += g[c] * xh[c];
+                    dbeta[c] += g[c];
+                }
+            }
+
+            // dx = (inv_std / dim) * (dim * dy*gamma - sum(dy*gamma) - x_hat * sum(dy*gamma*x_hat))
+            let mut sum_dyg = 0.0f32;
+            let mut sum_dyg_xh = 0.0f32;
+            for c in 0..dim {
+                let dyg = g[c] * gamma[c];
+                sum_dyg += dyg;
+                sum_dyg_xh += dyg * xh[c];
+            }
+            let dxr = dx.row_mut(r);
+            let n = dim as f32;
+            for c in 0..dim {
+                let dyg = g[c] * gamma[c];
+                dxr[c] = (inv_std / n) * (n * dyg - sum_dyg - xh[c] * sum_dyg_xh);
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn name(&self) -> &'static str {
+        "layernorm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::grad_check_input;
+
+    #[test]
+    fn output_has_zero_mean_unit_variance() {
+        let mut ln = LayerNorm::new(8);
+        let x = Matrix::from_fn(4, 8, |r, c| (r * 8 + c) as f32 * 1.7 - 5.0);
+        let y = ln.forward(&x, false);
+        for r in 0..4 {
+            let row = y.row(r);
+            let mean = row.iter().sum::<f32>() / 8.0;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let mut ln = LayerNorm::new(4);
+        ln.gamma.value = Matrix::from_vec(1, 4, vec![2.0, 2.0, 2.0, 2.0]);
+        ln.beta.value = Matrix::from_vec(1, 4, vec![1.0, 1.0, 1.0, 1.0]);
+        let x = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = ln.forward(&x, false);
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / 4.0;
+        assert!((mean - 1.0).abs() < 1e-4); // beta shifts the mean
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut ln = LayerNorm::new(6);
+        // Non-uniform gamma: with gamma = 1 the sum-loss gradient is exactly
+        // zero (normalized rows sum to zero), which makes the check degenerate.
+        ln.gamma.value = Matrix::from_vec(1, 6, vec![0.5, 1.5, -0.7, 2.0, 1.0, 0.3]);
+        let x = Matrix::from_fn(3, 6, |r, c| ((r * 6 + c) as f32 * 0.37).cos() * 2.0);
+        let err = grad_check_input(&mut ln, &x, 1e-2);
+        assert!(err < 3e-2, "relative grad error {err}");
+    }
+
+    #[test]
+    fn apply_matches_forward() {
+        let mut ln = LayerNorm::new(5);
+        let x = Matrix::from_fn(2, 5, |r, c| (r + c) as f32);
+        let y1 = ln.forward(&x, false);
+        let y2 = ln.apply(&x);
+        assert_eq!(y1, y2);
+    }
+}

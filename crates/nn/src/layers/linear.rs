@@ -1,0 +1,148 @@
+//! Fully-connected layer `y = x W^T + b` (paper Eq. 1).
+//!
+//! Weights are stored `out_dim x in_dim` to match the paper's
+//! `W ∈ R^{D_O x D_I}` convention, which the tabularization kernel consumes
+//! directly (each output dimension is a weight *row*).
+
+use crate::init::{xavier_uniform, InitRng};
+use crate::layers::{Layer, Param};
+use crate::matrix::Matrix;
+
+/// Fully-connected (dense) layer.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Weight, shape `out_dim x in_dim`.
+    pub w: Param,
+    /// Bias, shape `1 x out_dim`.
+    pub b: Param,
+    cache_x: Option<Matrix>,
+}
+
+impl Linear {
+    /// New layer with Xavier-uniform weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut InitRng) -> Self {
+        Linear {
+            w: Param::new(xavier_uniform(out_dim, in_dim, rng)),
+            b: Param::new(Matrix::zeros(1, out_dim)),
+            cache_x: None,
+        }
+    }
+
+    /// Construct from explicit weight (`out_dim x in_dim`) and bias (length `out_dim`).
+    pub fn from_parts(w: Matrix, b: Vec<f32>) -> Self {
+        assert_eq!(b.len(), w.rows(), "bias length must equal out_dim");
+        let out_dim = w.rows();
+        Linear {
+            w: Param::new(w),
+            b: Param::new(Matrix::from_vec(1, out_dim, b)),
+            cache_x: None,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Forward pass without caching (convenience for inference paths).
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        x.matmul_transb(&self.w.value).add_row_broadcast(self.b.value.as_slice())
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim(), "Linear input dim mismatch");
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        self.apply(x)
+    }
+
+    fn backward(&mut self, grad: &Matrix) -> Matrix {
+        let x = self.cache_x.as_ref().expect("backward before forward(train=true)");
+        assert_eq!(grad.rows(), x.rows(), "Linear backward batch mismatch");
+        assert_eq!(grad.cols(), self.out_dim(), "Linear backward dim mismatch");
+        // dW = grad^T @ x   (out x in)
+        self.w.grad.add_assign(&grad.matmul_transa(x));
+        // db = column sums of grad
+        let db = grad.col_sums();
+        for (g, d) in self.b.grad.as_mut_slice().iter_mut().zip(db) {
+            *g += d;
+        }
+        // dx = grad @ W    (rows x in)
+        grad.matmul(&self.w.value)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::grad_check_input;
+
+    #[test]
+    fn forward_matches_manual() {
+        let w = Matrix::from_vec(2, 3, vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5]);
+        let mut lin = Linear::from_parts(w, vec![1.0, -1.0]);
+        let x = Matrix::from_vec(1, 3, vec![2.0, 3.0, 4.0]);
+        let y = lin.forward(&x, false);
+        // row0: 2*1 + 3*0 + 4*(-1) + 1 = -1 ; row1: (2+3+4)*0.5 - 1 = 3.5
+        assert_eq!(y.as_slice(), &[-1.0, 3.5]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = InitRng::new(11);
+        let mut lin = Linear::new(4, 3, &mut rng);
+        let x = Matrix::from_fn(5, 4, |r, c| ((r * 4 + c) as f32 * 0.13).sin());
+        let err = grad_check_input(&mut lin, &x, 1e-2);
+        assert!(err < 1e-2, "relative grad error {err}");
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut rng = InitRng::new(5);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        let x = Matrix::from_fn(4, 3, |r, c| (r as f32 - c as f32) * 0.2);
+
+        let y = lin.forward(&x, true);
+        let ones = Matrix::full(y.rows(), y.cols(), 1.0);
+        lin.zero_grad();
+        let _ = lin.backward(&ones);
+        let analytic = lin.w.grad.clone();
+
+        let eps = 1e-2;
+        for i in 0..lin.w.value.len() {
+            let orig = lin.w.value.as_slice()[i];
+            lin.w.value.as_mut_slice()[i] = orig + eps;
+            let fp: f32 = lin.apply(&x).as_slice().iter().sum();
+            lin.w.value.as_mut_slice()[i] = orig - eps;
+            let fm: f32 = lin.apply(&x).as_slice().iter().sum();
+            lin.w.value.as_mut_slice()[i] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic.as_slice()[i];
+            assert!((a - numeric).abs() < 1e-2, "param {i}: analytic {a} vs numeric {numeric}");
+        }
+    }
+
+    #[test]
+    fn param_count_is_weights_plus_bias() {
+        let mut rng = InitRng::new(1);
+        let mut lin = Linear::new(7, 5, &mut rng);
+        assert_eq!(lin.param_count(), 7 * 5 + 5);
+    }
+}

@@ -1,0 +1,329 @@
+//! LSTM layer used by the Voyager-like baseline prefetcher.
+//!
+//! Processes stacked sequences (`(batch*seq) x in_dim`) and emits the hidden
+//! state at every step (`(batch*seq) x hidden`). Gate order in the fused
+//! weight matrices is `[input, forget, cell(g), output]`. Backward is full
+//! BPTT; samples are processed in parallel with rayon and their parameter
+//! gradients reduced.
+
+use rayon::prelude::*;
+
+use crate::init::{xavier_uniform, InitRng};
+use crate::layers::activation::sigmoid;
+use crate::layers::{Layer, Param};
+use crate::matrix::Matrix;
+
+/// Long short-term memory layer.
+#[derive(Clone, Debug)]
+pub struct Lstm {
+    /// Input weights, `4*hidden x in_dim`.
+    pub w: Param,
+    /// Recurrent weights, `4*hidden x hidden`.
+    pub u: Param,
+    /// Bias, `1 x 4*hidden` (forget-gate bias initialized to 1).
+    pub b: Param,
+    in_dim: usize,
+    hidden: usize,
+    seq_len: usize,
+    cache: Option<LstmCache>,
+}
+
+#[derive(Clone, Debug)]
+struct LstmCache {
+    x: Matrix,
+    /// Per sample: gate activations `seq x 4*hidden` (post-nonlinearity).
+    gates: Vec<Matrix>,
+    /// Per sample: cell states `seq x hidden`.
+    cells: Vec<Matrix>,
+    /// Per sample: hidden states `seq x hidden`.
+    hiddens: Vec<Matrix>,
+}
+
+impl Lstm {
+    /// New LSTM with `in_dim` inputs and `hidden` units over `seq_len` steps.
+    pub fn new(in_dim: usize, hidden: usize, seq_len: usize, rng: &mut InitRng) -> Self {
+        let mut b = Matrix::zeros(1, 4 * hidden);
+        // Forget-gate bias = 1 encourages gradient flow early in training.
+        for c in hidden..2 * hidden {
+            b.set(0, c, 1.0);
+        }
+        Lstm {
+            w: Param::new(xavier_uniform(4 * hidden, in_dim, rng)),
+            u: Param::new(xavier_uniform(4 * hidden, hidden, rng)),
+            b: Param::new(b),
+            in_dim,
+            hidden,
+            seq_len,
+            cache: None,
+        }
+    }
+
+    /// Hidden state width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Sequence length this layer was built for.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Run one sample (`seq x in_dim`) returning (gates, cells, hiddens).
+    fn run_sample(&self, xs: &Matrix) -> (Matrix, Matrix, Matrix) {
+        let (t, h) = (self.seq_len, self.hidden);
+        let mut gates = Matrix::zeros(t, 4 * h);
+        let mut cells = Matrix::zeros(t, h);
+        let mut hiddens = Matrix::zeros(t, h);
+        let mut h_prev = vec![0.0f32; h];
+        let mut c_prev = vec![0.0f32; h];
+        for step in 0..t {
+            // z = W x_t + U h_{t-1} + b
+            let xrow = Matrix::from_vec(1, self.in_dim, xs.row(step).to_vec());
+            let hrow = Matrix::from_vec(1, h, h_prev.clone());
+            let mut z = xrow.matmul_transb(&self.w.value);
+            z.add_assign(&hrow.matmul_transb(&self.u.value));
+            z.add_assign(&self.b.value);
+            let z = z.into_vec();
+
+            let grow = gates.row_mut(step);
+            for j in 0..h {
+                let i_g = sigmoid(z[j]);
+                let f_g = sigmoid(z[h + j]);
+                let g_g = z[2 * h + j].tanh();
+                let o_g = sigmoid(z[3 * h + j]);
+                grow[j] = i_g;
+                grow[h + j] = f_g;
+                grow[2 * h + j] = g_g;
+                grow[3 * h + j] = o_g;
+                let c = f_g * c_prev[j] + i_g * g_g;
+                cells.set(step, j, c);
+                hiddens.set(step, j, o_g * c.tanh());
+            }
+            c_prev.copy_from_slice(cells.row(step));
+            h_prev.copy_from_slice(hiddens.row(step));
+        }
+        (gates, cells, hiddens)
+    }
+
+    /// BPTT for one sample. Returns (dW, dU, db, dx).
+    fn backward_sample(
+        &self,
+        xs: &Matrix,
+        gates: &Matrix,
+        cells: &Matrix,
+        hiddens: &Matrix,
+        dh_out: &Matrix,
+    ) -> (Matrix, Matrix, Matrix, Matrix) {
+        let (t, h, d) = (self.seq_len, self.hidden, self.in_dim);
+        let mut dw = Matrix::zeros(4 * h, d);
+        let mut du = Matrix::zeros(4 * h, h);
+        let mut db = Matrix::zeros(1, 4 * h);
+        let mut dx = Matrix::zeros(t, d);
+        let mut dh_next = vec![0.0f32; h];
+        let mut dc_next = vec![0.0f32; h];
+
+        for step in (0..t).rev() {
+            let g = gates.row(step);
+            let mut dz = vec![0.0f32; 4 * h];
+            for j in 0..h {
+                let i_g = g[j];
+                let f_g = g[h + j];
+                let g_g = g[2 * h + j];
+                let o_g = g[3 * h + j];
+                let c = cells.get(step, j);
+                let tanh_c = c.tanh();
+                let c_prev = if step == 0 { 0.0 } else { cells.get(step - 1, j) };
+
+                let dh = dh_out.get(step, j) + dh_next[j];
+                let dc = dh * o_g * (1.0 - tanh_c * tanh_c) + dc_next[j];
+
+                let d_o = dh * tanh_c;
+                let d_i = dc * g_g;
+                let d_g = dc * i_g;
+                let d_f = dc * c_prev;
+                dc_next[j] = dc * f_g;
+
+                dz[j] = d_i * i_g * (1.0 - i_g);
+                dz[h + j] = d_f * f_g * (1.0 - f_g);
+                dz[2 * h + j] = d_g * (1.0 - g_g * g_g);
+                dz[3 * h + j] = d_o * o_g * (1.0 - o_g);
+            }
+
+            let xrow = xs.row(step);
+            let hprev: Vec<f32> =
+                if step == 0 { vec![0.0; h] } else { hiddens.row(step - 1).to_vec() };
+
+            // dW += dz ⊗ x_t ; dU += dz ⊗ h_{t-1} ; db += dz
+            for (row, &dzv) in dz.iter().enumerate() {
+                if dzv != 0.0 {
+                    let wrow = dw.row_mut(row);
+                    for (wv, &xv) in wrow.iter_mut().zip(xrow) {
+                        *wv += dzv * xv;
+                    }
+                    let urow = du.row_mut(row);
+                    for (uv, &hv) in urow.iter_mut().zip(&hprev) {
+                        *uv += dzv * hv;
+                    }
+                }
+                db.as_mut_slice()[row] += dzv;
+            }
+
+            // dx_t = W^T dz ; dh_prev = U^T dz
+            let dxr = dx.row_mut(step);
+            for (row, &dzv) in dz.iter().enumerate() {
+                if dzv == 0.0 {
+                    continue;
+                }
+                for (c, x) in dxr.iter_mut().enumerate() {
+                    *x += dzv * self.w.value.get(row, c);
+                }
+            }
+            dh_next.iter_mut().for_each(|v| *v = 0.0);
+            for (row, &dzv) in dz.iter().enumerate() {
+                if dzv == 0.0 {
+                    continue;
+                }
+                for (j, dh) in dh_next.iter_mut().enumerate() {
+                    *dh += dzv * self.u.value.get(row, j);
+                }
+            }
+        }
+        (dw, du, db, dx)
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "LSTM input dim mismatch");
+        assert_eq!(x.rows() % self.seq_len, 0, "stacked rows not divisible by seq_len");
+        let batch = x.rows() / self.seq_len;
+        let t = self.seq_len;
+
+        let results: Vec<(Matrix, Matrix, Matrix)> = (0..batch)
+            .into_par_iter()
+            .map(|n| self.run_sample(&x.slice_rows(n * t, (n + 1) * t)))
+            .collect();
+
+        let mut out = Matrix::zeros(batch * t, self.hidden);
+        let mut gates = Vec::with_capacity(batch);
+        let mut cells = Vec::with_capacity(batch);
+        let mut hiddens = Vec::with_capacity(batch);
+        for (n, (g, c, hid)) in results.into_iter().enumerate() {
+            out.set_rows(n * t, &hid);
+            gates.push(g);
+            cells.push(c);
+            hiddens.push(hid);
+        }
+        if train {
+            self.cache = Some(LstmCache { x: x.clone(), gates, cells, hiddens });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Matrix) -> Matrix {
+        let cache = self.cache.take().expect("backward before forward(train=true)");
+        let t = self.seq_len;
+        let batch = grad.rows() / t;
+        assert_eq!(grad.cols(), self.hidden);
+
+        let parts: Vec<(Matrix, Matrix, Matrix, Matrix)> = (0..batch)
+            .into_par_iter()
+            .map(|n| {
+                let xs = cache.x.slice_rows(n * t, (n + 1) * t);
+                let dh = grad.slice_rows(n * t, (n + 1) * t);
+                self.backward_sample(&xs, &cache.gates[n], &cache.cells[n], &cache.hiddens[n], &dh)
+            })
+            .collect();
+
+        let mut dx = Matrix::zeros(batch * t, self.in_dim);
+        for (n, (dw, du, db, dxs)) in parts.into_iter().enumerate() {
+            self.w.grad.add_assign(&dw);
+            self.u.grad.add_assign(&du);
+            self.b.grad.add_assign(&db);
+            dx.set_rows(n * t, &dxs);
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.u);
+        f(&mut self.b);
+    }
+
+    fn name(&self) -> &'static str {
+        "lstm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let mut rng = InitRng::new(21);
+        let mut lstm = Lstm::new(5, 7, 4, &mut rng);
+        let x = Matrix::from_fn(2 * 4, 5, |r, c| ((r * 5 + c) as f32 * 0.11).sin());
+        let y = lstm.forward(&x, false);
+        assert_eq!(y.shape(), (8, 7));
+    }
+
+    #[test]
+    fn hidden_states_bounded() {
+        // h = o * tanh(c) with o in (0,1) and tanh in (-1,1) => |h| < 1.
+        let mut rng = InitRng::new(22);
+        let mut lstm = Lstm::new(3, 6, 5, &mut rng);
+        let x = Matrix::from_fn(5, 3, |r, c| (r as f32 - c as f32) * 3.0);
+        let y = lstm.forward(&x, false);
+        assert!(y.max_abs() < 1.0);
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let mut rng = InitRng::new(23);
+        let mut lstm = Lstm::new(3, 4, 3, &mut rng);
+        let x = Matrix::from_fn(3, 3, |r, c| ((r * 3 + c) as f32 * 0.47).cos() * 0.5);
+
+        let y = lstm.forward(&x, true);
+        let ones = Matrix::full(y.rows(), y.cols(), 1.0);
+        let analytic = lstm.backward(&ones);
+
+        let eps = 1e-2;
+        let mut xp = x.clone();
+        for i in 0..x.len() {
+            let orig = xp.as_slice()[i];
+            xp.as_mut_slice()[i] = orig + eps;
+            let fp: f32 = lstm.forward(&xp, false).as_slice().iter().sum();
+            xp.as_mut_slice()[i] = orig - eps;
+            let fm: f32 = lstm.forward(&xp, false).as_slice().iter().sum();
+            xp.as_mut_slice()[i] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic.as_slice()[i];
+            let denom = a.abs().max(numeric.abs()).max(1e-2);
+            assert!(
+                (a - numeric).abs() / denom < 5e-2,
+                "input {i}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_independence() {
+        let mut rng = InitRng::new(24);
+        let mut lstm = Lstm::new(4, 5, 3, &mut rng);
+        let a = Matrix::from_fn(3, 4, |r, c| ((r * 4 + c) as f32 * 0.2).sin());
+        let b = Matrix::from_fn(3, 4, |r, c| ((r * 4 + c) as f32 * 0.9).cos());
+        let ya = lstm.forward(&a, false);
+        let stacked = Matrix::vstack(&[a.clone(), b.clone()]);
+        let y2 = lstm.forward(&stacked, false);
+        for i in 0..ya.len() {
+            assert!((ya.as_slice()[i] - y2.as_slice()[i]).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Loss functions: BCE-with-logits, MSE, and the paper's multi-label
+//! knowledge-distillation loss with T-Sigmoid softening (Eq. 24–25).
+//!
+//! Every loss returns `(scalar_loss, gradient)` where the gradient is taken
+//! w.r.t. the first argument and already includes the `1/n` mean scaling, so
+//! callers can feed it straight into `backward_logits`.
+
+use crate::layers::activation_sigmoid as sigmoid;
+use crate::matrix::Matrix;
+
+/// Binary cross-entropy over logits (numerically stable log-sum-exp form).
+///
+/// `loss = mean( max(z,0) - z*y + ln(1 + e^{-|z|}) )`,
+/// `grad = (sigmoid(z) - y) / n`.
+pub fn bce_with_logits(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
+    let n = logits.len() as f32;
+    let mut loss = 0.0f64;
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    for i in 0..logits.len() {
+        let z = logits.as_slice()[i];
+        let y = targets.as_slice()[i];
+        loss += (z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln()) as f64;
+        grad.as_mut_slice()[i] = (sigmoid(z) - y) / n;
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Mean squared error. `loss = mean((a - b)^2)`, `grad = 2(a-b)/n`.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len() as f32;
+    let mut loss = 0.0f64;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    for i in 0..pred.len() {
+        let d = pred.as_slice()[i] - target.as_slice()[i];
+        loss += (d * d) as f64;
+        grad.as_mut_slice()[i] = 2.0 * d / n;
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// T-Sigmoid (paper Eq. 24): `sigma(y / T)` — a softened sigmoid used to
+/// smooth teacher/student probability distributions during distillation.
+#[inline]
+pub fn t_sigmoid(logit: f32, temperature: f32) -> f32 {
+    sigmoid(logit / temperature)
+}
+
+/// Knowledge-distillation KL loss between Bernoulli distributions produced by
+/// T-Sigmoid outputs of teacher and student (paper Eq. 25, first line).
+///
+/// `KL((z_t, 1-z_t) || (z_s, 1-z_s))` summed over labels, averaged over the
+/// batch; gradient w.r.t. student logits is `(z_s - z_t)/T / n`, scaled by
+/// `T^2` (the Hinton correction) so gradient magnitudes stay comparable to
+/// the hard loss across temperatures.
+pub fn kd_kl(student_logits: &Matrix, teacher_logits: &Matrix, temperature: f32) -> (f32, Matrix) {
+    assert_eq!(student_logits.shape(), teacher_logits.shape(), "kd shape mismatch");
+    assert!(temperature > 0.0, "temperature must be positive");
+    let n = student_logits.len() as f32;
+    let t2 = temperature * temperature;
+    let mut loss = 0.0f64;
+    let mut grad = Matrix::zeros(student_logits.rows(), student_logits.cols());
+    for i in 0..student_logits.len() {
+        let zs = t_sigmoid(student_logits.as_slice()[i], temperature).clamp(1e-7, 1.0 - 1e-7);
+        let zt = t_sigmoid(teacher_logits.as_slice()[i], temperature).clamp(1e-7, 1.0 - 1e-7);
+        loss += (zt * (zt / zs).ln() + (1.0 - zt) * ((1.0 - zt) / (1.0 - zs)).ln()) as f64;
+        grad.as_mut_slice()[i] = t2 * (zs - zt) / (temperature * n);
+    }
+    ((t2 * (loss / n as f64) as f32), grad)
+}
+
+/// Combined distillation objective (paper Eq. 25, second line):
+/// `lambda * KD + (1 - lambda) * BCE`.
+pub fn distill_loss(
+    student_logits: &Matrix,
+    teacher_logits: &Matrix,
+    targets: &Matrix,
+    temperature: f32,
+    lambda: f32,
+) -> (f32, Matrix) {
+    assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
+    let (l_kd, g_kd) = kd_kl(student_logits, teacher_logits, temperature);
+    let (l_bce, g_bce) = bce_with_logits(student_logits, targets);
+    let mut grad = g_kd.scale(lambda);
+    grad.add_scaled(&g_bce, 1.0 - lambda);
+    (lambda * l_kd + (1.0 - lambda) * l_bce, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_is_minimal_when_confidently_correct() {
+        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let good = Matrix::from_vec(1, 2, vec![10.0, -10.0]);
+        let bad = Matrix::from_vec(1, 2, vec![-10.0, 10.0]);
+        let (lg, _) = bce_with_logits(&good, &targets);
+        let (lb, _) = bce_with_logits(&bad, &targets);
+        assert!(lg < 1e-3);
+        assert!(lb > 5.0);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let targets = Matrix::from_vec(1, 3, vec![1.0, 0.0, 1.0]);
+        let logits = Matrix::from_vec(1, 3, vec![0.3, -0.7, 1.2]);
+        let (_, grad) = bce_with_logits(&logits, &targets);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let numeric = (bce_with_logits(&lp, &targets).0 - bce_with_logits(&lm, &targets).0)
+                / (2.0 * eps);
+            assert!((grad.as_slice()[i] - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let (l, g) = mse(&a, &a);
+        assert_eq!(l, 0.0);
+        assert_eq!(g.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn kd_zero_when_student_equals_teacher() {
+        let logits = Matrix::from_vec(1, 4, vec![0.5, -1.0, 2.0, 0.0]);
+        let (l, g) = kd_kl(&logits, &logits, 2.0);
+        assert!(l.abs() < 1e-6);
+        assert!(g.max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn kd_positive_when_distributions_differ() {
+        let s = Matrix::from_vec(1, 2, vec![3.0, -3.0]);
+        let t = Matrix::from_vec(1, 2, vec![-3.0, 3.0]);
+        let (l, _) = kd_kl(&s, &t, 2.0);
+        assert!(l > 0.1);
+    }
+
+    #[test]
+    fn kd_gradient_matches_finite_difference() {
+        let t = Matrix::from_vec(1, 3, vec![1.0, -0.5, 0.2]);
+        let s = Matrix::from_vec(1, 3, vec![0.1, 0.4, -0.3]);
+        let temp = 3.0;
+        let (_, grad) = kd_kl(&s, &t, temp);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut sp = s.clone();
+            sp.as_mut_slice()[i] += eps;
+            let mut sm = s.clone();
+            sm.as_mut_slice()[i] -= eps;
+            let numeric = (kd_kl(&sp, &t, temp).0 - kd_kl(&sm, &t, temp).0) / (2.0 * eps);
+            assert!(
+                (grad.as_slice()[i] - numeric).abs() < 1e-3,
+                "i={i}: {} vs {numeric}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn t_sigmoid_softens() {
+        // Higher temperature pulls probabilities toward 0.5.
+        let hot = t_sigmoid(2.0, 10.0);
+        let cold = t_sigmoid(2.0, 1.0);
+        assert!((hot - 0.5).abs() < (cold - 0.5).abs());
+    }
+
+    #[test]
+    fn distill_loss_interpolates() {
+        let s = Matrix::from_vec(1, 2, vec![0.5, -0.5]);
+        let t = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
+        let y = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let (l0, _) = distill_loss(&s, &t, &y, 2.0, 0.0);
+        let (l1, _) = distill_loss(&s, &t, &y, 2.0, 1.0);
+        let (lh, _) = distill_loss(&s, &t, &y, 2.0, 0.5);
+        let (bce, _) = bce_with_logits(&s, &y);
+        let (kd, _) = kd_kl(&s, &t, 2.0);
+        assert!((l0 - bce).abs() < 1e-6);
+        assert!((l1 - kd).abs() < 1e-6);
+        assert!((lh - 0.5 * (bce + kd)).abs() < 1e-6);
+    }
+}

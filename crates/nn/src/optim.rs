@@ -1,0 +1,199 @@
+//! Optimizers. Adam with optional global-norm gradient clipping.
+
+use crate::layers::Param;
+use crate::matrix::Matrix;
+
+/// Adam hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay (AdamW style); 0 disables.
+    pub weight_decay: f32,
+    /// Global gradient-norm clip; `None` disables.
+    pub clip_norm: Option<f32>,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            clip_norm: Some(5.0),
+        }
+    }
+}
+
+/// Adam optimizer. Moment state is allocated lazily on the first step and
+/// keyed by parameter visit order, which must stay stable across steps
+/// (guaranteed by the `visit_params` contract).
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Hyperparameters (mutable so schedules can adjust `lr` between steps).
+    pub config: AdamConfig,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// New optimizer with the given hyperparameters.
+    pub fn new(config: AdamConfig) -> Self {
+        Adam { config, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one update. `visit` must invoke its callback once per parameter,
+    /// in the same order on every invocation; it may be invoked twice per
+    /// step (once to measure the gradient norm when clipping is enabled).
+    pub fn step(&mut self, mut visit: impl FnMut(&mut dyn FnMut(&mut Param))) {
+        self.t += 1;
+        let t = self.t;
+        let cfg = self.config;
+
+        let scale = match cfg.clip_norm {
+            Some(max_norm) => {
+                let mut sq = 0.0f64;
+                visit(&mut |p: &mut Param| {
+                    sq += p.grad.as_slice().iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>();
+                });
+                let norm = sq.sqrt() as f32;
+                if norm > max_norm {
+                    max_norm / norm
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+
+        let mut idx = 0usize;
+        let m = &mut self.m;
+        let v = &mut self.v;
+        visit(&mut |p: &mut Param| {
+            if m.len() <= idx {
+                m.push(Matrix::zeros(p.value.rows(), p.value.cols()));
+                v.push(Matrix::zeros(p.value.rows(), p.value.cols()));
+            }
+            adam_update(&mut m[idx], &mut v[idx], p, t, scale, cfg);
+            idx += 1;
+        });
+    }
+}
+
+fn adam_update(m: &mut Matrix, v: &mut Matrix, p: &mut Param, t: u64, scale: f32, cfg: AdamConfig) {
+    debug_assert_eq!(m.shape(), p.value.shape(), "optimizer state shape drift");
+    let bc1 = 1.0 - cfg.beta1.powi(t as i32);
+    let bc2 = 1.0 - cfg.beta2.powi(t as i32);
+    let ms = m.as_mut_slice();
+    let vs = v.as_mut_slice();
+    let ps = p.value.as_mut_slice();
+    let gs = p.grad.as_slice();
+    for i in 0..ps.len() {
+        let g = gs[i] * scale;
+        ms[i] = cfg.beta1 * ms[i] + (1.0 - cfg.beta1) * g;
+        vs[i] = cfg.beta2 * vs[i] + (1.0 - cfg.beta2) * g * g;
+        let m_hat = ms[i] / bc1;
+        let v_hat = vs[i] / bc2;
+        let mut update = m_hat / (v_hat.sqrt() + cfg.eps);
+        if cfg.weight_decay > 0.0 {
+            update += cfg.weight_decay * ps[i];
+        }
+        ps[i] -= cfg.lr * update;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(w) = (w - 3)^2 with Adam; it should converge near 3.
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        let mut adam = Adam::new(AdamConfig { lr: 0.1, clip_norm: None, ..Default::default() });
+        for _ in 0..500 {
+            let w = p.value.get(0, 0);
+            p.grad.set(0, 0, 2.0 * (w - 3.0));
+            adam.step(|f| f(&mut p));
+            p.zero_grad();
+        }
+        assert!((p.value.get(0, 0) - 3.0).abs() < 0.05, "w = {}", p.value.get(0, 0));
+    }
+
+    #[test]
+    fn adam_with_clipping_still_converges() {
+        let mut p = Param::new(Matrix::full(1, 1, 100.0));
+        let mut adam =
+            Adam::new(AdamConfig { lr: 0.5, clip_norm: Some(1.0), ..Default::default() });
+        for _ in 0..2000 {
+            let w = p.value.get(0, 0);
+            p.grad.set(0, 0, 2.0 * (w - 3.0));
+            adam.step(|f| f(&mut p));
+            p.zero_grad();
+        }
+        assert!((p.value.get(0, 0) - 3.0).abs() < 0.2, "w = {}", p.value.get(0, 0));
+    }
+
+    #[test]
+    fn multiple_params_tracked_independently() {
+        let mut p1 = Param::new(Matrix::zeros(1, 1));
+        let mut p2 = Param::new(Matrix::zeros(1, 1));
+        let mut adam = Adam::new(AdamConfig { lr: 0.1, clip_norm: None, ..Default::default() });
+        for _ in 0..500 {
+            p1.grad.set(0, 0, 2.0 * (p1.value.get(0, 0) - 1.0));
+            p2.grad.set(0, 0, 2.0 * (p2.value.get(0, 0) + 2.0));
+            adam.step(|f| {
+                f(&mut p1);
+                f(&mut p2);
+            });
+            p1.zero_grad();
+            p2.zero_grad();
+        }
+        assert!((p1.value.get(0, 0) - 1.0).abs() < 0.05);
+        assert!((p2.value.get(0, 0) + 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut p = Param::new(Matrix::full(1, 1, 1.0));
+        let mut adam = Adam::new(AdamConfig {
+            lr: 0.01,
+            weight_decay: 0.1,
+            clip_norm: None,
+            ..Default::default()
+        });
+        // Zero gradient: only decay acts.
+        for _ in 0..100 {
+            adam.step(|f| f(&mut p));
+        }
+        assert!(p.value.get(0, 0) < 1.0);
+    }
+
+    #[test]
+    fn clipping_bounds_effective_gradient() {
+        // With a huge gradient and clip_norm=1, the first Adam step moves the
+        // weight by at most ~lr (the Adam update is bounded by lr regardless,
+        // so verify state: m after step reflects the clipped gradient).
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        p.grad.set(0, 0, 1e6);
+        let mut adam =
+            Adam::new(AdamConfig { lr: 0.1, clip_norm: Some(1.0), ..Default::default() });
+        adam.step(|f| f(&mut p));
+        // m = (1 - beta1) * clipped_grad = 0.1 * 1.0
+        assert!((adam.m[0].get(0, 0) - 0.1).abs() < 1e-6);
+    }
+}

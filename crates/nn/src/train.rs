@@ -1,0 +1,534 @@
+//! Mini-batch training loop, multi-label metrics, and the distillation
+//! training entry point.
+
+use crate::init::InitRng;
+use crate::loss;
+use crate::matrix::Matrix;
+use crate::model::SequenceModel;
+use crate::optim::{Adam, AdamConfig};
+
+/// A supervised dataset of stacked sequences.
+///
+/// `inputs` is `(samples * seq_len) x input_dim`; `targets` is
+/// `samples x output_dim` (multi-hot delta bitmaps).
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Stacked input sequences.
+    pub inputs: Matrix,
+    /// Per-sample multi-hot targets.
+    pub targets: Matrix,
+    /// Sequence length used for stacking.
+    pub seq_len: usize,
+}
+
+impl Dataset {
+    /// Build a dataset, validating the stacking invariant.
+    pub fn new(inputs: Matrix, targets: Matrix, seq_len: usize) -> Self {
+        assert!(seq_len > 0, "seq_len must be positive");
+        assert_eq!(inputs.rows() % seq_len, 0, "inputs not divisible by seq_len");
+        assert_eq!(inputs.rows() / seq_len, targets.rows(), "sample count mismatch");
+        Dataset { inputs, targets, seq_len }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.targets.rows()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extract samples `[start, end)` as a (stacked inputs, targets) pair.
+    pub fn batch(&self, start: usize, end: usize) -> (Matrix, Matrix) {
+        let t = self.seq_len;
+        (self.inputs.slice_rows(start * t, end * t), self.targets.slice_rows(start, end))
+    }
+
+    /// Gather an arbitrary set of sample indices into a new dataset.
+    pub fn gather(&self, indices: &[usize]) -> Dataset {
+        let t = self.seq_len;
+        let mut inputs = Matrix::zeros(indices.len() * t, self.inputs.cols());
+        let mut targets = Matrix::zeros(indices.len(), self.targets.cols());
+        for (pos, &i) in indices.iter().enumerate() {
+            inputs.set_rows(pos * t, &self.inputs.slice_rows(i * t, (i + 1) * t));
+            targets.row_mut(pos).copy_from_slice(self.targets.row(i));
+        }
+        Dataset { inputs, targets, seq_len: t }
+    }
+
+    /// Split into (train, test) at `train_frac` of the samples.
+    pub fn split(&self, train_frac: f32) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_frac));
+        let n_train = ((self.len() as f32) * train_frac).round() as usize;
+        let t = self.seq_len;
+        let train = Dataset {
+            inputs: self.inputs.slice_rows(0, n_train * t),
+            targets: self.targets.slice_rows(0, n_train),
+            seq_len: t,
+        };
+        let test = Dataset {
+            inputs: self.inputs.slice_rows(n_train * t, self.inputs.rows()),
+            targets: self.targets.slice_rows(n_train, self.len()),
+            seq_len: t,
+        };
+        (train, test)
+    }
+}
+
+/// Learning-rate schedule applied on top of the Adam base rate.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum LrSchedule {
+    /// Base learning rate throughout.
+    #[default]
+    Constant,
+    /// Multiply the rate by `factor` every `every` epochs.
+    StepDecay {
+        /// Epochs between decays.
+        every: usize,
+        /// Multiplicative factor per decay (in `(0, 1]`).
+        factor: f32,
+    },
+    /// Cosine annealing from the base rate down to `min_lr` over all epochs.
+    Cosine {
+        /// Final learning rate.
+        min_lr: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate for `epoch` (0-based) out of `total` epochs.
+    pub fn lr_at(&self, base: f32, epoch: usize, total: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::StepDecay { every, factor } => {
+                base * factor.powi((epoch / every.max(1)) as i32)
+            }
+            LrSchedule::Cosine { min_lr } => {
+                if total <= 1 {
+                    return base;
+                }
+                let t = epoch as f32 / (total - 1) as f32;
+                min_lr + 0.5 * (base - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+/// Early-stopping criterion on the epoch training loss.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EarlyStop {
+    /// Epochs without sufficient improvement before stopping.
+    pub patience: usize,
+    /// Minimum loss decrease that counts as improvement.
+    pub min_delta: f32,
+}
+
+/// Training hyperparameters.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Optimizer settings.
+    pub adam: AdamConfig,
+    /// Learning-rate schedule over epochs.
+    pub schedule: LrSchedule,
+    /// Optional early stopping on training loss.
+    pub early_stop: Option<EarlyStop>,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Print progress each epoch (used by the experiment harness).
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 64,
+            adam: AdamConfig::default(),
+            schedule: LrSchedule::Constant,
+            early_stop: None,
+            seed: 0xDA27,
+            verbose: false,
+        }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub loss: f32,
+}
+
+/// Train a model with BCE-with-logits on a multi-hot dataset.
+/// Returns per-epoch mean losses.
+pub fn train_bce<M: SequenceModel>(
+    model: &mut M,
+    data: &Dataset,
+    config: &TrainConfig,
+) -> Vec<EpochStats> {
+    train_with(model, data, config, |logits, targets, _indices| {
+        loss::bce_with_logits(logits, targets)
+    })
+}
+
+/// Train a student model against a teacher's precomputed logits using the
+/// paper's combined distillation objective (Eq. 25).
+///
+/// `teacher_logits` must be row-aligned with `data` samples (original order;
+/// the loop re-aligns shuffled batches internally).
+pub fn train_distill<M: SequenceModel>(
+    student: &mut M,
+    data: &Dataset,
+    teacher_logits: &Matrix,
+    temperature: f32,
+    lambda: f32,
+    config: &TrainConfig,
+) -> Vec<EpochStats> {
+    assert_eq!(teacher_logits.rows(), data.len(), "teacher logits misaligned");
+    train_with(student, data, config, |logits, targets, indices| {
+        let mut t_logits = Matrix::zeros(indices.len(), teacher_logits.cols());
+        for (pos, &i) in indices.iter().enumerate() {
+            t_logits.row_mut(pos).copy_from_slice(teacher_logits.row(i));
+        }
+        loss::distill_loss(logits, &t_logits, targets, temperature, lambda)
+    })
+}
+
+/// Shared mini-batch loop. Batches are gathered through a fresh per-epoch
+/// permutation; the loss closure receives the *original* sample indices of
+/// the batch so auxiliary per-sample signals (e.g. teacher logits) can be
+/// aligned by the caller.
+fn train_with<M: SequenceModel>(
+    model: &mut M,
+    data: &Dataset,
+    config: &TrainConfig,
+    mut loss_fn: impl FnMut(&Matrix, &Matrix, &[usize]) -> (f32, Matrix),
+) -> Vec<EpochStats> {
+    let mut adam = Adam::new(config.adam);
+    let mut rng = InitRng::new(config.seed);
+    let n = data.len();
+    let mut history = Vec::with_capacity(config.epochs);
+    if n == 0 {
+        return history;
+    }
+
+    let base_lr = config.adam.lr;
+    let mut best_loss = f32::INFINITY;
+    let mut stale_epochs = 0usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    for epoch in 0..config.epochs {
+        adam.config.lr = config.schedule.lr_at(base_lr, epoch, config.epochs);
+        // Fisher–Yates shuffle.
+        for i in (1..n).rev() {
+            order.swap(i, rng.below(i + 1));
+        }
+        let mut total_loss = 0.0f64;
+        let mut batches = 0usize;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + config.batch_size).min(n);
+            let idx = &order[start..end];
+            let batch = data.gather(idx);
+            let logits = model.forward_logits(&batch.inputs, true);
+            let (l, grad) = loss_fn(&logits, &batch.targets, idx);
+            total_loss += l as f64;
+            batches += 1;
+
+            model.zero_grad();
+            model.backward_logits(&grad);
+            adam.step(|f| model.visit_params(f));
+            start = end;
+        }
+        let stats = EpochStats { epoch, loss: (total_loss / batches.max(1) as f64) as f32 };
+        if config.verbose {
+            eprintln!("epoch {:>3}: loss {:.5}", stats.epoch, stats.loss);
+        }
+        history.push(stats);
+
+        if let Some(es) = config.early_stop {
+            if stats.loss < best_loss - es.min_delta {
+                best_loss = stats.loss;
+                stale_epochs = 0;
+            } else {
+                stale_epochs += 1;
+                if stale_epochs >= es.patience {
+                    break;
+                }
+            }
+        }
+    }
+    history
+}
+
+/// Multi-label confusion counts at a probability threshold.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MultiLabelCounts {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl MultiLabelCounts {
+    /// Accumulate counts from predicted probabilities and 0/1 targets.
+    pub fn accumulate(&mut self, probs: &Matrix, targets: &Matrix, threshold: f32) {
+        assert_eq!(probs.shape(), targets.shape());
+        for (p, y) in probs.as_slice().iter().zip(targets.as_slice()) {
+            let pred = *p >= threshold;
+            let actual = *y >= 0.5;
+            match (pred, actual) {
+                (true, true) => self.tp += 1,
+                (true, false) => self.fp += 1,
+                (false, true) => self.fn_ += 1,
+                (false, false) => {}
+            }
+        }
+    }
+
+    /// Precision `tp / (tp + fp)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Micro-averaged F1.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Evaluate micro-F1 of a model on a dataset at threshold 0.5,
+/// processing in batches of `batch_size`.
+pub fn evaluate_f1<M: SequenceModel>(model: &mut M, data: &Dataset, batch_size: usize) -> f64 {
+    let mut counts = MultiLabelCounts::default();
+    let mut start = 0;
+    while start < data.len() {
+        let end = (start + batch_size).min(data.len());
+        let (x, y) = data.batch(start, end);
+        let probs = model.forward_probs(&x);
+        counts.accumulate(&probs, &y, 0.5);
+        start = end;
+    }
+    counts.f1()
+}
+
+/// Compute a model's logits over a whole dataset (used to cache teacher
+/// outputs before distillation).
+pub fn predict_logits<M: SequenceModel>(model: &mut M, data: &Dataset, batch_size: usize) -> Matrix {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    while start < data.len() {
+        let end = (start + batch_size).min(data.len());
+        let (x, _) = data.batch(start, end);
+        parts.push(model.forward_logits(&x, false));
+        start = end;
+    }
+    Matrix::vstack(&parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AccessPredictor, ModelConfig};
+
+    fn toy_dataset(n: usize, seq: usize, di: usize, dout: usize) -> Dataset {
+        // Deterministic "pattern": target bit b set iff mean of input > b/dout.
+        let inputs = Matrix::from_fn(n * seq, di, |r, c| ((r * di + c) as f32 * 0.618).sin());
+        let mut targets = Matrix::zeros(n, dout);
+        for i in 0..n {
+            let mean: f32 = inputs
+                .slice_rows(i * seq, (i + 1) * seq)
+                .as_slice()
+                .iter()
+                .sum::<f32>()
+                / (seq * di) as f32;
+            for b in 0..dout {
+                if mean > (b as f32 / dout as f32) - 0.5 {
+                    targets.set(i, b, 1.0);
+                }
+            }
+        }
+        Dataset::new(inputs, targets, seq)
+    }
+
+    #[test]
+    fn dataset_invariants() {
+        let ds = toy_dataset(10, 4, 3, 5);
+        assert_eq!(ds.len(), 10);
+        let (tr, te) = ds.split(0.8);
+        assert_eq!(tr.len(), 8);
+        assert_eq!(te.len(), 2);
+        let (x, y) = ds.batch(2, 5);
+        assert_eq!(x.rows(), 3 * 4);
+        assert_eq!(y.rows(), 3);
+    }
+
+    #[test]
+    fn gather_preserves_rows() {
+        let ds = toy_dataset(6, 2, 3, 4);
+        let g = ds.gather(&[5, 0, 3]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.targets.row(0), ds.targets.row(5));
+        assert_eq!(g.targets.row(1), ds.targets.row(0));
+        assert_eq!(g.inputs.slice_rows(0, 2), ds.inputs.slice_rows(10, 12));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ds = toy_dataset(64, 4, 3, 5);
+        let cfg = ModelConfig {
+            input_dim: 3,
+            dim: 8,
+            heads: 2,
+            layers: 1,
+            ffn_dim: 16,
+            output_dim: 5,
+            seq_len: 4,
+        };
+        let mut model = AccessPredictor::new(cfg, 3).unwrap();
+        let tcfg = TrainConfig { epochs: 15, batch_size: 16, ..Default::default() };
+        let history = train_bce(&mut model, &ds, &tcfg);
+        let first = history.first().unwrap().loss;
+        let last = history.last().unwrap().loss;
+        assert!(last < first * 0.9, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn f1_perfect_predictor_is_one() {
+        let probs = Matrix::from_vec(2, 3, vec![0.9, 0.1, 0.8, 0.2, 0.95, 0.05]);
+        let targets = Matrix::from_vec(2, 3, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        let mut c = MultiLabelCounts::default();
+        c.accumulate(&probs, &targets, 0.5);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn f1_degenerate_cases() {
+        let mut c = MultiLabelCounts::default();
+        assert_eq!(c.f1(), 0.0);
+        // All false positives.
+        let probs = Matrix::from_vec(1, 2, vec![0.9, 0.9]);
+        let targets = Matrix::zeros(1, 2);
+        c.accumulate(&probs, &targets, 0.5);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+    }
+
+    #[test]
+    fn predict_logits_is_row_aligned() {
+        let ds = toy_dataset(9, 2, 3, 4);
+        let cfg = ModelConfig {
+            input_dim: 3,
+            dim: 4,
+            heads: 2,
+            layers: 1,
+            ffn_dim: 8,
+            output_dim: 4,
+            seq_len: 2,
+        };
+        let mut model = AccessPredictor::new(cfg, 3).unwrap();
+        let all = predict_logits(&mut model, &ds, 4);
+        assert_eq!(all.shape(), (9, 4));
+        // Batch boundaries must not change values.
+        let again = predict_logits(&mut model, &ds, 9);
+        for i in 0..all.len() {
+            assert!((all.as_slice()[i] - again.as_slice()[i]).abs() < 1e-5);
+        }
+    }
+    #[test]
+    fn lr_schedules_behave() {
+        let base = 1.0f32;
+        assert_eq!(LrSchedule::Constant.lr_at(base, 5, 10), base);
+
+        let step = LrSchedule::StepDecay { every: 2, factor: 0.5 };
+        assert_eq!(step.lr_at(base, 0, 10), 1.0);
+        assert_eq!(step.lr_at(base, 1, 10), 1.0);
+        assert_eq!(step.lr_at(base, 2, 10), 0.5);
+        assert_eq!(step.lr_at(base, 4, 10), 0.25);
+
+        let cos = LrSchedule::Cosine { min_lr: 0.1 };
+        assert!((cos.lr_at(base, 0, 11) - 1.0).abs() < 1e-6);
+        assert!((cos.lr_at(base, 10, 11) - 0.1).abs() < 1e-6);
+        // Midpoint is the average of base and min.
+        assert!((cos.lr_at(base, 5, 11) - 0.55).abs() < 1e-6);
+        // Degenerate single-epoch schedule stays at base.
+        assert_eq!(cos.lr_at(base, 0, 1), base);
+    }
+
+    #[test]
+    fn early_stopping_truncates_history() {
+        let ds = toy_dataset(64, 4, 3, 5);
+        let cfg = ModelConfig {
+            input_dim: 3,
+            dim: 8,
+            heads: 2,
+            layers: 1,
+            ffn_dim: 16,
+            output_dim: 5,
+            seq_len: 4,
+        };
+        let mut model = AccessPredictor::new(cfg, 3).unwrap();
+        // Impossible improvement bar: stop after `patience` epochs.
+        let tcfg = TrainConfig {
+            epochs: 50,
+            batch_size: 16,
+            early_stop: Some(EarlyStop { patience: 2, min_delta: 10.0 }),
+            ..Default::default()
+        };
+        let history = train_bce(&mut model, &ds, &tcfg);
+        assert!(history.len() <= 3, "stopped after patience: {} epochs", history.len());
+    }
+
+    #[test]
+    fn cosine_schedule_still_learns() {
+        let ds = toy_dataset(64, 4, 3, 5);
+        let cfg = ModelConfig {
+            input_dim: 3,
+            dim: 8,
+            heads: 2,
+            layers: 1,
+            ffn_dim: 16,
+            output_dim: 5,
+            seq_len: 4,
+        };
+        let mut model = AccessPredictor::new(cfg, 3).unwrap();
+        let tcfg = TrainConfig {
+            epochs: 15,
+            batch_size: 16,
+            schedule: LrSchedule::Cosine { min_lr: 1e-5 },
+            ..Default::default()
+        };
+        let history = train_bce(&mut model, &ds, &tcfg);
+        assert!(history.last().unwrap().loss < history.first().unwrap().loss);
+    }
+}

@@ -1,0 +1,446 @@
+//! The **attention kernel** (paper §V-B, Eq. 12–15): tabularized scaled
+//! dot-product attention for a single head.
+//!
+//! Because attention has no fixed weight matrix, both operands of each
+//! product are quantized and the tables hold *pairwise* prototype dot
+//! products:
+//!
+//! 1. **QK table** (Eq. 12): prototypes are learned for Q rows and K rows
+//!    over the `D_k` dimension (`C_k` subspaces); entry `(c, i, j)` stores
+//!    `p_c(Q̃)_i · p_c(K̃)_j`. Querying (Eq. 13) reconstructs `Q̂K^T`.
+//! 2. **Second quantization** (the paper's fix for the `K^3` blow-up): the
+//!    *approximated* `Q̃K^T` rows produced on the training set are themselves
+//!    quantized over the `T` dimension (`C_t` subspaces).
+//! 3. **QKV table** (Eq. 14): scaling by `1/sqrt(D_k)` and the activation are
+//!    applied **to the prototypes at training time**, then dotted against
+//!    V-column prototypes, so the query needs no arithmetic beyond
+//!    aggregation (Eq. 15).
+//!
+//! Faithful quirk: Eq. 14 uses an element-wise `Sigmoid`, not `Softmax` — a
+//! true softmax cannot be evaluated per-subspace. We default to the paper's
+//! sigmoid and offer [`AttentionActivation::SoftmaxPerSubspace`] as an
+//! ablation (normalizing within each subspace slice).
+
+use dart_nn::matrix::{dot, softmax_in_place, Matrix};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::quantizer::{EncoderKind, ProductQuantizer};
+
+/// Activation folded into the QKV-table prototypes (paper Eq. 14).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttentionActivation {
+    /// Element-wise `sigmoid(x / sqrt(D_k))` — the paper's Eq. 14.
+    SigmoidScaled,
+    /// Softmax normalized within each `T`-dimension subspace slice — an
+    /// ablation approximating the exact softmax when `C_t` is small.
+    SoftmaxPerSubspace,
+}
+
+/// Configuration of an attention kernel.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AttentionTableConfig {
+    /// Prototypes per subspace `K`.
+    pub k: usize,
+    /// Subspaces over the head dimension `D_k` (for Q/K inputs), `C_k`.
+    pub ck: usize,
+    /// Subspaces over the sequence dimension `T` (for `QK^T` rows and V
+    /// columns), `C_t`.
+    pub ct: usize,
+    /// Encoder used by every quantizer.
+    pub encoder: EncoderKind,
+    /// Activation folded into the QKV prototypes.
+    pub activation: AttentionActivation,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for AttentionTableConfig {
+    fn default() -> Self {
+        AttentionTableConfig {
+            k: 16,
+            ck: 2,
+            ct: 2,
+            encoder: EncoderKind::Argmin,
+            activation: AttentionActivation::SigmoidScaled,
+            seed: 0xA77,
+        }
+    }
+}
+
+/// A tabularized single-head attention operation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AttentionTable {
+    q_pq: ProductQuantizer,
+    k_pq: ProductQuantizer,
+    /// Per `C_k`-subspace `K x K` pairwise Q·K prototype products.
+    qk_tables: Vec<Matrix>,
+    qkt_pq: ProductQuantizer,
+    v_pq: ProductQuantizer,
+    /// Per `C_t`-subspace `K x K` products of activated `QK^T` prototypes
+    /// with V-column prototypes.
+    qkv_tables: Vec<Matrix>,
+    seq_len: usize,
+    dk: usize,
+}
+
+impl AttentionTable {
+    /// Tabularize attention from training activations.
+    ///
+    /// `q_train`, `k_train`, `v_train` are stacked `(N*T) x D_k` matrices of
+    /// the Q/K/V projections observed on the training set.
+    pub fn fit(
+        q_train: &Matrix,
+        k_train: &Matrix,
+        v_train: &Matrix,
+        seq_len: usize,
+        cfg: &AttentionTableConfig,
+    ) -> AttentionTable {
+        assert!(seq_len > 0);
+        assert_eq!(q_train.shape(), k_train.shape());
+        assert_eq!(q_train.shape(), v_train.shape());
+        assert_eq!(q_train.rows() % seq_len, 0, "training rows not divisible by seq_len");
+        let dk = q_train.cols();
+        let n_samples = q_train.rows() / seq_len;
+
+        // Step 1: prototypes for Q and K rows over D_k (Eq. 12).
+        let q_pq = ProductQuantizer::fit(q_train, cfg.ck, cfg.k, cfg.encoder, cfg.seed);
+        let k_pq =
+            ProductQuantizer::fit(k_train, cfg.ck, cfg.k, cfg.encoder, cfg.seed.wrapping_add(1));
+        let qk_tables = pairwise_tables(&q_pq, &k_pq, |x| x);
+
+        // Step 2: generate the table-approximated Q̃K^T on the training set
+        // and quantize its rows over the T dimension.
+        let qkt_rows: Vec<Matrix> = (0..n_samples)
+            .into_par_iter()
+            .map(|n| {
+                let qs = q_train.slice_rows(n * seq_len, (n + 1) * seq_len);
+                let ks = k_train.slice_rows(n * seq_len, (n + 1) * seq_len);
+                lookup_qk(&q_pq, &k_pq, &qk_tables, &qs, &ks)
+            })
+            .collect();
+        let qkt_train = Matrix::vstack(&qkt_rows);
+        let qkt_pq =
+            ProductQuantizer::fit(&qkt_train, cfg.ct, cfg.k, cfg.encoder, cfg.seed.wrapping_add(2));
+
+        // V columns: reshape (N*T) x D_k into (N*D_k) x T (each row is one
+        // sample's V column, the paper's Ṽ^T).
+        let mut v_cols = Matrix::zeros(n_samples * dk, seq_len);
+        for n in 0..n_samples {
+            for o in 0..dk {
+                let dst = v_cols.row_mut(n * dk + o);
+                for (t, slot) in dst.iter_mut().enumerate() {
+                    *slot = v_train.get(n * seq_len + t, o);
+                }
+            }
+        }
+        let v_pq =
+            ProductQuantizer::fit(&v_cols, cfg.ct, cfg.k, cfg.encoder, cfg.seed.wrapping_add(3));
+
+        // Step 3: QKV table with scaling + activation folded into the
+        // QK^T-row prototypes (Eq. 14).
+        let scale = 1.0 / (dk as f32).sqrt();
+        let activation = cfg.activation;
+        let qkv_tables = pairwise_tables_transform(&qkt_pq, &v_pq, |proto| {
+            let mut p: Vec<f32> = proto.iter().map(|&x| x * scale).collect();
+            match activation {
+                AttentionActivation::SigmoidScaled => {
+                    for x in &mut p {
+                        *x = 1.0 / (1.0 + (-*x).exp());
+                    }
+                }
+                AttentionActivation::SoftmaxPerSubspace => softmax_in_place(&mut p),
+            }
+            p
+        });
+
+        AttentionTable { q_pq, k_pq, qk_tables, qkt_pq, v_pq, qkv_tables, seq_len, dk }
+    }
+
+    /// Sequence length `T`.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Head dimension `D_k`.
+    pub fn head_dim(&self) -> usize {
+        self.dk
+    }
+
+    /// Approximate `activation(QK^T / sqrt(D_k)) V` for one sample
+    /// (`q`,`k`,`v` are `T x D_k`) using only table lookups (Eq. 13 + 15).
+    pub fn query(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+        assert_eq!(q.shape(), (self.seq_len, self.dk), "Q shape mismatch");
+        assert_eq!(k.shape(), q.shape());
+        assert_eq!(v.shape(), q.shape());
+
+        // Stage 1: Q̂K^T via the QK table.
+        let qkt = lookup_qk(&self.q_pq, &self.k_pq, &self.qk_tables, q, k);
+
+        // Stage 2: encode Q̂K^T rows and V columns; aggregate the QKV table.
+        let ct = self.qkt_pq.num_subspaces();
+        let mut row_codes = vec![0usize; ct];
+        let mut col_codes = vec![vec![0usize; ct]; self.dk];
+        let mut vcol = vec![0.0f32; self.seq_len];
+        for (o, codes) in col_codes.iter_mut().enumerate() {
+            for (t, slot) in vcol.iter_mut().enumerate() {
+                *slot = v.get(t, o);
+            }
+            self.v_pq.encode_row_into(&vcol, codes);
+        }
+
+        let mut out = Matrix::zeros(self.seq_len, self.dk);
+        for t in 0..self.seq_len {
+            self.qkt_pq.encode_row_into(qkt.row(t), &mut row_codes);
+            let orow = out.row_mut(t);
+            for (o, slot) in orow.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for (c, table) in self.qkv_tables.iter().enumerate() {
+                    acc += table.get(row_codes[c], col_codes[o][c]);
+                }
+                *slot = acc;
+            }
+        }
+        out
+    }
+
+    /// Intermediate `Q̂K^T` (exposed for diagnostics and tests).
+    pub fn query_qk(&self, q: &Matrix, k: &Matrix) -> Matrix {
+        lookup_qk(&self.q_pq, &self.k_pq, &self.qk_tables, q, k)
+    }
+
+    /// The per-subspace QK tables (`K x K` each).
+    pub fn qk_tables(&self) -> &[Matrix] {
+        &self.qk_tables
+    }
+
+    /// The per-subspace QKV tables (`K x K` each).
+    pub fn qkv_tables(&self) -> &[Matrix] {
+        &self.qkv_tables
+    }
+
+    /// Replace the table contents (used by the int8 re-encoder round trip).
+    /// Shapes must match the fitted tables.
+    pub fn with_tables(mut self, qk: Vec<Matrix>, qkv: Vec<Matrix>) -> AttentionTable {
+        assert_eq!(qk.len(), self.qk_tables.len(), "QK table count mismatch");
+        assert_eq!(qkv.len(), self.qkv_tables.len(), "QKV table count mismatch");
+        for (new, old) in qk.iter().zip(&self.qk_tables) {
+            assert_eq!(new.shape(), old.shape(), "QK table shape mismatch");
+        }
+        for (new, old) in qkv.iter().zip(&self.qkv_tables) {
+            assert_eq!(new.shape(), old.shape(), "QKV table shape mismatch");
+        }
+        self.qk_tables = qk;
+        self.qkv_tables = qkv;
+        self
+    }
+
+    /// Table storage in bytes (QK + QKV tables, f32 entries).
+    pub fn storage_bytes(&self) -> u64 {
+        let qk: usize = self.qk_tables.iter().map(Matrix::len).sum();
+        let qkv: usize = self.qkv_tables.iter().map(Matrix::len).sum();
+        ((qk + qkv) * 4) as u64
+    }
+}
+
+/// Build per-subspace `K x K` tables of pairwise prototype dot products.
+fn pairwise_tables(a: &ProductQuantizer, b: &ProductQuantizer, id: fn(f32) -> f32) -> Vec<Matrix> {
+    let _ = id;
+    pairwise_tables_transform(a, b, |p| p.to_vec())
+}
+
+/// Like [`pairwise_tables`] but applies `transform` to each `a`-prototype
+/// before the dot product (used to fold scaling + activation, Eq. 14).
+fn pairwise_tables_transform(
+    a: &ProductQuantizer,
+    b: &ProductQuantizer,
+    transform: impl Fn(&[f32]) -> Vec<f32> + Sync,
+) -> Vec<Matrix> {
+    assert_eq!(a.num_subspaces(), b.num_subspaces(), "subspace mismatch");
+    (0..a.num_subspaces())
+        .into_par_iter()
+        .map(|c| {
+            let pa = &a.quantizers()[c].prototypes;
+            let pb = &b.quantizers()[c].prototypes;
+            let mut table = Matrix::zeros(pa.rows(), pb.rows());
+            for i in 0..pa.rows() {
+                let ta = transform(pa.row(i));
+                let row = table.row_mut(i);
+                for (j, slot) in row.iter_mut().enumerate() {
+                    *slot = dot(&ta, pb.row(j));
+                }
+            }
+            table
+        })
+        .collect()
+}
+
+/// Reconstruct `Q̂K^T` for one sample via QK-table lookups (Eq. 13).
+fn lookup_qk(
+    q_pq: &ProductQuantizer,
+    k_pq: &ProductQuantizer,
+    qk_tables: &[Matrix],
+    q: &Matrix,
+    k: &Matrix,
+) -> Matrix {
+    let t = q.rows();
+    let c = q_pq.num_subspaces();
+    let mut q_codes = vec![0usize; t * c];
+    let mut k_codes = vec![0usize; t * c];
+    for r in 0..t {
+        q_pq.encode_row_into(q.row(r), &mut q_codes[r * c..(r + 1) * c]);
+        k_pq.encode_row_into(k.row(r), &mut k_codes[r * c..(r + 1) * c]);
+    }
+    let mut qkt = Matrix::zeros(t, t);
+    for t1 in 0..t {
+        let row = qkt.row_mut(t1);
+        for (t2, slot) in row.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for (ci, table) in qk_tables.iter().enumerate() {
+                acc += table.get(q_codes[t1 * c + ci], k_codes[t2 * c + ci]);
+            }
+            *slot = acc;
+        }
+    }
+    qkt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_nn::init::InitRng;
+
+    fn rand_stack(samples: usize, t: usize, dk: usize, seed: u64) -> Matrix {
+        let mut rng = InitRng::new(seed);
+        Matrix::from_fn(samples * t, dk, |_, _| rng.normal() * 0.5)
+    }
+
+    /// Reference "sigmoid attention": `sigmoid(QK^T / sqrt(dk)) V`.
+    fn sigmoid_attention(q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+        let dk = q.cols() as f32;
+        let mut s = q.matmul_transb(k);
+        s.scale_assign(1.0 / dk.sqrt());
+        let a = s.map(|x| 1.0 / (1.0 + (-x).exp()));
+        a.matmul(v)
+    }
+
+    fn fit_default(samples: usize, t: usize, dk: usize, k: usize) -> (AttentionTable, Matrix, Matrix, Matrix) {
+        let q = rand_stack(samples, t, dk, 100);
+        let kk = rand_stack(samples, t, dk, 200);
+        let v = rand_stack(samples, t, dk, 300);
+        let cfg = AttentionTableConfig { k, ck: 2, ct: 2, ..Default::default() };
+        let table = AttentionTable::fit(&q, &kk, &v, t, &cfg);
+        (table, q, kk, v)
+    }
+
+    #[test]
+    fn query_shape() {
+        let (table, q, k, v) = fit_default(20, 4, 8, 8);
+        let out = table.query(
+            &q.slice_rows(0, 4),
+            &k.slice_rows(0, 4),
+            &v.slice_rows(0, 4),
+        );
+        assert_eq!(out.shape(), (4, 8));
+    }
+
+    #[test]
+    fn qk_table_approximates_dot_products() {
+        let (table, q, k, _) = fit_default(50, 4, 8, 64);
+        let qs = q.slice_rows(0, 4);
+        let ks = k.slice_rows(0, 4);
+        let approx = table.query_qk(&qs, &ks);
+        let exact = qs.matmul_transb(&ks);
+        let err = approx.sub(&exact).frobenius_norm() / exact.frobenius_norm().max(1e-6);
+        assert!(err < 0.6, "relative QK error {err}");
+    }
+
+    #[test]
+    fn more_prototypes_improve_qk_fidelity() {
+        let q = rand_stack(80, 4, 8, 1);
+        let k = rand_stack(80, 4, 8, 2);
+        let v = rand_stack(80, 4, 8, 3);
+        let mut errs = Vec::new();
+        for kk in [4, 16, 128] {
+            let cfg = AttentionTableConfig { k: kk, ck: 2, ct: 2, ..Default::default() };
+            let table = AttentionTable::fit(&q, &k, &v, 4, &cfg);
+            let qs = q.slice_rows(0, 4);
+            let ks = k.slice_rows(0, 4);
+            let err = table
+                .query_qk(&qs, &ks)
+                .sub(&qs.matmul_transb(&ks))
+                .frobenius_norm();
+            errs.push(err);
+        }
+        assert!(errs[2] < errs[0], "K=128 err {} !< K=4 err {}", errs[2], errs[0]);
+    }
+
+    #[test]
+    fn approximates_sigmoid_attention_with_many_prototypes() {
+        let (table, q, k, v) = fit_default(100, 4, 8, 128);
+        // On training samples, the double quantization should land near the
+        // sigmoid-attention reference.
+        let mut total_rel = 0.0;
+        let trials = 10;
+        for n in 0..trials {
+            let qs = q.slice_rows(n * 4, (n + 1) * 4);
+            let ks = k.slice_rows(n * 4, (n + 1) * 4);
+            let vs = v.slice_rows(n * 4, (n + 1) * 4);
+            let approx = table.query(&qs, &ks, &vs);
+            let exact = sigmoid_attention(&qs, &ks, &vs);
+            total_rel +=
+                approx.sub(&exact).frobenius_norm() / exact.frobenius_norm().max(1e-6);
+        }
+        let mean_rel = total_rel / trials as f32;
+        assert!(mean_rel < 0.5, "mean relative error {mean_rel}");
+    }
+
+    #[test]
+    fn softmax_per_subspace_variant_runs() {
+        let q = rand_stack(30, 4, 8, 7);
+        let k = rand_stack(30, 4, 8, 8);
+        let v = rand_stack(30, 4, 8, 9);
+        let cfg = AttentionTableConfig {
+            k: 8,
+            ck: 2,
+            ct: 1,
+            activation: AttentionActivation::SoftmaxPerSubspace,
+            ..Default::default()
+        };
+        let table = AttentionTable::fit(&q, &k, &v, 4, &cfg);
+        let out = table.query(&q.slice_rows(0, 4), &k.slice_rows(0, 4), &v.slice_rows(0, 4));
+        assert_eq!(out.shape(), (4, 8));
+        assert!(out.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn storage_matches_expected_table_sizes() {
+        let (table, ..) = fit_default(20, 4, 8, 8);
+        // qk: ck(2) tables of K^2(64) + qkv: ct(2) tables of K^2(64), f32.
+        assert_eq!(table.storage_bytes(), ((2 * 64 + 2 * 64) * 4) as u64);
+    }
+
+    #[test]
+    fn hash_tree_encoder_variant_runs() {
+        let q = rand_stack(40, 4, 8, 17);
+        let k = rand_stack(40, 4, 8, 18);
+        let v = rand_stack(40, 4, 8, 19);
+        let cfg = AttentionTableConfig {
+            k: 16,
+            ck: 2,
+            ct: 2,
+            encoder: EncoderKind::HashTree,
+            ..Default::default()
+        };
+        let table = AttentionTable::fit(&q, &k, &v, 4, &cfg);
+        let out = table.query(&q.slice_rows(0, 4), &k.slice_rows(0, 4), &v.slice_rows(0, 4));
+        assert!(out.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "Q shape mismatch")]
+    fn rejects_wrong_shapes() {
+        let (table, q, k, v) = fit_default(10, 4, 8, 4);
+        let _ = table.query(&q.slice_rows(0, 3), &k.slice_rows(0, 4), &v.slice_rows(0, 4));
+    }
+}

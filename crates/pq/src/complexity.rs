@@ -1,0 +1,188 @@
+//! Kernel complexity model (paper §V-C, Eq. 16–21).
+//!
+//! These formulas quantify the latency (cycles under full parallelism),
+//! storage (bits: table entries at `d`-bit precision plus encoded indices),
+//! and arithmetic operations of the two kernels. DART's table configurator
+//! (in `dart-core`) composes them into whole-model costs (Eq. 22–23).
+
+use serde::{Deserialize, Serialize};
+
+/// `ceil(log2(x))`, with `log2(1) = 0` and `log2(0) = 0`.
+#[inline]
+pub fn log2_ceil(x: usize) -> u64 {
+    if x <= 1 {
+        0
+    } else {
+        (usize::BITS - (x - 1).leading_zeros()) as u64
+    }
+}
+
+/// Latency / storage / ops of a kernel instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelCost {
+    /// Cycles, assuming fully parallel implementation.
+    pub latency_cycles: u64,
+    /// Bits (paper's Eq. 18–19 count index bits + `d`-bit table entries).
+    pub storage_bits: u64,
+    /// Arithmetic operations per query (encoding + aggregation).
+    pub ops: u64,
+}
+
+impl KernelCost {
+    /// Storage in bytes (rounded up).
+    pub fn storage_bytes(&self) -> u64 {
+        self.storage_bits.div_ceil(8)
+    }
+
+    /// Sequential composition.
+    pub fn seq(self, other: KernelCost) -> KernelCost {
+        KernelCost {
+            latency_cycles: self.latency_cycles + other.latency_cycles,
+            storage_bits: self.storage_bits + other.storage_bits,
+            ops: self.ops + other.ops,
+        }
+    }
+}
+
+/// Eq. 16 — linear kernel latency: `log(K) + log(C) + 1`.
+pub fn linear_latency(k: usize, c: usize) -> u64 {
+    log2_ceil(k) + log2_ceil(c) + 1
+}
+
+/// Eq. 17 — attention kernel latency:
+/// `2 log(K) + log(C_k) + log(C_t) + 2`.
+pub fn attention_latency(k: usize, ck: usize, ct: usize) -> u64 {
+    2 * log2_ceil(k) + log2_ceil(ck) + log2_ceil(ct) + 2
+}
+
+/// Eq. 18 — linear kernel storage (bits):
+/// `T*C*log(K)` (encoded indices) `+ D_O*K*C*d` (table entries).
+pub fn linear_storage_bits(t: usize, d_o: usize, k: usize, c: usize, d_bits: usize) -> u64 {
+    (t * c) as u64 * log2_ceil(k) + (d_o * k * c * d_bits) as u64
+}
+
+/// Eq. 19 — attention kernel storage (bits):
+/// `(2*T*C_k + T*C_t + D_k*C_t) * log(K) + K^2 * (C_k + C_t) * d`.
+pub fn attention_storage_bits(
+    t: usize,
+    d_k: usize,
+    k: usize,
+    ck: usize,
+    ct: usize,
+    d_bits: usize,
+) -> u64 {
+    ((2 * t * ck + t * ct + d_k * ct) as u64) * log2_ceil(k)
+        + (k * k * (ck + ct) * d_bits) as u64
+}
+
+/// Eq. 20 — linear kernel arithmetic operations:
+/// `T*C*log(K)` (encoding) `+ T*D_O*log(C)` (aggregation).
+pub fn linear_ops(t: usize, d_o: usize, k: usize, c: usize) -> u64 {
+    (t * c) as u64 * log2_ceil(k) + (t * d_o) as u64 * log2_ceil(c).max(1)
+}
+
+/// Eq. 21 — attention kernel arithmetic operations:
+/// `(2*T*C_k + T*C_t + D_k*C_t) * log(K) + T^2*log(C_k) + D_k^2*log(C_t)`.
+pub fn attention_ops(t: usize, d_k: usize, k: usize, ck: usize, ct: usize) -> u64 {
+    ((2 * t * ck + t * ct + d_k * ct) as u64) * log2_ceil(k)
+        + (t * t) as u64 * log2_ceil(ck).max(1)
+        + (d_k * d_k) as u64 * log2_ceil(ct).max(1)
+}
+
+/// Full cost of a linear kernel instance.
+pub fn linear_kernel_cost(t: usize, d_o: usize, k: usize, c: usize, d_bits: usize) -> KernelCost {
+    KernelCost {
+        latency_cycles: linear_latency(k, c),
+        storage_bits: linear_storage_bits(t, d_o, k, c, d_bits),
+        ops: linear_ops(t, d_o, k, c),
+    }
+}
+
+/// Full cost of an attention kernel instance (with `C = C_k = C_t`).
+pub fn attention_kernel_cost(t: usize, d_k: usize, k: usize, c: usize, d_bits: usize) -> KernelCost {
+    KernelCost {
+        latency_cycles: attention_latency(k, c, c),
+        storage_bits: attention_storage_bits(t, d_k, k, c, c, d_bits),
+        ops: attention_ops(t, d_k, k, c, c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(16), 4);
+        assert_eq!(log2_ceil(128), 7);
+        assert_eq!(log2_ceil(1024), 10);
+    }
+
+    #[test]
+    fn linear_latency_matches_paper_example() {
+        // DART config: K=128, C=2 => log(128) + log(2) + 1 = 9.
+        assert_eq!(linear_latency(128, 2), 9);
+        // DART-S: K=16, C=1 => 4 + 0 + 1 = 5.
+        assert_eq!(linear_latency(16, 1), 5);
+    }
+
+    #[test]
+    fn attention_latency_is_twice_linear_when_c_equal() {
+        // Eq. 17 collapses to 2*(log K + log C + 1) when C_k = C_t = C.
+        for (k, c) in [(128, 2), (16, 1), (256, 2), (1024, 8)] {
+            assert_eq!(attention_latency(k, c, c), 2 * linear_latency(k, c));
+        }
+    }
+
+    #[test]
+    fn storage_grows_linearly_in_k_for_linear_kernel() {
+        let s1 = linear_storage_bits(16, 128, 64, 2, 32);
+        let s2 = linear_storage_bits(16, 128, 128, 2, 32);
+        // Table part dominates; doubling K should roughly double storage.
+        assert!(s2 > s1 * 18 / 10, "{s1} -> {s2}");
+    }
+
+    #[test]
+    fn storage_grows_quadratically_in_k_for_attention_kernel() {
+        let s1 = attention_storage_bits(16, 32, 64, 2, 2, 32);
+        let s2 = attention_storage_bits(16, 32, 128, 2, 2, 32);
+        assert!(s2 > s1 * 3, "expected ~4x growth: {s1} -> {s2}");
+    }
+
+    #[test]
+    fn latency_grows_logarithmically_in_k() {
+        // Fig. 10: latency linear in log(K).
+        let lat: Vec<u64> = [16usize, 32, 64, 128, 256, 512, 1024]
+            .iter()
+            .map(|&k| linear_latency(k, 2))
+            .collect();
+        for w in lat.windows(2) {
+            assert_eq!(w[1] - w[0], 1, "latency should step by 1 per K doubling");
+        }
+    }
+
+    #[test]
+    fn ops_dwarfed_by_dense_equivalent() {
+        // The whole point of tabularization: ops(T, D_O, K, C) must be tiny
+        // compared to the dense 2*T*D_I*D_O.
+        let (t, d_i, d_o, k, c) = (16usize, 32usize, 128usize, 128usize, 2usize);
+        let dense = 2 * t * d_i * d_o;
+        let tab = linear_ops(t, d_o, k, c);
+        assert!(tab < (dense / 10) as u64, "tab {tab} vs dense {dense}");
+    }
+
+    #[test]
+    fn kernel_cost_composition() {
+        let a = linear_kernel_cost(16, 128, 128, 2, 32);
+        let b = attention_kernel_cost(16, 32, 128, 2, 32);
+        let s = a.seq(b);
+        assert_eq!(s.latency_cycles, a.latency_cycles + b.latency_cycles);
+        assert_eq!(s.storage_bits, a.storage_bits + b.storage_bits);
+        assert_eq!(s.ops, a.ops + b.ops);
+        assert_eq!(KernelCost { storage_bits: 9, ..Default::default() }.storage_bytes(), 2);
+    }
+}

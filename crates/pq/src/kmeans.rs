@@ -1,0 +1,242 @@
+//! k-means prototype learning (paper Eq. 5): k-means++ seeding followed by
+//! Lloyd iterations, with rayon-parallel assignment steps.
+
+use dart_nn::init::InitRng;
+use dart_nn::matrix::{sq_dist, Matrix};
+use rayon::prelude::*;
+
+/// Result of clustering: `k x dim` centroids plus the final assignment.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Learned centroids (`k x dim`). Rows of empty clusters are re-seeded
+    /// from the farthest points, so all `k` rows are meaningful.
+    pub centroids: Matrix,
+    /// Cluster index of each training row.
+    pub assignments: Vec<usize>,
+    /// Final sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations actually executed.
+    pub iterations: usize,
+}
+
+/// k-means configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct KMeansConfig {
+    /// Number of clusters `K`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Relative inertia improvement below which iteration stops.
+    pub tol: f64,
+    /// PRNG seed for k-means++ seeding.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { k: 16, max_iters: 25, tol: 1e-4, seed: 0x5EED }
+    }
+}
+
+/// Run k-means on the rows of `data` (`n x dim`).
+///
+/// When `n < k`, the surplus centroids replicate existing rows with tiny
+/// jitter so the centroid count is always exactly `k` (table shapes in the
+/// kernels depend on it).
+pub fn kmeans(data: &Matrix, config: &KMeansConfig) -> KMeansResult {
+    assert!(config.k > 0, "k must be positive");
+    assert!(data.rows() > 0, "cannot cluster an empty dataset");
+    let n = data.rows();
+    let dim = data.cols();
+    let k = config.k;
+    let mut rng = InitRng::new(config.seed);
+
+    // --- k-means++ seeding -------------------------------------------------
+    let mut centroids = Matrix::zeros(k, dim);
+    let first = rng.below(n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut min_d2: Vec<f32> = (0..n).map(|i| sq_dist(data.row(i), centroids.row(0))).collect();
+    for c in 1..k {
+        let total: f64 = min_d2.iter().map(|&d| d as f64).sum();
+        let chosen = if total <= f64::EPSILON {
+            rng.below(n)
+        } else {
+            let mut target = rng.next_f32() as f64 * total;
+            let mut pick = n - 1;
+            for (i, &d) in min_d2.iter().enumerate() {
+                target -= d as f64;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(chosen));
+        for (i, slot) in min_d2.iter_mut().enumerate() {
+            let d = sq_dist(data.row(i), centroids.row(c));
+            if d < *slot {
+                *slot = d;
+            }
+        }
+    }
+
+    // --- Lloyd iterations ---------------------------------------------------
+    let mut assignments = vec![0usize; n];
+    let mut inertia = f64::INFINITY;
+    let mut iterations = 0;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Assignment step (parallel over rows).
+        let new: Vec<(usize, f32)> = (0..n)
+            .into_par_iter()
+            .map(|i| nearest_centroid(data.row(i), &centroids))
+            .collect();
+        let new_inertia: f64 = new.iter().map(|&(_, d)| d as f64).sum();
+        for (i, &(a, _)) in new.iter().enumerate() {
+            assignments[i] = a;
+        }
+
+        // Update step.
+        let mut sums = Matrix::zeros(k, dim);
+        let mut counts = vec![0usize; k];
+        for (i, &a) in assignments.iter().enumerate() {
+            counts[a] += 1;
+            let s = sums.row_mut(a);
+            for (sv, &dv) in s.iter_mut().zip(data.row(i)) {
+                *sv += dv;
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // c indexes counts, sums, and centroids in lockstep
+        for c in 0..k {
+            if counts[c] > 0 {
+                let inv = 1.0 / counts[c] as f32;
+                let row = sums.row(c).to_vec();
+                for (cv, sv) in centroids.row_mut(c).iter_mut().zip(row) {
+                    *cv = sv * inv;
+                }
+            } else {
+                // Re-seed empty cluster from the point farthest from its centroid.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = sq_dist(data.row(a), centroids.row(assignments[a]));
+                        let db = sq_dist(data.row(b), centroids.row(assignments[b]));
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .unwrap_or(0);
+                let jitter = 1e-4 * (c as f32 + 1.0);
+                let src = data.row(far).to_vec();
+                for (cv, sv) in centroids.row_mut(c).iter_mut().zip(src) {
+                    *cv = sv + jitter;
+                }
+            }
+        }
+
+        let improved = inertia.is_infinite()
+            || (inertia - new_inertia).abs() > config.tol * inertia.abs().max(1e-12);
+        inertia = new_inertia;
+        if !improved {
+            break;
+        }
+    }
+
+    // Final assignment against the last centroid update.
+    let finals: Vec<(usize, f32)> =
+        (0..n).into_par_iter().map(|i| nearest_centroid(data.row(i), &centroids)).collect();
+    inertia = finals.iter().map(|&(_, d)| d as f64).sum();
+    for (i, (a, _)) in finals.into_iter().enumerate() {
+        assignments[i] = a;
+    }
+
+    KMeansResult { centroids, assignments, inertia, iterations }
+}
+
+/// Index and squared distance of the nearest centroid to `point`.
+#[inline]
+pub fn nearest_centroid(point: &[f32], centroids: &Matrix) -> (usize, f32) {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for c in 0..centroids.rows() {
+        let d = sq_dist(point, centroids.row(c));
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize, centers: &[(f32, f32)], spread: f32, seed: u64) -> Matrix {
+        let mut rng = InitRng::new(seed);
+        let mut data = Matrix::zeros(n_per * centers.len(), 2);
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..n_per {
+                let r = ci * n_per + i;
+                data.set(r, 0, cx + rng.normal() * spread);
+                data.set(r, 1, cy + rng.normal() * spread);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let data = blobs(50, &[(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)], 0.5, 7);
+        let res = kmeans(&data, &KMeansConfig { k: 3, seed: 3, ..Default::default() });
+        // Every blob should map to a single cluster.
+        for blob in 0..3 {
+            let first = res.assignments[blob * 50];
+            for i in 0..50 {
+                assert_eq!(res.assignments[blob * 50 + i], first, "blob {blob} split");
+            }
+        }
+        // Inertia must be small relative to the blob separation.
+        assert!(res.inertia < 150.0 * 1.0, "inertia {}", res.inertia);
+    }
+
+    #[test]
+    fn inertia_nonincreasing_with_more_clusters() {
+        let data = blobs(40, &[(0.0, 0.0), (5.0, 5.0)], 1.0, 11);
+        let i2 = kmeans(&data, &KMeansConfig { k: 2, seed: 1, ..Default::default() }).inertia;
+        let i8 = kmeans(&data, &KMeansConfig { k: 8, seed: 1, ..Default::default() }).inertia;
+        assert!(i8 <= i2 + 1e-6, "k=8 inertia {i8} > k=2 inertia {i2}");
+    }
+
+    #[test]
+    fn handles_fewer_points_than_clusters() {
+        let data = Matrix::from_vec(2, 2, vec![0.0, 0.0, 1.0, 1.0]);
+        let res = kmeans(&data, &KMeansConfig { k: 4, seed: 5, ..Default::default() });
+        assert_eq!(res.centroids.rows(), 4);
+        assert!(res.assignments.iter().all(|&a| a < 4));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = blobs(30, &[(0.0, 0.0), (3.0, 3.0)], 0.8, 13);
+        let a = kmeans(&data, &KMeansConfig { k: 4, seed: 9, ..Default::default() });
+        let b = kmeans(&data, &KMeansConfig { k: 4, seed: 9, ..Default::default() });
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn single_cluster_is_mean() {
+        let data = Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]);
+        let res = kmeans(&data, &KMeansConfig { k: 1, seed: 2, ..Default::default() });
+        assert!((res.centroids.get(0, 0) - 2.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn assignments_point_to_nearest() {
+        let data = blobs(25, &[(0.0, 0.0), (8.0, 0.0)], 0.7, 17);
+        let res = kmeans(&data, &KMeansConfig { k: 2, seed: 4, ..Default::default() });
+        for i in 0..data.rows() {
+            let (nearest, _) = nearest_centroid(data.row(i), &res.centroids);
+            assert_eq!(res.assignments[i], nearest);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # dart-pq — product-quantization tabularization kernels
+//!
+//! Implements §II-B and §V of the DART paper: the machinery that converts
+//! the matrix multiplications of an attention-based neural network into
+//! table lookups.
+//!
+//! * [`kmeans`] — k-means++ / Lloyd prototype learning (paper Eq. 5),
+//! * [`quantizer`] — per-subspace quantizers: exact arg-min encoding and a
+//!   MADDNESS-style balanced hash-tree encoder with `log2(K)` query depth
+//!   (the paper's "locality sensitive hashing \[24\]" encoder),
+//! * [`linear_table`] — the **linear kernel** (Eq. 10–11): precomputed
+//!   prototype·weight tables with the bias folded into one subspace,
+//! * [`attention_table`] — the **attention kernel** (Eq. 12–15): a QK table
+//!   of pairwise prototype products, a second quantization of the
+//!   intermediate `QK^T`, and a QKV table with scaling and activation folded
+//!   into the prototypes,
+//! * [`sigmoid_lut`] — fixed lookup-table sigmoid (paper ref. \[46\]),
+//! * [`complexity`] — the latency / storage / arithmetic-operation formulas
+//!   of Eq. 16–21 used by DART's table configurator.
+
+pub mod attention_table;
+pub mod complexity;
+pub mod fused;
+pub mod kmeans;
+pub mod linear_table;
+pub mod quantized;
+pub mod quantizer;
+pub mod sigmoid_lut;
+
+pub use attention_table::{AttentionActivation, AttentionTable, AttentionTableConfig};
+pub use fused::FusedFfnTable;
+pub use linear_table::{LinearTable, ProtoTransform};
+pub use quantized::QuantizedLinearTable;
+pub use quantizer::{EncoderKind, ProductQuantizer, Quantizer};
+pub use sigmoid_lut::SigmoidLut;

@@ -1,0 +1,360 @@
+//! The **linear kernel** (paper §V-A, Eq. 10–11): tabularized
+//! `y = W x + b` over a `T`-length token sequence.
+//!
+//! Training learns prototypes over the row vectors of the training
+//! activations, then precomputes `h^c_o(W)_k = W^c_o · p_c(X̃_r)_k` for every
+//! (subspace `c`, prototype `k`, output `o`). The bias is *folded into the
+//! table*: subspace 0's entries carry `+ b_o`, so query aggregation adds the
+//! bias exactly once with no extra work (the paper's `b_r` trick).
+//!
+//! Query (Eq. 11): encode each input row per subspace, gather the `D_O`-wide
+//! table rows, and sum over subspaces. Rows are embarrassingly parallel.
+
+use dart_nn::matrix::{dot, Matrix};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::quantizer::{EncoderKind, ProductQuantizer};
+
+/// Element-wise transform folded into the table at construction time
+/// (the paper's "integration of activation functions between operations").
+///
+/// With `Relu`, prototypes are learned on *pre-activation* inputs but table
+/// entries store `W · relu(prototype)`, so the preceding activation costs
+/// nothing at query time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtoTransform {
+    /// No transform: plain `W · p + b`.
+    #[default]
+    Identity,
+    /// Fold a preceding ReLU into the table entries.
+    Relu,
+}
+
+impl ProtoTransform {
+    fn apply(&self, proto: &[f32]) -> Vec<f32> {
+        match self {
+            ProtoTransform::Identity => proto.to_vec(),
+            ProtoTransform::Relu => proto.iter().map(|&x| x.max(0.0)).collect(),
+        }
+    }
+}
+
+/// A tabularized linear layer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LinearTable {
+    pq: ProductQuantizer,
+    /// One `K x D_O` table per subspace; `tables[c].row(k)` is the
+    /// precomputed contribution of prototype `k` to every output dim.
+    tables: Vec<Matrix>,
+    out_dim: usize,
+}
+
+impl LinearTable {
+    /// Tabularize a linear layer.
+    ///
+    /// * `train_inputs` — representative activations, `R x D_I` (rows pooled
+    ///   across samples and sequence positions, the paper's `X̃_r`).
+    /// * `weight` — `D_O x D_I`; `bias` — length `D_O`.
+    /// * `c`, `k` — subspaces and prototypes per subspace.
+    pub fn fit(
+        train_inputs: &Matrix,
+        weight: &Matrix,
+        bias: &[f32],
+        c: usize,
+        k: usize,
+        encoder: EncoderKind,
+        seed: u64,
+    ) -> LinearTable {
+        Self::fit_transformed(
+            train_inputs,
+            weight,
+            bias,
+            c,
+            k,
+            encoder,
+            ProtoTransform::Identity,
+            seed,
+        )
+    }
+
+    /// Tabularize `x -> W · f(x) + b` where `f` is an element-wise transform
+    /// folded into the table entries (see [`ProtoTransform`]).
+    /// `train_inputs` must be *pre-transform* activations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_transformed(
+        train_inputs: &Matrix,
+        weight: &Matrix,
+        bias: &[f32],
+        c: usize,
+        k: usize,
+        encoder: EncoderKind,
+        transform: ProtoTransform,
+        seed: u64,
+    ) -> LinearTable {
+        assert_eq!(train_inputs.cols(), weight.cols(), "input dim mismatch");
+        assert_eq!(bias.len(), weight.rows(), "bias length mismatch");
+        let out_dim = weight.rows();
+        let pq = ProductQuantizer::fit(train_inputs, c, k, encoder, seed);
+
+        let tables: Vec<Matrix> = pq
+            .bounds()
+            .par_iter()
+            .enumerate()
+            .map(|(ci, &(lo, hi))| {
+                let q = &pq.quantizers()[ci];
+                let mut table = Matrix::zeros(q.num_protos(), out_dim);
+                for proto in 0..q.num_protos() {
+                    let p = transform.apply(q.prototypes.row(proto));
+                    let row = table.row_mut(proto);
+                    for (o, slot) in row.iter_mut().enumerate() {
+                        *slot = dot(&p, &weight.row(o)[lo..hi]);
+                        // Bias folding: subspace 0 carries the bias.
+                        if ci == 0 {
+                            *slot += bias[o];
+                        }
+                    }
+                }
+                table
+            })
+            .collect();
+
+        LinearTable { pq, tables, out_dim }
+    }
+
+    /// Output dimension `D_O`.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Input dimension `D_I`.
+    pub fn in_dim(&self) -> usize {
+        self.pq.dim()
+    }
+
+    /// Number of subspaces `C`.
+    pub fn num_subspaces(&self) -> usize {
+        self.pq.num_subspaces()
+    }
+
+    /// Prototypes per subspace `K`.
+    pub fn num_protos(&self) -> usize {
+        self.pq.num_protos()
+    }
+
+    /// The underlying product quantizer.
+    pub fn quantizer(&self) -> &ProductQuantizer {
+        &self.pq
+    }
+
+    /// The per-subspace `K x D_O` tables (used by the int8 re-encoder).
+    pub fn tables(&self) -> &[Matrix] {
+        &self.tables
+    }
+
+    /// Approximate `x W^T + b` for stacked rows `x` (`R x D_I`) via lookups.
+    pub fn query(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.pq.dim(), "query dim mismatch");
+        let rows = x.rows();
+        let mut out = Matrix::zeros(rows, self.out_dim);
+        out.as_mut_slice()
+            .par_chunks_mut(self.out_dim)
+            .enumerate()
+            .for_each(|(r, orow)| self.query_row_into(x.row(r), orow));
+        out
+    }
+
+    /// Single-row query into a caller buffer (the prefetcher's hot path).
+    #[inline]
+    pub fn query_row_into(&self, row: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.out_dim);
+        out.fill(0.0);
+        for ((&(lo, hi), q), table) in
+            self.pq.bounds().iter().zip(self.pq.quantizers()).zip(&self.tables)
+        {
+            let code = q.encode(&row[lo..hi]);
+            let trow = table.row(code);
+            for (o, &t) in out.iter_mut().zip(trow) {
+                *o += t;
+            }
+        }
+    }
+
+    /// Actual storage footprint in bytes: table entries (f32) plus the
+    /// per-level encoder state is negligible and excluded, matching the
+    /// paper's accounting (Eq. 18 counts table entries + encoded indices).
+    pub fn storage_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| (t.len() * 4) as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_nn::init::InitRng;
+
+    fn rand_matrix(r: usize, c: usize, seed: u64) -> Matrix {
+        let mut rng = InitRng::new(seed);
+        Matrix::from_fn(r, c, |_, _| rng.normal())
+    }
+
+    fn exact_linear(x: &Matrix, w: &Matrix, b: &[f32]) -> Matrix {
+        x.matmul_transb(w).add_row_broadcast(b)
+    }
+
+    #[test]
+    fn exact_when_inputs_live_on_prototypes() {
+        // 4 distinct input rows, K=4 prototypes with argmin encoding:
+        // the quantization is lossless so the table output is exact.
+        let base = rand_matrix(4, 6, 3);
+        let mut train_rows = Vec::new();
+        for rep in 0..10 {
+            for i in 0..4 {
+                let _ = rep;
+                train_rows.push(base.slice_rows(i, i + 1));
+            }
+        }
+        let train = Matrix::vstack(&train_rows);
+        let w = rand_matrix(5, 6, 7);
+        let b = vec![0.1, -0.2, 0.3, 0.0, 1.0];
+        let lt = LinearTable::fit(&train, &w, &b, 2, 4, EncoderKind::Argmin, 1);
+        let approx = lt.query(&base);
+        let exact = exact_linear(&base, &w, &b);
+        for i in 0..exact.len() {
+            assert!(
+                (approx.as_slice()[i] - exact.as_slice()[i]).abs() < 1e-3,
+                "entry {i}: {} vs {}",
+                approx.as_slice()[i],
+                exact.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn bias_is_added_exactly_once() {
+        // Zero weight: output must equal the bias for every row, regardless
+        // of the number of subspaces.
+        let train = rand_matrix(50, 8, 5);
+        let w = Matrix::zeros(3, 8);
+        let b = vec![1.5, -2.5, 0.25];
+        for c in [1, 2, 4] {
+            let lt = LinearTable::fit(&train, &w, &b, c, 8, EncoderKind::Argmin, 2);
+            let out = lt.query(&train.slice_rows(0, 5));
+            for r in 0..5 {
+                for (o, &expect) in out.row(r).iter().zip(&b) {
+                    assert!((o - expect).abs() < 1e-5, "c={c}: bias leaked {o} vs {expect}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_more_prototypes() {
+        let train = rand_matrix(400, 8, 11);
+        let w = rand_matrix(4, 8, 13);
+        let b = vec![0.0; 4];
+        let test = rand_matrix(50, 8, 17);
+        let exact = exact_linear(&test, &w, &b);
+        let mut last_err = f64::INFINITY;
+        for k in [2, 8, 64] {
+            let lt = LinearTable::fit(&train, &w, &b, 2, k, EncoderKind::Argmin, 3);
+            let approx = lt.query(&test);
+            let err: f64 = approx
+                .sub(&exact)
+                .as_slice()
+                .iter()
+                .map(|&e| (e as f64) * (e as f64))
+                .sum::<f64>();
+            assert!(err < last_err + 1e-9, "K={k}: error {err} did not shrink from {last_err}");
+            last_err = err;
+        }
+    }
+
+    #[test]
+    fn query_shapes() {
+        let train = rand_matrix(100, 6, 19);
+        let w = rand_matrix(9, 6, 23);
+        let b = vec![0.0; 9];
+        let lt = LinearTable::fit(&train, &w, &b, 3, 8, EncoderKind::HashTree, 4);
+        assert_eq!(lt.in_dim(), 6);
+        assert_eq!(lt.out_dim(), 9);
+        assert_eq!(lt.num_subspaces(), 3);
+        assert_eq!(lt.num_protos(), 8);
+        let out = lt.query(&rand_matrix(7, 6, 29));
+        assert_eq!(out.shape(), (7, 9));
+    }
+
+    #[test]
+    fn hash_tree_tracks_argmin_quality() {
+        let train = rand_matrix(500, 8, 31);
+        let w = rand_matrix(4, 8, 37);
+        let b = vec![0.5; 4];
+        let test = rand_matrix(60, 8, 41);
+        let exact = exact_linear(&test, &w, &b);
+        let frob = |m: &Matrix| m.frobenius_norm() as f64;
+
+        let lt_exact = LinearTable::fit(&train, &w, &b, 2, 16, EncoderKind::Argmin, 5);
+        let lt_tree = LinearTable::fit(&train, &w, &b, 2, 16, EncoderKind::HashTree, 5);
+        let e_exact = frob(&lt_exact.query(&test).sub(&exact));
+        let e_tree = frob(&lt_tree.query(&test).sub(&exact));
+        // The tree encoder is approximate but should stay in the same regime.
+        assert!(e_tree < e_exact * 3.0 + 1e-6, "tree {e_tree} vs argmin {e_exact}");
+    }
+
+    #[test]
+    fn storage_scales_with_k_and_c() {
+        let train = rand_matrix(100, 8, 43);
+        let w = rand_matrix(4, 8, 47);
+        let b = vec![0.0; 4];
+        let small = LinearTable::fit(&train, &w, &b, 1, 4, EncoderKind::Argmin, 6);
+        let big = LinearTable::fit(&train, &w, &b, 4, 16, EncoderKind::Argmin, 6);
+        assert!(big.storage_bytes() > small.storage_bytes());
+        // K*C*DO*4 bytes exactly.
+        assert_eq!(small.storage_bytes(), (4 * 1 * 4 * 4) as u64);
+        assert_eq!(big.storage_bytes(), (16 * 4 * 4 * 4) as u64);
+    }
+
+    #[test]
+    fn single_row_query_matches_batch() {
+        let train = rand_matrix(200, 6, 53);
+        let w = rand_matrix(5, 6, 59);
+        let b = vec![0.1; 5];
+        let lt = LinearTable::fit(&train, &w, &b, 2, 8, EncoderKind::Argmin, 7);
+        let test = rand_matrix(4, 6, 61);
+        let batch = lt.query(&test);
+        let mut single = vec![0.0f32; 5];
+        for r in 0..4 {
+            lt.query_row_into(test.row(r), &mut single);
+            assert_eq!(&single[..], batch.row(r));
+        }
+    }
+    #[test]
+    fn relu_folding_matches_relu_then_linear() {
+        // Inputs that live exactly on prototypes: folding ReLU into the
+        // table must equal applying ReLU then the dense linear.
+        let base = rand_matrix(4, 6, 71);
+        let train = Matrix::vstack(&[base.clone(), base.clone(), base.clone()]);
+        let w = rand_matrix(3, 6, 73);
+        let b = vec![0.2, -0.1, 0.0];
+        let lt = LinearTable::fit_transformed(
+            &train,
+            &w,
+            &b,
+            2,
+            4,
+            EncoderKind::Argmin,
+            ProtoTransform::Relu,
+            1,
+        );
+        let approx = lt.query(&base);
+        let exact = exact_linear(&base.map(|v| v.max(0.0)), &w, &b);
+        for i in 0..exact.len() {
+            assert!(
+                (approx.as_slice()[i] - exact.as_slice()[i]).abs() < 1e-3,
+                "entry {i}: {} vs {}",
+                approx.as_slice()[i],
+                exact.as_slice()[i]
+            );
+        }
+    }
+}

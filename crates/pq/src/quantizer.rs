@@ -1,0 +1,467 @@
+//! Per-subspace quantizers: prototype learning (`p_c`, Eq. 5) plus vector
+//! encoding (`g_c`, Eq. 7).
+//!
+//! Two encoders are provided:
+//!
+//! * [`EncoderKind::Argmin`] — exact nearest-prototype search over k-means
+//!   centroids, `O(K * V)` per encode. The accuracy upper bound.
+//! * [`EncoderKind::HashTree`] — a MADDNESS-style balanced binary decision
+//!   tree (`log2(K)` comparisons per encode). This is the paper's
+//!   "locality sensitive hashing \[24\]" encoder and the one its latency
+//!   model (`L_g = log K`) assumes. Prototypes are the leaf-bucket means.
+
+use dart_nn::matrix::Matrix;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::kmeans::{kmeans, nearest_centroid, KMeansConfig};
+
+/// Which encoding function `g_c` a quantizer uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncoderKind {
+    /// Exact arg-min over k-means prototypes (`O(K*V)` per query).
+    Argmin,
+    /// Balanced hash tree with `log2(K)` scalar comparisons per query.
+    HashTree,
+}
+
+/// Balanced binary decision tree over one subspace.
+///
+/// Level `l` holds one split dimension and `2^l` thresholds (one per node).
+/// A query walks `depth` levels; the leaf index is the bucket.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HashTree {
+    split_dims: Vec<usize>,
+    thresholds: Vec<Vec<f32>>,
+    k: usize,
+}
+
+impl HashTree {
+    /// Tree depth (`log2 K`, rounded up).
+    pub fn depth(&self) -> usize {
+        self.split_dims.len()
+    }
+
+    /// Number of buckets `K`.
+    pub fn num_buckets(&self) -> usize {
+        self.k
+    }
+
+    /// Route a subvector to its bucket.
+    #[inline]
+    pub fn encode(&self, sub: &[f32]) -> usize {
+        let mut idx = 0usize;
+        for (level, &dim) in self.split_dims.iter().enumerate() {
+            let go_right = sub[dim] > self.thresholds[level][idx];
+            idx = 2 * idx + usize::from(go_right);
+        }
+        if idx >= self.k {
+            idx % self.k
+        } else {
+            idx
+        }
+    }
+
+    /// Fit a tree on the rows of `data` (`n x v`).
+    ///
+    /// At each level the split dimension is the one with the largest summed
+    /// within-bucket variance; each node splits at its bucket median.
+    fn fit(data: &Matrix, k: usize) -> HashTree {
+        assert!(k >= 1);
+        let depth = usize::max(1, (k as f64).log2().ceil() as usize);
+        let n = data.rows();
+        let v = data.cols();
+        let mut buckets: Vec<usize> = vec![0; n]; // current node of each point
+        let mut split_dims = Vec::with_capacity(depth);
+        let mut thresholds = Vec::with_capacity(depth);
+
+        for level in 0..depth {
+            let num_nodes = 1usize << level;
+            // Pick the dimension with max total within-node variance.
+            let mut best_dim = 0usize;
+            let mut best_score = f64::NEG_INFINITY;
+            for d in 0..v {
+                let mut sums = vec![0.0f64; num_nodes];
+                let mut sqs = vec![0.0f64; num_nodes];
+                let mut counts = vec![0usize; num_nodes];
+                #[allow(clippy::needless_range_loop)] // i indexes data rows and buckets together
+                for i in 0..n {
+                    let b = buckets[i];
+                    let val = data.get(i, d) as f64;
+                    sums[b] += val;
+                    sqs[b] += val * val;
+                    counts[b] += 1;
+                }
+                let mut score = 0.0f64;
+                for b in 0..num_nodes {
+                    if counts[b] > 1 {
+                        let mean = sums[b] / counts[b] as f64;
+                        score += sqs[b] - counts[b] as f64 * mean * mean;
+                    }
+                }
+                if score > best_score {
+                    best_score = score;
+                    best_dim = d;
+                }
+            }
+
+            // Median threshold per node.
+            let mut node_vals: Vec<Vec<f32>> = vec![Vec::new(); num_nodes];
+            for i in 0..n {
+                node_vals[buckets[i]].push(data.get(i, best_dim));
+            }
+            let mut level_thresh = Vec::with_capacity(num_nodes);
+            for vals in &mut node_vals {
+                if vals.is_empty() {
+                    level_thresh.push(0.0);
+                } else {
+                    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    let mid = vals.len() / 2;
+                    // Midpoint between the halves generalizes better than the
+                    // median value itself for queries between clusters.
+                    let t = if mid == 0 {
+                        vals[0]
+                    } else {
+                        0.5 * (vals[mid - 1] + vals[mid])
+                    };
+                    level_thresh.push(t);
+                }
+            }
+
+            // Route points down one level.
+            #[allow(clippy::needless_range_loop)] // i indexes data rows and buckets together
+            for i in 0..n {
+                let b = buckets[i];
+                let right = data.get(i, best_dim) > level_thresh[b];
+                buckets[i] = 2 * b + usize::from(right);
+            }
+            split_dims.push(best_dim);
+            thresholds.push(level_thresh);
+        }
+
+        HashTree { split_dims, thresholds, k }
+    }
+}
+
+/// The per-subspace encoder variant.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum Encoder {
+    Argmin,
+    HashTree(HashTree),
+}
+
+/// Prototypes + encoder for one subspace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Quantizer {
+    /// Learned prototypes, `K x V` (`P^c_k` in the paper).
+    pub prototypes: Matrix,
+    encoder: Encoder,
+}
+
+impl Quantizer {
+    /// Fit on subvectors (`n x v`).
+    pub fn fit(data: &Matrix, k: usize, kind: EncoderKind, seed: u64) -> Quantizer {
+        assert!(k >= 1, "K must be positive");
+        match kind {
+            EncoderKind::Argmin => {
+                let res = kmeans(data, &KMeansConfig { k, seed, ..Default::default() });
+                Quantizer { prototypes: res.centroids, encoder: Encoder::Argmin }
+            }
+            EncoderKind::HashTree => {
+                let tree = HashTree::fit(data, k);
+                // Prototypes = bucket means over the training data.
+                let v = data.cols();
+                let mut sums = Matrix::zeros(k, v);
+                let mut counts = vec![0usize; k];
+                for i in 0..data.rows() {
+                    let b = tree.encode(data.row(i));
+                    counts[b] += 1;
+                    for (s, &x) in sums.row_mut(b).iter_mut().zip(data.row(i)) {
+                        *s += x;
+                    }
+                }
+                // Empty buckets fall back to the global mean.
+                let global = data.mean_rows();
+                #[allow(clippy::needless_range_loop)] // b indexes counts and sums rows in lockstep
+                for b in 0..k {
+                    if counts[b] > 0 {
+                        let inv = 1.0 / counts[b] as f32;
+                        for s in sums.row_mut(b) {
+                            *s *= inv;
+                        }
+                    } else {
+                        sums.row_mut(b).copy_from_slice(global.row(0));
+                    }
+                }
+                Quantizer { prototypes: sums, encoder: Encoder::HashTree(tree) }
+            }
+        }
+    }
+
+    /// Number of prototypes `K`.
+    pub fn num_protos(&self) -> usize {
+        self.prototypes.rows()
+    }
+
+    /// Subspace dimensionality `V`.
+    pub fn sub_dim(&self) -> usize {
+        self.prototypes.cols()
+    }
+
+    /// Encode a subvector to its prototype index (`g_c`, Eq. 7).
+    #[inline]
+    pub fn encode(&self, sub: &[f32]) -> usize {
+        debug_assert_eq!(sub.len(), self.sub_dim());
+        match &self.encoder {
+            Encoder::Argmin => nearest_centroid(sub, &self.prototypes).0,
+            Encoder::HashTree(tree) => tree.encode(sub),
+        }
+    }
+
+    /// The encoder kind in use.
+    pub fn encoder_kind(&self) -> EncoderKind {
+        match self.encoder {
+            Encoder::Argmin => EncoderKind::Argmin,
+            Encoder::HashTree(_) => EncoderKind::HashTree,
+        }
+    }
+}
+
+/// Split `dim` into `c` contiguous chunks whose sizes differ by at most one.
+/// When `c > dim`, the subspace count is clamped to `dim`.
+pub fn subspace_bounds(dim: usize, c: usize) -> Vec<(usize, usize)> {
+    assert!(dim > 0, "dim must be positive");
+    let c = c.clamp(1, dim);
+    let base = dim / c;
+    let extra = dim % c;
+    let mut bounds = Vec::with_capacity(c);
+    let mut start = 0;
+    for i in 0..c {
+        let len = base + usize::from(i < extra);
+        bounds.push((start, start + len));
+        start += len;
+    }
+    bounds
+}
+
+/// A product quantizer: one [`Quantizer`] per contiguous subspace of a
+/// `dim`-dimensional vector space.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProductQuantizer {
+    dim: usize,
+    bounds: Vec<(usize, usize)>,
+    quantizers: Vec<Quantizer>,
+}
+
+impl ProductQuantizer {
+    /// Fit on the rows of `data` (`n x dim`), with `c` subspaces and `k`
+    /// prototypes per subspace. Subspaces are fitted in parallel.
+    pub fn fit(data: &Matrix, c: usize, k: usize, kind: EncoderKind, seed: u64) -> Self {
+        let dim = data.cols();
+        let bounds = subspace_bounds(dim, c);
+        let quantizers: Vec<Quantizer> = bounds
+            .par_iter()
+            .enumerate()
+            .map(|(ci, &(lo, hi))| {
+                let sub = data.slice_cols(lo, hi);
+                Quantizer::fit(&sub, k, kind, seed.wrapping_add(ci as u64 * 0x9E37))
+            })
+            .collect();
+        ProductQuantizer { dim, bounds, quantizers }
+    }
+
+    /// Full vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Effective number of subspaces `C` (clamped to `dim`).
+    pub fn num_subspaces(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Prototypes per subspace `K`.
+    pub fn num_protos(&self) -> usize {
+        self.quantizers[0].num_protos()
+    }
+
+    /// Subspace column ranges.
+    pub fn bounds(&self) -> &[(usize, usize)] {
+        &self.bounds
+    }
+
+    /// Per-subspace quantizers.
+    pub fn quantizers(&self) -> &[Quantizer] {
+        &self.quantizers
+    }
+
+    /// Encode a full row into `C` prototype indices.
+    pub fn encode_row(&self, row: &[f32]) -> Vec<usize> {
+        debug_assert_eq!(row.len(), self.dim);
+        self.bounds
+            .iter()
+            .zip(&self.quantizers)
+            .map(|(&(lo, hi), q)| q.encode(&row[lo..hi]))
+            .collect()
+    }
+
+    /// Encode into a caller-provided buffer (hot path, avoids allocation).
+    #[inline]
+    pub fn encode_row_into(&self, row: &[f32], out: &mut [usize]) {
+        debug_assert_eq!(out.len(), self.bounds.len());
+        for (slot, (&(lo, hi), q)) in out.iter_mut().zip(self.bounds.iter().zip(&self.quantizers)) {
+            *slot = q.encode(&row[lo..hi]);
+        }
+    }
+
+    /// Reconstruct an approximation of a row from its codes (testing aid).
+    pub fn reconstruct(&self, codes: &[usize]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        for ((&(lo, hi), q), &code) in self.bounds.iter().zip(&self.quantizers).zip(codes) {
+            out[lo..hi].copy_from_slice(q.prototypes.row(code));
+        }
+        out
+    }
+
+    /// Mean squared reconstruction error over the rows of `data`.
+    pub fn reconstruction_mse(&self, data: &Matrix) -> f64 {
+        let mut total = 0.0f64;
+        for i in 0..data.rows() {
+            let codes = self.encode_row(data.row(i));
+            let rec = self.reconstruct(&codes);
+            total += rec
+                .iter()
+                .zip(data.row(i))
+                .map(|(a, b)| ((a - b) * (a - b)) as f64)
+                .sum::<f64>();
+        }
+        total / (data.rows() * self.dim) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_nn::init::InitRng;
+
+    fn sample_data(n: usize, dim: usize, seed: u64) -> Matrix {
+        let mut rng = InitRng::new(seed);
+        // Two latent clusters per dimension pair for structure.
+        Matrix::from_fn(n, dim, |r, _| {
+            let base = if r % 2 == 0 { -2.0 } else { 2.0 };
+            base + rng.normal() * 0.3
+        })
+    }
+
+    #[test]
+    fn subspace_bounds_cover_dim() {
+        for dim in [1, 5, 8, 13] {
+            for c in [1, 2, 3, 8, 20] {
+                let b = subspace_bounds(dim, c);
+                assert_eq!(b[0].0, 0);
+                assert_eq!(b.last().unwrap().1, dim);
+                for w in b.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "gaps in bounds");
+                }
+                let sizes: Vec<usize> = b.iter().map(|&(l, h)| h - l).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "uneven split {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn argmin_encode_returns_nearest() {
+        let data = sample_data(100, 4, 3);
+        let q = Quantizer::fit(&data, 4, EncoderKind::Argmin, 7);
+        for i in 0..20 {
+            let code = q.encode(data.row(i));
+            let (nearest, _) = nearest_centroid(data.row(i), &q.prototypes);
+            assert_eq!(code, nearest);
+        }
+    }
+
+    #[test]
+    fn hash_tree_bucket_count_and_depth() {
+        let data = sample_data(200, 4, 5);
+        let q = Quantizer::fit(&data, 16, EncoderKind::HashTree, 7);
+        assert_eq!(q.num_protos(), 16);
+        if let Encoder::HashTree(t) = &q.encoder {
+            assert_eq!(t.depth(), 4);
+        } else {
+            panic!("expected hash tree");
+        }
+        for i in 0..data.rows() {
+            assert!(q.encode(data.row(i)) < 16);
+        }
+    }
+
+    #[test]
+    fn hash_tree_separates_clusters() {
+        // Two well-separated clusters must land in different buckets.
+        let mut data = Matrix::zeros(100, 2);
+        for i in 0..50 {
+            data.set(i, 0, -5.0 + (i as f32) * 0.01);
+            data.set(i, 1, -5.0);
+        }
+        for i in 50..100 {
+            data.set(i, 0, 5.0 + (i as f32) * 0.01);
+            data.set(i, 1, 5.0);
+        }
+        let q = Quantizer::fit(&data, 2, EncoderKind::HashTree, 1);
+        let a = q.encode(&[-5.0, -5.0]);
+        let b = q.encode(&[5.0, 5.0]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn product_quantizer_roundtrip_shapes() {
+        let data = sample_data(120, 8, 9);
+        let pq = ProductQuantizer::fit(&data, 4, 8, EncoderKind::Argmin, 11);
+        assert_eq!(pq.num_subspaces(), 4);
+        assert_eq!(pq.num_protos(), 8);
+        let codes = pq.encode_row(data.row(0));
+        assert_eq!(codes.len(), 4);
+        assert_eq!(pq.reconstruct(&codes).len(), 8);
+    }
+
+    #[test]
+    fn more_prototypes_reduce_reconstruction_error() {
+        let data = sample_data(300, 8, 13);
+        let lo = ProductQuantizer::fit(&data, 2, 2, EncoderKind::Argmin, 1);
+        let hi = ProductQuantizer::fit(&data, 2, 32, EncoderKind::Argmin, 1);
+        assert!(
+            hi.reconstruction_mse(&data) < lo.reconstruction_mse(&data),
+            "more prototypes should reconstruct better"
+        );
+    }
+
+    #[test]
+    fn clamps_subspaces_to_dim() {
+        let data = sample_data(50, 3, 17);
+        let pq = ProductQuantizer::fit(&data, 8, 4, EncoderKind::Argmin, 1);
+        assert_eq!(pq.num_subspaces(), 3);
+    }
+
+    #[test]
+    fn encode_row_into_matches_encode_row() {
+        let data = sample_data(60, 6, 19);
+        let pq = ProductQuantizer::fit(&data, 3, 4, EncoderKind::HashTree, 23);
+        let mut buf = vec![0usize; 3];
+        for i in 0..10 {
+            pq.encode_row_into(data.row(i), &mut buf);
+            assert_eq!(buf, pq.encode_row(data.row(i)));
+        }
+    }
+
+    #[test]
+    fn argmin_beats_or_matches_hash_tree_on_reconstruction() {
+        let data = sample_data(300, 8, 29);
+        let exact = ProductQuantizer::fit(&data, 2, 16, EncoderKind::Argmin, 1);
+        let tree = ProductQuantizer::fit(&data, 2, 16, EncoderKind::HashTree, 1);
+        // Argmin over k-means centroids is the accuracy upper bound; allow a
+        // small tolerance because the tree trains its own prototypes.
+        assert!(exact.reconstruction_mse(&data) <= tree.reconstruction_mse(&data) * 1.5);
+    }
+}

@@ -1,0 +1,150 @@
+//! Fixed lookup-table sigmoid (paper Algorithm 1 line 16, ref. \[46\]).
+//!
+//! The output activation of the tabular predictor is approximated by a
+//! uniform LUT over `[-range, range]`; values outside saturate to 0/1.
+//! With `n` entries the worst-case absolute error is bounded by
+//! `0.25 * (2*range/n) / 2` (max sigmoid slope 1/4 times half a step) plus
+//! the tail error `sigmoid(-range)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Uniform sigmoid lookup table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SigmoidLut {
+    entries: Vec<f32>,
+    range: f32,
+    inv_step: f32,
+}
+
+impl SigmoidLut {
+    /// Build a LUT with `n` entries covering `[-range, range]`.
+    pub fn new(n: usize, range: f32) -> SigmoidLut {
+        assert!(n >= 2, "need at least 2 entries");
+        assert!(range > 0.0, "range must be positive");
+        let step = 2.0 * range / (n - 1) as f32;
+        let entries = (0..n)
+            .map(|i| {
+                let x = -range + i as f32 * step;
+                1.0 / (1.0 + (-x).exp())
+            })
+            .collect();
+        SigmoidLut { entries, range, inv_step: 1.0 / step }
+    }
+
+    /// Default prefetcher configuration: 1024 entries over `[-8, 8]`
+    /// (worst-case error ≈ 2e-3, below any 0.5-threshold decision margin).
+    pub fn default_table() -> SigmoidLut {
+        SigmoidLut::new(1024, 8.0)
+    }
+
+    /// Number of LUT entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate `sigmoid(x)` by nearest-entry lookup.
+    #[inline]
+    pub fn query(&self, x: f32) -> f32 {
+        if x <= -self.range {
+            return self.entries[0];
+        }
+        if x >= self.range {
+            return *self.entries.last().unwrap();
+        }
+        let idx = ((x + self.range) * self.inv_step + 0.5) as usize;
+        self.entries[idx.min(self.entries.len() - 1)]
+    }
+
+    /// Apply in place over a slice.
+    pub fn apply(&self, values: &mut [f32]) {
+        for v in values {
+            *v = self.query(*v);
+        }
+    }
+
+    /// Storage footprint in bytes.
+    pub fn storage_bytes(&self) -> u64 {
+        (self.entries.len() * 4) as u64
+    }
+
+    /// Analytic worst-case absolute error bound of this table.
+    pub fn error_bound(&self) -> f32 {
+        let step = 1.0 / self.inv_step;
+        let interp = 0.25 * step / 2.0;
+        let tail = 1.0 / (1.0 + self.range.exp());
+        interp.max(tail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact(x: f32) -> f32 {
+        1.0 / (1.0 + (-x).exp())
+    }
+
+    #[test]
+    fn error_within_bound_on_grid() {
+        let lut = SigmoidLut::default_table();
+        let bound = lut.error_bound();
+        let mut max_err = 0.0f32;
+        let mut x = -12.0f32;
+        while x <= 12.0 {
+            max_err = max_err.max((lut.query(x) - exact(x)).abs());
+            x += 0.013;
+        }
+        assert!(max_err <= bound * 1.01, "max err {max_err} > bound {bound}");
+    }
+
+    #[test]
+    fn saturates_outside_range() {
+        let lut = SigmoidLut::new(64, 4.0);
+        assert_eq!(lut.query(-100.0), lut.query(-4.0));
+        assert_eq!(lut.query(100.0), lut.query(4.0));
+    }
+
+    #[test]
+    fn midpoint_is_half() {
+        let lut = SigmoidLut::new(1025, 8.0);
+        assert!((lut.query(0.0) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let lut = SigmoidLut::new(256, 6.0);
+        let mut prev = -1.0f32;
+        let mut x = -7.0f32;
+        while x <= 7.0 {
+            let y = lut.query(x);
+            assert!(y >= prev - 1e-6, "not monotone at {x}");
+            prev = y;
+            x += 0.05;
+        }
+    }
+
+    #[test]
+    fn apply_matches_query() {
+        let lut = SigmoidLut::default_table();
+        let mut vals = vec![-3.0f32, 0.0, 1.5, 9.0];
+        let expect: Vec<f32> = vals.iter().map(|&v| lut.query(v)).collect();
+        lut.apply(&mut vals);
+        assert_eq!(vals, expect);
+    }
+
+    #[test]
+    fn finer_tables_are_more_accurate() {
+        let coarse = SigmoidLut::new(32, 8.0);
+        let fine = SigmoidLut::new(4096, 8.0);
+        let xs: Vec<f32> = (0..500).map(|i| -6.0 + i as f32 * 0.024).collect();
+        let err = |lut: &SigmoidLut| {
+            xs.iter().map(|&x| (lut.query(x) - exact(x)).abs()).fold(0.0f32, f32::max)
+        };
+        assert!(err(&fine) < err(&coarse));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests on the PQ stack: quantizer invariants, kernel cost
+//! monotonicity, and LUT correctness over random configurations.
+
+use dart_nn::init::InitRng;
+use dart_nn::matrix::Matrix;
+use dart_pq::complexity::{
+    attention_latency, attention_storage_bits, linear_latency, linear_storage_bits, log2_ceil,
+};
+use dart_pq::{EncoderKind, ProductQuantizer, SigmoidLut};
+use proptest::prelude::*;
+
+fn rand_matrix(r: usize, c: usize, seed: u64) -> Matrix {
+    let mut rng = InitRng::new(seed);
+    Matrix::from_fn(r, c, |_, _| rng.normal())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Codes are always in range for both encoders.
+    #[test]
+    fn codes_in_range(
+        seed in 0u64..10_000,
+        k in 1usize..40,
+        c in 1usize..6,
+        dim in 2usize..12,
+        tree in proptest::bool::ANY,
+    ) {
+        let data = rand_matrix(60, dim, seed);
+        let kind = if tree { EncoderKind::HashTree } else { EncoderKind::Argmin };
+        let pq = ProductQuantizer::fit(&data, c, k, kind, seed);
+        for i in 0..data.rows() {
+            for &code in &pq.encode_row(data.row(i)) {
+                prop_assert!(code < k);
+            }
+        }
+    }
+
+    /// Encoding is deterministic.
+    #[test]
+    fn encoding_is_deterministic(seed in 0u64..10_000, k in 2usize..16) {
+        let data = rand_matrix(50, 6, seed);
+        let pq = ProductQuantizer::fit(&data, 2, k, EncoderKind::HashTree, seed);
+        for i in 0..10 {
+            prop_assert_eq!(pq.encode_row(data.row(i)), pq.encode_row(data.row(i)));
+        }
+    }
+
+    /// log2_ceil is monotone and exact on powers of two.
+    #[test]
+    fn log2_ceil_properties(x in 1usize..100_000) {
+        let l = log2_ceil(x);
+        prop_assert!(1usize << l >= x);
+        if l > 0 {
+            prop_assert!(1usize << (l - 1) < x);
+        }
+        prop_assert!(log2_ceil(x + 1) >= l);
+    }
+
+    /// Kernel latency is monotone in K and C (Eq. 16-17).
+    #[test]
+    fn latency_monotone(k in 2usize..512, c in 1usize..8) {
+        prop_assert!(linear_latency(2 * k, c) >= linear_latency(k, c));
+        prop_assert!(linear_latency(k, c + 1) >= linear_latency(k, c));
+        prop_assert!(attention_latency(2 * k, c, c) >= attention_latency(k, c, c));
+    }
+
+    /// Kernel storage is monotone in every argument (Eq. 18-19).
+    #[test]
+    fn storage_monotone(
+        t in 1usize..32,
+        d in 1usize..128,
+        k in 2usize..256,
+        c in 1usize..8,
+    ) {
+        prop_assert!(
+            linear_storage_bits(t, d, 2 * k, c, 32) > linear_storage_bits(t, d, k, c, 32)
+        );
+        prop_assert!(
+            linear_storage_bits(t, d + 1, k, c, 32) >= linear_storage_bits(t, d, k, c, 32)
+        );
+        prop_assert!(
+            attention_storage_bits(t, d, 2 * k, c, c, 32)
+                > attention_storage_bits(t, d, k, c, c, 32)
+        );
+        // Halving entry precision cannot increase storage.
+        prop_assert!(
+            linear_storage_bits(t, d, k, c, 8) <= linear_storage_bits(t, d, k, c, 32)
+        );
+    }
+
+    /// The sigmoid LUT is within its own error bound everywhere.
+    #[test]
+    fn sigmoid_lut_error_bound(n in 16usize..2048, range in 2.0f32..12.0, x in -20.0f32..20.0) {
+        let lut = SigmoidLut::new(n, range);
+        let exact = 1.0 / (1.0 + (-x).exp());
+        prop_assert!((lut.query(x) - exact).abs() <= lut.error_bound() * 1.01 + 1e-6);
+    }
+
+    /// Reconstruction lands inside the convex hull radius: reconstructed
+    /// subvectors are actual prototypes, so their norm is bounded by the
+    /// largest prototype norm.
+    #[test]
+    fn reconstruct_returns_prototypes(seed in 0u64..5_000, k in 2usize..12) {
+        let data = rand_matrix(80, 8, seed);
+        let pq = ProductQuantizer::fit(&data, 2, k, EncoderKind::Argmin, seed);
+        let codes = pq.encode_row(data.row(0));
+        let rec = pq.reconstruct(&codes);
+        for (ci, &(lo, hi)) in pq.bounds().iter().enumerate() {
+            let q = &pq.quantizers()[ci];
+            let sub = &rec[lo..hi];
+            let is_proto = (0..q.num_protos()).any(|p| {
+                q.prototypes.row(p).iter().zip(sub).all(|(a, b)| (a - b).abs() < 1e-6)
+            });
+            prop_assert!(is_proto, "reconstructed subvector is not a prototype");
+        }
+    }
+}

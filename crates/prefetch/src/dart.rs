@@ -1,0 +1,203 @@
+//! The DART prefetcher (paper Fig. 3): a history buffer feeding the
+//! hierarchy-of-tables predictor, emitting one prefetch per delta-bitmap bit
+//! above threshold (variable prefetch degree).
+
+use std::collections::VecDeque;
+
+use dart_core::configurator::model_latency;
+use dart_core::config::PredictorConfig;
+use dart_core::TabularModel;
+use dart_nn::matrix::Matrix;
+use dart_sim::{LlcAccess, Prefetcher};
+use dart_trace::PreprocessConfig;
+
+/// DART: table-based neural prefetching at rule-based-prefetcher cost.
+pub struct DartPrefetcher {
+    name: String,
+    model: TabularModel,
+    pre: PreprocessConfig,
+    history: VecDeque<(u64, u64)>, // (block, pc)
+    features: Matrix,
+    threshold: f32,
+    max_degree: usize,
+    latency: u64,
+}
+
+impl DartPrefetcher {
+    /// Wrap a tabular model. `predictor_cfg` supplies the Eq. 22 analytic
+    /// latency (Table VIII); `threshold`/`max_degree` bound emissions.
+    pub fn new(
+        name: impl Into<String>,
+        model: TabularModel,
+        pre: PreprocessConfig,
+        predictor_cfg: &PredictorConfig,
+        threshold: f32,
+        max_degree: usize,
+    ) -> DartPrefetcher {
+        let latency = model_latency(predictor_cfg);
+        Self::with_latency(name, model, pre, latency, threshold, max_degree)
+    }
+
+    /// Explicit-latency constructor (used by ideal-variant ablations).
+    pub fn with_latency(
+        name: impl Into<String>,
+        model: TabularModel,
+        pre: PreprocessConfig,
+        latency: u64,
+        threshold: f32,
+        max_degree: usize,
+    ) -> DartPrefetcher {
+        assert_eq!(model.config.seq_len, pre.seq_len, "seq_len mismatch");
+        assert_eq!(model.config.input_dim, pre.input_dim(), "input dim mismatch");
+        assert_eq!(model.config.output_dim, pre.output_dim(), "output dim mismatch");
+        let features = Matrix::zeros(pre.seq_len, pre.input_dim());
+        DartPrefetcher {
+            name: name.into(),
+            model,
+            pre,
+            history: VecDeque::with_capacity(pre.seq_len),
+            features,
+            threshold,
+            max_degree: max_degree.max(1),
+            latency,
+        }
+    }
+
+    /// The wrapped tabular model.
+    pub fn model(&self) -> &TabularModel {
+        &self.model
+    }
+}
+
+impl Prefetcher for DartPrefetcher {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    fn on_access(&mut self, access: &LlcAccess) -> Vec<u64> {
+        if self.history.len() == self.pre.seq_len {
+            self.history.pop_front();
+        }
+        self.history.push_back((access.block, access.pc));
+        if self.history.len() < self.pre.seq_len {
+            return Vec::new();
+        }
+
+        for (t, &(block, pc)) in self.history.iter().enumerate() {
+            self.pre.write_token_features(block, pc, self.features.row_mut(t));
+        }
+        let probs = self.model.forward_probs(&self.features);
+
+        // Rank bits above threshold, emit the strongest `max_degree` deltas.
+        let mut candidates: Vec<(f32, usize)> = probs
+            .row(0)
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p >= self.threshold)
+            .map(|(bit, &p)| (p, bit))
+            .collect();
+        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        candidates
+            .into_iter()
+            .take(self.max_degree)
+            .filter_map(|(_, bit)| {
+                let delta = self.pre.bit_to_delta(bit);
+                let target = access.block as i64 + delta;
+                (target > 0).then_some(target as u64)
+            })
+            .collect()
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.model.storage_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_core::config::TabularConfig;
+    use dart_core::tabularize::tabularize;
+    use dart_nn::init::InitRng;
+    use dart_nn::model::{AccessPredictor, ModelConfig};
+
+    fn tiny_setup() -> (TabularModel, PreprocessConfig) {
+        let pre = PreprocessConfig {
+            seq_len: 4,
+            addr_segments: 3,
+            seg_bits: 4,
+            pc_segments: 1,
+            delta_range: 4,
+            lookforward: 4,
+        };
+        let cfg = ModelConfig {
+            input_dim: pre.input_dim(),
+            dim: 8,
+            heads: 2,
+            layers: 1,
+            ffn_dim: 16,
+            output_dim: pre.output_dim(),
+            seq_len: pre.seq_len,
+        };
+        let student = AccessPredictor::new(cfg, 3).unwrap();
+        let mut rng = InitRng::new(9);
+        let x = Matrix::from_fn(40 * 4, pre.input_dim(), |_, _| rng.next_f32());
+        let tab_cfg = TabularConfig { k: 8, c: 2, fine_tune_epochs: 0, ..Default::default() };
+        let (model, _) = tabularize(&student, &x, &tab_cfg);
+        (model, pre)
+    }
+
+    fn access(seq: usize, block: u64) -> LlcAccess {
+        LlcAccess { seq, instr_id: seq as u64 * 4, pc: 0x400100, addr: block << 6, block, hit: false }
+    }
+
+    #[test]
+    fn warms_up_before_predicting() {
+        let (model, pre) = tiny_setup();
+        let mut pf = DartPrefetcher::with_latency("DART", model, pre, 97, 0.0, 4);
+        // First seq_len - 1 accesses: no prediction.
+        for i in 0..3 {
+            assert!(pf.on_access(&access(i, 100 + i as u64)).is_empty());
+        }
+        // With threshold 0 every bit qualifies; degree caps at 4.
+        let out = pf.on_access(&access(3, 103));
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn emissions_are_valid_deltas() {
+        let (model, pre) = tiny_setup();
+        let r = pre.delta_range as i64;
+        let mut pf = DartPrefetcher::with_latency("DART", model, pre, 97, 0.0, 8);
+        for i in 0..3 {
+            let _ = pf.on_access(&access(i, 500 + i as u64));
+        }
+        let out = pf.on_access(&access(3, 503));
+        for target in out {
+            let delta = target as i64 - 503;
+            assert!(delta != 0 && delta.abs() <= r, "delta {delta} out of range");
+        }
+    }
+
+    #[test]
+    fn threshold_one_silences_prefetcher() {
+        let (model, pre) = tiny_setup();
+        let mut pf = DartPrefetcher::with_latency("DART", model, pre, 97, 1.1, 4);
+        for i in 0..10 {
+            assert!(pf.on_access(&access(i, 100 + i as u64)).is_empty());
+        }
+    }
+
+    #[test]
+    fn latency_comes_from_configurator() {
+        let (model, pre) = tiny_setup();
+        let cfg = PredictorConfig::dart();
+        let pf = DartPrefetcher::new("DART", model, pre, &cfg, 0.5, 4);
+        assert_eq!(pf.latency(), model_latency(&cfg));
+        assert!(pf.storage_bytes() > 0);
+    }
+}

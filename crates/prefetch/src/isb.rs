@@ -1,0 +1,181 @@
+//! Irregular Stream Buffer (Jain & Lin, MICRO 2013), simplified.
+//!
+//! ISB linearizes irregular accesses by giving each PC-localized stream a
+//! *structural* address space in which temporally-adjacent physical blocks
+//! become spatially adjacent; prefetching then walks structural neighbours.
+//!
+//! This implementation keeps the essential mechanism — PC-localized
+//! training of temporal successor pairs and chained successor prefetching —
+//! with bounded tables evicted in FIFO order (Table IX budgets ISB at 8 KB;
+//! entry counts below match that scale).
+
+use std::collections::{HashMap, VecDeque};
+
+use dart_sim::{LlcAccess, Prefetcher};
+
+/// Maximum learned successor pairs (~8 KB at 16 B/pair).
+const PAIR_CAPACITY: usize = 512;
+/// Tracked PC streams.
+const STREAM_CAPACITY: usize = 64;
+
+/// Simplified ISB prefetcher.
+#[derive(Clone, Debug)]
+pub struct Isb {
+    /// Per-PC last accessed block.
+    last_by_pc: HashMap<u64, u64>,
+    pc_order: VecDeque<u64>,
+    /// Temporal successor map: block -> next block (same PC stream).
+    pairs: HashMap<u64, u64>,
+    pair_order: VecDeque<u64>,
+    degree: usize,
+    latency: u64,
+}
+
+impl Isb {
+    /// New ISB with the paper's Table IX latency (≈30 cycles) and degree 2.
+    pub fn new() -> Isb {
+        Isb::with_params(30, 2)
+    }
+
+    /// Parameterized constructor for ablations.
+    pub fn with_params(latency: u64, degree: usize) -> Isb {
+        Isb {
+            last_by_pc: HashMap::new(),
+            pc_order: VecDeque::new(),
+            pairs: HashMap::new(),
+            pair_order: VecDeque::new(),
+            degree: degree.max(1),
+            latency,
+        }
+    }
+
+    fn remember_pc(&mut self, pc: u64, block: u64) {
+        if self.last_by_pc.insert(pc, block).is_none() {
+            self.pc_order.push_back(pc);
+            if self.pc_order.len() > STREAM_CAPACITY {
+                if let Some(old) = self.pc_order.pop_front() {
+                    self.last_by_pc.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn learn_pair(&mut self, prev: u64, next: u64) {
+        if prev == next {
+            return;
+        }
+        if self.pairs.insert(prev, next).is_none() {
+            self.pair_order.push_back(prev);
+            if self.pair_order.len() > PAIR_CAPACITY {
+                if let Some(old) = self.pair_order.pop_front() {
+                    self.pairs.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+impl Default for Isb {
+    fn default() -> Self {
+        Isb::new()
+    }
+}
+
+impl Prefetcher for Isb {
+    fn name(&self) -> &str {
+        "ISB"
+    }
+
+    fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    fn on_access(&mut self, access: &LlcAccess) -> Vec<u64> {
+        // Train: link the previous block of this PC stream to this one.
+        if let Some(&prev) = self.last_by_pc.get(&access.pc) {
+            self.learn_pair(prev, access.block);
+        }
+        self.remember_pc(access.pc, access.block);
+
+        // Predict: walk the successor chain.
+        let mut out = Vec::with_capacity(self.degree);
+        let mut cursor = access.block;
+        for _ in 0..self.degree {
+            match self.pairs.get(&cursor) {
+                Some(&next) => {
+                    out.push(next);
+                    cursor = next;
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        // Pairs at 16 B (two block addresses) + PC streams at 16 B.
+        (PAIR_CAPACITY * 16 + STREAM_CAPACITY * 16) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(seq: usize, pc: u64, block: u64) -> LlcAccess {
+        LlcAccess { seq, instr_id: seq as u64 * 4, pc, addr: block << 6, block, hit: false }
+    }
+
+    #[test]
+    fn learns_irregular_repeating_sequence() {
+        // A pointer-chase loop with an irregular but *repeating* block
+        // sequence — exactly what ISB exists for and BO cannot catch.
+        let seq = [100u64, 907, 23, 5_000, 412, 88];
+        let mut isb = Isb::new();
+        // First pass: training.
+        for (i, &b) in seq.iter().enumerate() {
+            let _ = isb.on_access(&access(i, 0x400, b));
+        }
+        // Second pass: successors should be predicted.
+        let pf = isb.on_access(&access(100, 0x400, 100));
+        assert_eq!(pf[0], 907, "expected successor of 100");
+        assert_eq!(pf[1], 23, "degree-2 chain");
+    }
+
+    #[test]
+    fn streams_are_pc_localized() {
+        let mut isb = Isb::new();
+        // PC A: 1 -> 2 ; PC B: 10 -> 20, interleaved.
+        let _ = isb.on_access(&access(0, 0xA, 1));
+        let _ = isb.on_access(&access(1, 0xB, 10));
+        let _ = isb.on_access(&access(2, 0xA, 2));
+        let _ = isb.on_access(&access(3, 0xB, 20));
+        // Successor of 1 must be 2 (PC A), not 10/20 (PC B interleaving).
+        let pf = isb.on_access(&access(4, 0xC, 1));
+        assert_eq!(pf[0], 2);
+        let pf = isb.on_access(&access(5, 0xC, 10));
+        assert_eq!(pf[0], 20);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut isb = Isb::new();
+        for i in 0..10_000u64 {
+            let _ = isb.on_access(&access(i as usize, 0x400 + i % 200, i * 7));
+        }
+        assert!(isb.pairs.len() <= PAIR_CAPACITY);
+        assert!(isb.last_by_pc.len() <= STREAM_CAPACITY);
+    }
+
+    #[test]
+    fn no_prediction_for_unseen_blocks() {
+        let mut isb = Isb::new();
+        let pf = isb.on_access(&access(0, 0x1, 42));
+        assert!(pf.is_empty());
+    }
+
+    #[test]
+    fn storage_is_table_ix_scale() {
+        assert!(Isb::new().storage_bytes() <= 16 << 10);
+    }
+}

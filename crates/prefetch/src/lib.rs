@@ -1,0 +1,34 @@
+//! # dart-prefetch — the prefetcher zoo (paper Table IX)
+//!
+//! Every prefetcher evaluated in §VII-F:
+//!
+//! * [`best_offset`] — **BO** (Michaud, HPCA'16): recent-request table plus
+//!   round-robin offset scoring; the practical rule-based champion,
+//! * [`isb`] — **ISB** (Jain & Lin, MICRO'13, simplified): PC-localized
+//!   temporal pair correlation,
+//! * [`dart`] — **DART**: online inference over the hierarchy of tables
+//!   produced by `dart-core`,
+//! * [`nn_batch`] — **TransFetch-like / Voyager-like** neural prefetchers:
+//!   per-access predictions are precomputed in batch (the LLC demand stream
+//!   is prefetcher-independent in our hierarchy — see
+//!   `dart_sim::engine` tests), then replayed with the model's inference
+//!   latency; `latency = 0` gives the paper's idealized `-I` variants,
+//! * [`stride`] — a classic per-PC stride prefetcher (textbook baseline),
+//! * [`spec`] — Table IX metadata (storage / latency / mechanism) for the
+//!   experiment harness.
+
+pub mod best_offset;
+pub mod dart;
+pub mod isb;
+pub mod next_line;
+pub mod nn_batch;
+pub mod spec;
+pub mod stride;
+
+pub use best_offset::BestOffset;
+pub use dart::DartPrefetcher;
+pub use isb::Isb;
+pub use next_line::NextLine;
+pub use nn_batch::{precompute_predictions, NnBatchPrefetcher};
+pub use stride::StridePrefetcher;
+pub use spec::PrefetcherSpec;

@@ -1,0 +1,65 @@
+//! Next-N-line prefetcher — the simplest hardware prefetcher, used as a
+//! sanity floor in the shootout (any sequential workload it cannot speed up
+//! indicates a simulator problem, not a predictor problem).
+
+use dart_sim::{LlcAccess, Prefetcher};
+
+/// Prefetch the next `degree` sequential blocks on every LLC access.
+#[derive(Clone, Copy, Debug)]
+pub struct NextLine {
+    degree: usize,
+    latency: u64,
+}
+
+impl NextLine {
+    /// Degree-1 next-line at effectively zero latency.
+    pub fn new() -> NextLine {
+        NextLine::with_params(1, 1)
+    }
+
+    /// Parameterized constructor.
+    pub fn with_params(degree: usize, latency: u64) -> NextLine {
+        NextLine { degree: degree.max(1), latency }
+    }
+}
+
+impl Default for NextLine {
+    fn default() -> Self {
+        NextLine::new()
+    }
+}
+
+impl Prefetcher for NextLine {
+    fn name(&self) -> &str {
+        "NextLine"
+    }
+
+    fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    fn on_access(&mut self, access: &LlcAccess) -> Vec<u64> {
+        (1..=self.degree as u64).map(|d| access.block + d).collect()
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_sequential_blocks() {
+        let mut nl = NextLine::with_params(3, 0);
+        let acc = LlcAccess { seq: 0, instr_id: 0, pc: 0, addr: 100 << 6, block: 100, hit: false };
+        assert_eq!(nl.on_access(&acc), vec![101, 102, 103]);
+    }
+
+    #[test]
+    fn zero_storage() {
+        assert_eq!(NextLine::new().storage_bytes(), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Prefetcher metadata for the paper's Table IX.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Table IX.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PrefetcherSpec {
+    /// Display name.
+    pub name: String,
+    /// Metadata/table storage in bytes (None for ideal variants).
+    pub storage_bytes: Option<u64>,
+    /// Inference latency in cycles.
+    pub latency_cycles: u64,
+    /// Uses table lookups.
+    pub table_based: bool,
+    /// Uses machine learning.
+    pub ml_based: bool,
+    /// Mechanism description.
+    pub mechanism: String,
+}
+
+/// The paper's Table IX rows (DART storage spans its S/M/L variants).
+pub fn table_ix() -> Vec<PrefetcherSpec> {
+    vec![
+        PrefetcherSpec {
+            name: "BO".into(),
+            storage_bytes: Some(4 << 10),
+            latency_cycles: 60,
+            table_based: true,
+            ml_based: false,
+            mechanism: "Spatial locality".into(),
+        },
+        PrefetcherSpec {
+            name: "ISB".into(),
+            storage_bytes: Some(8 << 10),
+            latency_cycles: 30,
+            table_based: true,
+            ml_based: false,
+            mechanism: "Temporal locality".into(),
+        },
+        PrefetcherSpec {
+            name: "TransFetch".into(),
+            storage_bytes: Some(13_800_000),
+            latency_cycles: 4_500,
+            table_based: false,
+            ml_based: true,
+            mechanism: "Attention".into(),
+        },
+        PrefetcherSpec {
+            name: "Voyager".into(),
+            storage_bytes: Some(14_900_000),
+            latency_cycles: 27_700,
+            table_based: false,
+            ml_based: true,
+            mechanism: "LSTM".into(),
+        },
+        PrefetcherSpec {
+            name: "TransFetch-I".into(),
+            storage_bytes: None,
+            latency_cycles: 0,
+            table_based: false,
+            ml_based: true,
+            mechanism: "Attention (Ideal)".into(),
+        },
+        PrefetcherSpec {
+            name: "Voyager-I".into(),
+            storage_bytes: None,
+            latency_cycles: 0,
+            table_based: false,
+            ml_based: true,
+            mechanism: "LSTM (Ideal)".into(),
+        },
+        PrefetcherSpec {
+            name: "DART".into(),
+            storage_bytes: Some(864_400),
+            latency_cycles: 97,
+            table_based: true,
+            ml_based: true,
+            mechanism: "Attention".into(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ix_has_seven_rows() {
+        assert_eq!(table_ix().len(), 7);
+    }
+
+    #[test]
+    fn ideal_variants_have_zero_latency() {
+        for spec in table_ix() {
+            if spec.name.ends_with("-I") {
+                assert_eq!(spec.latency_cycles, 0);
+                assert!(spec.storage_bytes.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn dart_is_both_table_and_ml_based() {
+        let dart = table_ix().into_iter().find(|s| s.name == "DART").unwrap();
+        assert!(dart.table_based && dart.ml_based);
+    }
+}

@@ -1,0 +1,246 @@
+//! Set-associative write-allocate cache with true-LRU replacement and
+//! prefetch-bit bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::CacheConfig;
+
+/// Per-cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand lookups.
+    pub accesses: u64,
+    /// Demand hits (including hits on prefetched lines).
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines filled by prefetch.
+    pub prefetch_fills: u64,
+    /// Demand hits whose line was brought in by a prefetch (first touch).
+    pub useful_prefetches: u64,
+    /// Prefetched lines evicted before any demand touch.
+    pub wasted_prefetches: u64,
+}
+
+impl CacheStats {
+    /// Demand miss ratio.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    last_used: u64,
+    prefetched: bool,
+}
+
+/// One cache level.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: Vec<Line>,
+    num_sets: usize,
+    ways: usize,
+    /// Hit latency in cycles.
+    pub latency: u64,
+    /// Counters.
+    pub stats: CacheStats,
+    tick: u64,
+}
+
+/// Result of a demand lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Line present; `was_prefetched` is true on the first demand touch of a
+    /// prefetched line.
+    Hit {
+        /// First demand touch of a prefetch-filled line.
+        was_prefetched: bool,
+    },
+    /// Line absent.
+    Miss,
+}
+
+impl Cache {
+    /// Build from a configuration.
+    pub fn new(cfg: &CacheConfig) -> Cache {
+        let num_sets = cfg.num_sets();
+        Cache {
+            sets: vec![
+                Line { tag: 0, valid: false, last_used: 0, prefetched: false };
+                num_sets * cfg.ways
+            ],
+            num_sets,
+            ways: cfg.ways,
+            latency: cfg.latency,
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_range(&self, block: u64) -> (usize, usize) {
+        let set = (block % self.num_sets as u64) as usize;
+        (set * self.ways, (set + 1) * self.ways)
+    }
+
+    /// Demand lookup; updates LRU and prefetch-usefulness bookkeeping.
+    pub fn lookup(&mut self, block: u64) -> LookupResult {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let (lo, hi) = self.set_range(block);
+        for line in &mut self.sets[lo..hi] {
+            if line.valid && line.tag == block {
+                line.last_used = self.tick;
+                self.stats.hits += 1;
+                let was_prefetched = line.prefetched;
+                if was_prefetched {
+                    line.prefetched = false; // count usefulness once
+                    self.stats.useful_prefetches += 1;
+                }
+                return LookupResult::Hit { was_prefetched };
+            }
+        }
+        self.stats.misses += 1;
+        LookupResult::Miss
+    }
+
+    /// Presence check without LRU/stat side effects.
+    pub fn contains(&self, block: u64) -> bool {
+        let (lo, hi) = self.set_range(block);
+        self.sets[lo..hi].iter().any(|l| l.valid && l.tag == block)
+    }
+
+    /// Insert `block`, evicting the LRU line if needed. Returns the evicted
+    /// block, if any.
+    pub fn fill(&mut self, block: u64, prefetched: bool) -> Option<u64> {
+        self.tick += 1;
+        let (lo, hi) = self.set_range(block);
+        // Already present (e.g. prefetch raced a demand fill): refresh only.
+        if let Some(line) = self.sets[lo..hi].iter_mut().find(|l| l.valid && l.tag == block) {
+            line.last_used = self.tick;
+            return None;
+        }
+        if prefetched {
+            self.stats.prefetch_fills += 1;
+        }
+        // Prefer an invalid way.
+        let tick = self.tick;
+        if let Some(line) = self.sets[lo..hi].iter_mut().find(|l| !l.valid) {
+            *line = Line { tag: block, valid: true, last_used: tick, prefetched };
+            return None;
+        }
+        // Evict LRU.
+        let victim = self.sets[lo..hi]
+            .iter_mut()
+            .min_by_key(|l| l.last_used)
+            .expect("non-empty set");
+        let evicted = victim.tag;
+        if victim.prefetched {
+            self.stats.wasted_prefetches += 1;
+        }
+        *victim = Line { tag: block, valid: true, last_used: tick, prefetched };
+        Some(evicted)
+    }
+
+    /// Number of valid lines (for occupancy assertions in tests).
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().filter(|l| l.valid).count()
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.num_sets * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways = 8 lines.
+        Cache::new(&CacheConfig { size_bytes: 8 * 64, ways: 2, latency: 1, mshr_entries: 4 })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.lookup(42), LookupResult::Miss);
+        c.fill(42, false);
+        assert_eq!(c.lookup(42), LookupResult::Hit { was_prefetched: false });
+        assert_eq!(c.stats.accesses, 2);
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Blocks 0, 4, 8 map to set 0 (4 sets).
+        c.fill(0, false);
+        c.fill(4, false);
+        // Touch 0 so 4 becomes LRU.
+        assert!(matches!(c.lookup(0), LookupResult::Hit { .. }));
+        let evicted = c.fill(8, false);
+        assert_eq!(evicted, Some(4));
+        assert!(c.contains(0));
+        assert!(c.contains(8));
+        assert!(!c.contains(4));
+    }
+
+    #[test]
+    fn prefetched_line_counts_useful_once() {
+        let mut c = tiny();
+        c.fill(7, true);
+        assert_eq!(c.stats.prefetch_fills, 1);
+        assert_eq!(c.lookup(7), LookupResult::Hit { was_prefetched: true });
+        assert_eq!(c.lookup(7), LookupResult::Hit { was_prefetched: false });
+        assert_eq!(c.stats.useful_prefetches, 1);
+    }
+
+    #[test]
+    fn untouched_prefetch_eviction_is_wasted() {
+        let mut c = tiny();
+        c.fill(0, true);
+        c.fill(4, false);
+        c.fill(8, false); // evicts LRU = block 0 (prefetched, untouched)
+        assert_eq!(c.stats.wasted_prefetches, 1);
+    }
+
+    #[test]
+    fn duplicate_fill_does_not_duplicate_line() {
+        let mut c = tiny();
+        c.fill(3, false);
+        c.fill(3, true);
+        assert_eq!(c.occupancy(), 1);
+        // Re-fill must not convert the line to "prefetched".
+        assert_eq!(c.lookup(3), LookupResult::Hit { was_prefetched: false });
+    }
+
+    #[test]
+    fn contains_has_no_side_effects() {
+        let mut c = tiny();
+        c.fill(9, false);
+        let stats_before = c.stats;
+        assert!(c.contains(9));
+        assert!(!c.contains(10));
+        assert_eq!(c.stats, stats_before);
+    }
+
+    #[test]
+    fn capacity_and_occupancy() {
+        let mut c = tiny();
+        assert_eq!(c.capacity(), 8);
+        for b in 0..20 {
+            c.fill(b, false);
+        }
+        assert_eq!(c.occupancy(), 8);
+    }
+}

@@ -1,0 +1,107 @@
+//! Simulation parameters (paper Table III).
+
+use serde::{Deserialize, Serialize};
+
+/// One cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Hit latency in cycles.
+    pub latency: u64,
+    /// Miss-status holding registers (outstanding misses).
+    pub mshr_entries: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets for 64-byte blocks.
+    pub fn num_sets(&self) -> usize {
+        (self.size_bytes / 64 / self.ways as u64).max(1) as usize
+    }
+}
+
+/// DRAM timing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Access latency in core cycles (tRP + tRCD + tCAS at 4 GHz).
+    pub latency: u64,
+    /// Minimum cycles between successive line transfers (per-core bandwidth).
+    pub cycles_per_transfer: u64,
+}
+
+/// Core front-end model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Issue/retire width (instructions per cycle).
+    pub width: u64,
+    /// Reorder-buffer entries.
+    pub rob_size: u64,
+}
+
+/// Full simulation configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Last-level cache (where prefetchers live).
+    pub llc: CacheConfig,
+    /// Memory.
+    pub dram: DramConfig,
+    /// Core.
+    pub core: CoreConfig,
+}
+
+impl SimConfig {
+    /// The paper's Table III configuration (single core):
+    /// 4-wide OoO with a 256-entry ROB; 64 KB/12-way L1D (5 cycles),
+    /// 1 MB/8-way L2 (10 cycles), 8 MB/16-way LLC (20 cycles);
+    /// DRAM tRP=tRCD=tCAS=12.5 ns at 4 GHz (3 x 50 = 150 cycles) and
+    /// 8 GB/s per-core bandwidth (64 B / 8 GB/s = 8 ns = 32 cycles; two
+    /// channels halve the effective spacing to 16).
+    pub fn table_iii() -> SimConfig {
+        SimConfig {
+            l1d: CacheConfig { size_bytes: 64 << 10, ways: 12, latency: 5, mshr_entries: 16 },
+            l2: CacheConfig { size_bytes: 1 << 20, ways: 8, latency: 10, mshr_entries: 32 },
+            llc: CacheConfig { size_bytes: 8 << 20, ways: 16, latency: 20, mshr_entries: 64 },
+            dram: DramConfig { latency: 150, cycles_per_transfer: 16 },
+            core: CoreConfig { width: 4, rob_size: 256 },
+        }
+    }
+
+    /// A scaled-down configuration for fast unit tests and the quick bench
+    /// mode: smaller caches make misses (and thus prefetcher effects) appear
+    /// on short synthetic traces.
+    pub fn small() -> SimConfig {
+        SimConfig {
+            l1d: CacheConfig { size_bytes: 8 << 10, ways: 4, latency: 4, mshr_entries: 8 },
+            l2: CacheConfig { size_bytes: 64 << 10, ways: 8, latency: 10, mshr_entries: 16 },
+            llc: CacheConfig { size_bytes: 512 << 10, ways: 8, latency: 20, mshr_entries: 32 },
+            dram: DramConfig { latency: 150, cycles_per_transfer: 8 },
+            core: CoreConfig { width: 4, rob_size: 256 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_set_counts() {
+        let cfg = SimConfig::table_iii();
+        // 64KB / 64B / 12 ways = 85 sets (non power of two is fine).
+        assert_eq!(cfg.l1d.num_sets(), 85);
+        assert_eq!(cfg.l2.num_sets(), 2048);
+        assert_eq!(cfg.llc.num_sets(), 8192);
+    }
+
+    #[test]
+    fn tiny_cache_has_at_least_one_set() {
+        let c = CacheConfig { size_bytes: 64, ways: 4, latency: 1, mshr_entries: 1 };
+        assert_eq!(c.num_sets(), 1);
+    }
+}

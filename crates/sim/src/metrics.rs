@@ -1,0 +1,124 @@
+//! Simulation results and prefetch metrics (paper §VII-A4).
+
+use dart_trace::TraceRecord;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheStats;
+
+/// Outcome of one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Total cycles to retire the trace.
+    pub cycles: u64,
+    /// Instructions retired (memory and non-memory).
+    pub instructions: u64,
+    /// L1D counters.
+    pub l1d: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// LLC counters.
+    pub llc: CacheStats,
+    /// Prefetches issued to the memory system.
+    pub prefetches_issued: u64,
+    /// Prefetch candidates dropped because the line was already cached or
+    /// already being fetched.
+    pub prefetches_redundant: u64,
+    /// Prefetches dropped for lack of a free MSHR.
+    pub prefetches_no_mshr: u64,
+    /// Prefetches dropped by prefetch-queue overflow.
+    pub prefetches_queue_dropped: u64,
+    /// Demand misses that found their block already in flight from a
+    /// prefetch ("late" prefetches — partially hidden latency).
+    pub late_prefetches: u64,
+    /// The LLC demand access stream, when recording was requested.
+    #[serde(skip)]
+    pub llc_trace: Option<Vec<TraceRecord>>,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Useful prefetches: demand hits on prefetched lines plus late
+    /// (in-flight) covers.
+    pub fn useful_prefetches(&self) -> u64 {
+        self.llc.useful_prefetches + self.late_prefetches
+    }
+
+    /// Prefetch accuracy: useful / issued (paper Fig. 12).
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.prefetches_issued == 0 {
+            0.0
+        } else {
+            self.useful_prefetches() as f64 / self.prefetches_issued as f64
+        }
+    }
+
+    /// Prefetch coverage: covered would-be misses over all would-be misses
+    /// (paper Fig. 13). Late prefetches count as covered; pollution-induced
+    /// baseline shifts are ignored, as is standard.
+    pub fn prefetch_coverage(&self) -> f64 {
+        let covered = self.useful_prefetches();
+        let uncovered = self.llc.misses.saturating_sub(self.late_prefetches);
+        if covered + uncovered == 0 {
+            0.0
+        } else {
+            covered as f64 / (covered + uncovered) as f64
+        }
+    }
+
+    /// IPC improvement over a baseline run, in percent (paper Fig. 14).
+    pub fn ipc_improvement_pct(&self, baseline: &SimResult) -> f64 {
+        let b = baseline.ipc();
+        if b == 0.0 {
+            0.0
+        } else {
+            (self.ipc() / b - 1.0) * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_improvement() {
+        let base = SimResult { cycles: 1000, instructions: 2000, ..Default::default() };
+        let faster = SimResult { cycles: 800, instructions: 2000, ..Default::default() };
+        assert!((base.ipc() - 2.0).abs() < 1e-9);
+        assert!((faster.ipc_improvement_pct(&base) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_and_coverage_degenerate() {
+        let r = SimResult::default();
+        assert_eq!(r.prefetch_accuracy(), 0.0);
+        assert_eq!(r.prefetch_coverage(), 0.0);
+    }
+
+    #[test]
+    fn coverage_counts_late_as_covered() {
+        let mut r = SimResult::default();
+        r.llc.useful_prefetches = 30;
+        r.late_prefetches = 10;
+        r.llc.misses = 60; // 10 of which were late-covered
+        r.prefetches_issued = 80;
+        // covered = 40, uncovered = 50.
+        assert!((r.prefetch_coverage() - 40.0 / 90.0).abs() < 1e-9);
+        assert!((r.prefetch_accuracy() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycles_guard() {
+        let r = SimResult { cycles: 0, instructions: 5, ..Default::default() };
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.ipc_improvement_pct(&r), 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The LLC prefetcher interface and the latency-modeling prefetch queue.
+
+use std::collections::VecDeque;
+
+/// One LLC demand access as seen by a prefetcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LlcAccess {
+    /// Index of this access in the LLC demand stream (0-based). NN-based
+    /// prefetchers use it to look up batch-precomputed predictions.
+    pub seq: usize,
+    /// Retired-instruction index.
+    pub instr_id: u64,
+    /// Program counter of the triggering load.
+    pub pc: u64,
+    /// Byte address.
+    pub addr: u64,
+    /// Cache-block address (`addr >> 6`).
+    pub block: u64,
+    /// Whether the access hit in the LLC.
+    pub hit: bool,
+}
+
+/// An LLC prefetcher. Implementations live in `dart-prefetch`.
+pub trait Prefetcher {
+    /// Display name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Inference latency in cycles: prefetches become visible to the memory
+    /// system this long after the triggering access.
+    fn latency(&self) -> u64;
+
+    /// Observe an LLC demand access and optionally emit block addresses to
+    /// prefetch.
+    fn on_access(&mut self, access: &LlcAccess) -> Vec<u64>;
+
+    /// Metadata/table storage of the prefetcher, in bytes.
+    fn storage_bytes(&self) -> u64 {
+        0
+    }
+}
+
+/// The no-op baseline prefetcher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullPrefetcher;
+
+impl Prefetcher for NullPrefetcher {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn latency(&self) -> u64 {
+        0
+    }
+
+    fn on_access(&mut self, _access: &LlcAccess) -> Vec<u64> {
+        Vec::new()
+    }
+}
+
+/// A prefetch waiting for its predictor to "finish inference".
+#[derive(Clone, Copy, Debug)]
+pub struct PendingPrefetch {
+    /// Block to prefetch.
+    pub block: u64,
+    /// Cycle at which the request may be issued to the memory system.
+    pub ready_at: u64,
+}
+
+/// FIFO of prefetches delayed by inference latency.
+///
+/// `push` stamps requests with `now + latency`; `pop_ready` releases those
+/// whose stamp has passed. A bounded capacity models the prefetch queue of a
+/// real controller — overflow drops the oldest entries (counted).
+#[derive(Clone, Debug)]
+pub struct PrefetchQueue {
+    queue: VecDeque<PendingPrefetch>,
+    capacity: usize,
+    /// Requests dropped due to queue overflow.
+    pub dropped_overflow: u64,
+}
+
+impl PrefetchQueue {
+    /// New queue holding at most `capacity` pending prefetches.
+    pub fn new(capacity: usize) -> PrefetchQueue {
+        PrefetchQueue { queue: VecDeque::new(), capacity: capacity.max(1), dropped_overflow: 0 }
+    }
+
+    /// Enqueue a prediction made at `now` by a predictor with `latency`.
+    pub fn push(&mut self, block: u64, now: u64, latency: u64) {
+        if self.queue.len() == self.capacity {
+            self.queue.pop_front();
+            self.dropped_overflow += 1;
+        }
+        self.queue.push_back(PendingPrefetch { block, ready_at: now + latency });
+    }
+
+    /// Remove and return all requests ready at `now` (FIFO order).
+    pub fn pop_ready(&mut self, now: u64) -> Vec<PendingPrefetch> {
+        let mut out = Vec::new();
+        while let Some(front) = self.queue.front() {
+            if front.ready_at <= now {
+                out.push(self.queue.pop_front().unwrap());
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Pending request count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no requests are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_respects_latency() {
+        let mut q = PrefetchQueue::new(8);
+        q.push(100, 1000, 50);
+        assert!(q.pop_ready(1049).is_empty());
+        let ready = q.pop_ready(1050);
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].block, 100);
+    }
+
+    #[test]
+    fn queue_preserves_fifo_order() {
+        let mut q = PrefetchQueue::new(8);
+        q.push(1, 0, 10);
+        q.push(2, 1, 10);
+        q.push(3, 2, 10);
+        let ready = q.pop_ready(100);
+        let blocks: Vec<u64> = ready.iter().map(|p| p.block).collect();
+        assert_eq!(blocks, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut q = PrefetchQueue::new(2);
+        q.push(1, 0, 0);
+        q.push(2, 0, 0);
+        q.push(3, 0, 0);
+        assert_eq!(q.dropped_overflow, 1);
+        let blocks: Vec<u64> = q.pop_ready(0).iter().map(|p| p.block).collect();
+        assert_eq!(blocks, vec![2, 3]);
+    }
+
+    #[test]
+    fn partial_release() {
+        let mut q = PrefetchQueue::new(8);
+        q.push(1, 0, 10); // ready at 10
+        q.push(2, 0, 90); // ready at 90
+        let first = q.pop_ready(50);
+        assert_eq!(first.len(), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn null_prefetcher_is_silent() {
+        let mut p = NullPrefetcher;
+        let acc = LlcAccess { seq: 0, instr_id: 0, pc: 0, addr: 0, block: 0, hit: false };
+        assert!(p.on_access(&acc).is_empty());
+        assert_eq!(p.latency(), 0);
+        assert_eq!(p.storage_bytes(), 0);
+    }
+}

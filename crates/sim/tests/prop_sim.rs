@@ -1,0 +1,106 @@
+//! Property-based tests on the simulator: cache, DRAM, and engine
+//! invariants over randomized access patterns.
+
+use dart_sim::cache::{Cache, LookupResult};
+use dart_sim::config::{CacheConfig, DramConfig};
+use dart_sim::dram::Dram;
+use dart_sim::{NullPrefetcher, SimConfig, Simulator};
+use dart_trace::TraceRecord;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A fill makes the block resident until (at least) capacity-many other
+    /// blocks in the same set are filled.
+    #[test]
+    fn fill_then_lookup_hits(blocks in proptest::collection::vec(0u64..1000, 1..50)) {
+        let mut cache = Cache::new(&CacheConfig {
+            size_bytes: 64 * 64,
+            ways: 4,
+            latency: 1,
+            mshr_entries: 4,
+        });
+        for &b in &blocks {
+            cache.fill(b, false);
+            let hit = matches!(cache.lookup(b), LookupResult::Hit { .. });
+            prop_assert!(hit);
+        }
+        prop_assert!(cache.occupancy() <= cache.capacity());
+    }
+
+    /// Cache counters always satisfy hits + misses == accesses.
+    #[test]
+    fn counters_consistent(ops in proptest::collection::vec((0u64..200, proptest::bool::ANY), 1..200)) {
+        let mut cache = Cache::new(&CacheConfig {
+            size_bytes: 32 * 64,
+            ways: 2,
+            latency: 1,
+            mshr_entries: 4,
+        });
+        for &(b, do_fill) in &ops {
+            if do_fill {
+                cache.fill(b, b % 3 == 0);
+            } else {
+                let _ = cache.lookup(b);
+            }
+        }
+        prop_assert_eq!(cache.stats.hits + cache.stats.misses, cache.stats.accesses);
+        prop_assert!(cache.stats.useful_prefetches <= cache.stats.prefetch_fills);
+    }
+
+    /// DRAM completions never precede their issue time plus latency, and
+    /// issue order determines bus order.
+    #[test]
+    fn dram_completion_ordering(times in proptest::collection::vec(0u64..10_000, 1..40)) {
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut dram = Dram::new(DramConfig { latency: 100, cycles_per_transfer: 4 }, 8);
+        let mut last_done = 0u64;
+        for &t in &sorted {
+            let done = dram.issue(t);
+            prop_assert!(done >= t + 100);
+            prop_assert!(done >= last_done, "bus order violated");
+            last_done = done;
+        }
+    }
+
+    /// Simulated cycles are at least the front-end bound and at least one
+    /// DRAM trip when there is a miss.
+    #[test]
+    fn cycle_lower_bounds(n in 10usize..500, gap in 0u64..30) {
+        let trace: Vec<TraceRecord> = (0..n as u64)
+            .map(|i| TraceRecord {
+                instr_id: i * (gap + 1),
+                pc: 0x400000,
+                addr: 0x800_0000 + i * 64,
+            })
+            .collect();
+        let cfg = SimConfig::small();
+        let sim = Simulator::new(cfg);
+        let r = sim.run(&trace, &mut NullPrefetcher, false);
+        let frontend_bound = trace.last().unwrap().instr_id / cfg.core.width;
+        prop_assert!(r.cycles >= frontend_bound);
+        prop_assert!(r.cycles >= cfg.dram.latency, "at least one full miss");
+        prop_assert_eq!(r.instructions, trace.last().unwrap().instr_id + 1);
+    }
+
+    /// More instruction-level slack never hurts IPC-normalized runtime:
+    /// cycles grow monotonically with added instruction gaps.
+    #[test]
+    fn cycles_monotone_in_gap(n in 20usize..200) {
+        let make = |gap: u64| -> Vec<TraceRecord> {
+            (0..n as u64)
+                .map(|i| TraceRecord {
+                    instr_id: i * (gap + 1),
+                    pc: 0x400000,
+                    addr: 0x800_0000 + i * 64,
+                })
+                .collect()
+        };
+        let sim = Simulator::new(SimConfig::small());
+        let short = sim.run(&make(2), &mut NullPrefetcher, false);
+        let long = sim.run(&make(50), &mut NullPrefetcher, false);
+        prop_assert!(long.cycles >= short.cycles);
+    }
+}

@@ -1,0 +1,159 @@
+//! Trace serialization: a compact binary format (24 bytes/record) and a
+//! whitespace text format for debugging.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::record::TraceRecord;
+
+/// Magic bytes heading a binary trace file.
+const MAGIC: &[u8; 8] = b"DARTTRC1";
+
+/// Write records in binary form.
+pub fn write_binary<W: Write>(writer: W, records: &[TraceRecord]) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    let mut buf = BytesMut::with_capacity(24);
+    w.write_all(&(records.len() as u64).to_le_bytes())?;
+    for r in records {
+        buf.clear();
+        buf.put_u64_le(r.instr_id);
+        buf.put_u64_le(r.pc);
+        buf.put_u64_le(r.addr);
+        w.write_all(&buf)?;
+    }
+    w.flush()
+}
+
+/// Read records written by [`write_binary`].
+pub fn read_binary<R: Read>(reader: R) -> io::Result<Vec<TraceRecord>> {
+    let mut r = BufReader::new(reader);
+    let mut header = [0u8; 16];
+    r.read_exact(&mut header)?;
+    if &header[..8] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    }
+    let count = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+    let mut raw = vec![0u8; count * 24];
+    r.read_exact(&mut raw)?;
+    let mut buf = &raw[..];
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        records.push(TraceRecord {
+            instr_id: buf.get_u64_le(),
+            pc: buf.get_u64_le(),
+            addr: buf.get_u64_le(),
+        });
+    }
+    Ok(records)
+}
+
+/// Write a trace to a file path (binary format).
+pub fn save(path: impl AsRef<Path>, records: &[TraceRecord]) -> io::Result<()> {
+    write_binary(std::fs::File::create(path)?, records)
+}
+
+/// Load a trace from a file path (binary format).
+pub fn load(path: impl AsRef<Path>) -> io::Result<Vec<TraceRecord>> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+/// Write records as `instr_id pc addr` hex lines.
+pub fn write_text<W: Write>(writer: W, records: &[TraceRecord]) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for r in records {
+        writeln!(w, "{} {:x} {:x}", r.instr_id, r.pc, r.addr)?;
+    }
+    w.flush()
+}
+
+/// Read records written by [`write_text`].
+pub fn read_text<R: Read>(reader: R) -> io::Result<Vec<TraceRecord>> {
+    let r = BufReader::new(reader);
+    let mut records = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse = |s: Option<&str>, radix: u32| -> io::Result<u64> {
+            let s = s.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: missing field", lineno + 1))
+            })?;
+            u64::from_str_radix(s, radix).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+            })
+        };
+        records.push(TraceRecord {
+            instr_id: parse(parts.next(), 10)?,
+            pc: parse(parts.next(), 16)?,
+            addr: parse(parts.next(), 16)?,
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceRecord> {
+        (0..100)
+            .map(|i| TraceRecord {
+                instr_id: i * 7,
+                pc: 0x400000 + (i % 5) * 4,
+                addr: 0x10000000 + i * 64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let records = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &records).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(records, back);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let records = sample();
+        let mut buf = Vec::new();
+        write_text(&mut buf, &records).unwrap();
+        let back = read_text(&buf[..]).unwrap();
+        assert_eq!(records, back);
+    }
+
+    #[test]
+    fn text_skips_comments_and_blanks() {
+        let input = "# comment\n\n5 400 1000\n";
+        let back = read_text(input.as_bytes()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].instr_id, 5);
+        assert_eq!(back[0].pc, 0x400);
+        assert_eq!(back[0].addr, 0x1000);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let garbage = vec![0u8; 32];
+        assert!(read_binary(&garbage[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_text() {
+        assert!(read_text("1 zz".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &[]).unwrap();
+        assert!(read_binary(&buf[..]).unwrap().is_empty());
+    }
+}

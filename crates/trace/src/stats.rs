@@ -1,0 +1,139 @@
+//! Trace statistics (paper Table IV) and access-pattern scatter data (Fig. 7).
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::TraceRecord;
+
+/// Unique-address / page / delta counts of a trace (paper Table IV columns).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total number of accesses.
+    pub accesses: usize,
+    /// Distinct cache-block addresses.
+    pub unique_blocks: usize,
+    /// Distinct 4 KiB pages.
+    pub unique_pages: usize,
+    /// Distinct consecutive block deltas.
+    pub unique_deltas: usize,
+}
+
+impl TraceStats {
+    /// Compute stats over a trace.
+    pub fn compute(trace: &[TraceRecord]) -> TraceStats {
+        let mut blocks = HashSet::new();
+        let mut pages = HashSet::new();
+        let mut deltas = HashSet::new();
+        let mut prev_block: Option<i64> = None;
+        for r in trace {
+            let b = r.block();
+            blocks.insert(b);
+            pages.insert(r.page());
+            if let Some(p) = prev_block {
+                deltas.insert(b as i64 - p);
+            }
+            prev_block = Some(b as i64);
+        }
+        TraceStats {
+            accesses: trace.len(),
+            unique_blocks: blocks.len(),
+            unique_pages: pages.len(),
+            unique_deltas: deltas.len(),
+        }
+    }
+}
+
+/// One point of the Fig. 7 access-pattern scatter: instruction index vs.
+/// page and consecutive-access block delta, all scaled to `[0, 1]`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PatternPoint {
+    /// Access index scaled to `[0,1]`.
+    pub instr_frac: f64,
+    /// Page rank scaled to `[0,1]` (rank among unique pages, preserving order
+    /// of first appearance).
+    pub page_frac: f64,
+    /// Block delta to the previous access, clamped to `[-clip, clip]` and
+    /// scaled to `[-1,1]`.
+    pub delta_frac: f64,
+}
+
+/// Scatter-cloud data behind the paper's Fig. 7, down-sampled to at most
+/// `max_points` points.
+pub fn pattern_cloud(trace: &[TraceRecord], max_points: usize, delta_clip: i64) -> Vec<PatternPoint> {
+    if trace.len() < 2 {
+        return Vec::new();
+    }
+    // Rank pages by first appearance for a stable, readable y-axis.
+    let mut page_rank = std::collections::HashMap::new();
+    for r in trace {
+        let next = page_rank.len();
+        page_rank.entry(r.page()).or_insert(next);
+    }
+    let n_pages = page_rank.len().max(1);
+    let stride = (trace.len() / max_points.max(1)).max(1);
+    let mut points = Vec::new();
+    for i in (1..trace.len()).step_by(stride) {
+        let delta = trace[i].block() as i64 - trace[i - 1].block() as i64;
+        points.push(PatternPoint {
+            instr_frac: i as f64 / trace.len() as f64,
+            page_frac: page_rank[&trace[i].page()] as f64 / n_pages as f64,
+            delta_frac: delta.clamp(-delta_clip, delta_clip) as f64 / delta_clip as f64,
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u64, addr: u64) -> TraceRecord {
+        TraceRecord { instr_id: i, pc: 0x400000, addr }
+    }
+
+    #[test]
+    fn stats_count_uniques() {
+        // Two blocks in the same page, then a new page.
+        let trace =
+            vec![rec(0, 0x1000), rec(1, 0x1040), rec(2, 0x1000), rec(3, 0x2000)];
+        let s = TraceStats::compute(&trace);
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.unique_blocks, 3);
+        assert_eq!(s.unique_pages, 2);
+        // Deltas: +1, -1, +64 -> 3 distinct.
+        assert_eq!(s.unique_deltas, 3);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = TraceStats::compute(&[]);
+        assert_eq!(s, TraceStats::default());
+    }
+
+    #[test]
+    fn sequential_stream_has_one_delta() {
+        let trace: Vec<TraceRecord> = (0..100).map(|i| rec(i, 0x1000 + i * 64)).collect();
+        let s = TraceStats::compute(&trace);
+        assert_eq!(s.unique_deltas, 1);
+        assert_eq!(s.unique_blocks, 100);
+    }
+
+    #[test]
+    fn pattern_cloud_is_bounded() {
+        let trace: Vec<TraceRecord> = (0..1000).map(|i| rec(i, 0x1000 + (i % 37) * 64)).collect();
+        let cloud = pattern_cloud(&trace, 100, 64);
+        assert!(cloud.len() <= 101);
+        for p in &cloud {
+            assert!((0.0..=1.0).contains(&p.instr_frac));
+            assert!((0.0..=1.0).contains(&p.page_frac));
+            assert!((-1.0..=1.0).contains(&p.delta_frac));
+        }
+    }
+
+    #[test]
+    fn pattern_cloud_handles_tiny_traces() {
+        assert!(pattern_cloud(&[], 10, 64).is_empty());
+        assert!(pattern_cloud(&[rec(0, 0x1000)], 10, 64).is_empty());
+    }
+}

@@ -1,0 +1,404 @@
+//! Runtime state machines behind each [`WorkloadKind`](super::WorkloadKind).
+
+use dart_nn::init::InitRng;
+
+use super::WorkloadKind;
+use crate::record::{BLOCK_BITS, PAGE_BITS};
+
+/// Base virtual address for generated data regions (arbitrary, page-aligned).
+const DATA_BASE: u64 = 0x1000_0000;
+
+/// Base PC for generated code.
+const CODE_BASE: u64 = 0x40_0000;
+
+/// Blocks per 4 KiB page.
+const BLOCKS_PER_PAGE: u64 = 1 << (PAGE_BITS - BLOCK_BITS);
+
+/// Anything that can produce the next `(pc, addr)` access.
+pub trait AccessPattern {
+    /// Produce the next access.
+    fn next_access(&mut self, rng: &mut InitRng) -> (u64, u64);
+}
+
+/// One swept array of a stencil workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArraySpec {
+    /// Array footprint in pages.
+    pub pages: u64,
+    /// Sweep stride in blocks.
+    pub stride: i64,
+}
+
+/// Dispatchable runtime state for any workload kind.
+#[derive(Clone, Debug)]
+pub enum PatternState {
+    /// See [`WorkloadKind::Streaming`].
+    Streaming(StreamingState),
+    /// See [`WorkloadKind::Stencil`].
+    Stencil(StencilState),
+    /// See [`WorkloadKind::RegionHop`].
+    RegionHop(RegionHopState),
+    /// See [`WorkloadKind::PointerChase`].
+    PointerChase(PointerChaseState),
+    /// See [`WorkloadKind::Mixed`].
+    Mixed(MixedState),
+}
+
+impl PatternState {
+    /// Instantiate the runtime for `kind`.
+    pub fn new(kind: &WorkloadKind, rng: &mut InitRng) -> PatternState {
+        match kind {
+            WorkloadKind::Streaming { streams, strides, region_pages, restart_prob } => {
+                PatternState::Streaming(StreamingState::new(
+                    *streams,
+                    strides,
+                    *region_pages,
+                    *restart_prob,
+                    rng,
+                ))
+            }
+            WorkloadKind::Stencil { arrays } => PatternState::Stencil(StencilState::new(arrays)),
+            WorkloadKind::RegionHop { region_pages, burst_len } => {
+                PatternState::RegionHop(RegionHopState::new(*region_pages, *burst_len, rng))
+            }
+            WorkloadKind::PointerChase { nodes, region_pages } => {
+                PatternState::PointerChase(PointerChaseState::new(*nodes, *region_pages, rng))
+            }
+            WorkloadKind::Mixed { .. } => PatternState::Mixed(MixedState::new(kind, rng)),
+        }
+    }
+}
+
+impl AccessPattern for PatternState {
+    fn next_access(&mut self, rng: &mut InitRng) -> (u64, u64) {
+        match self {
+            PatternState::Streaming(s) => s.next_access(rng),
+            PatternState::Stencil(s) => s.next_access(rng),
+            PatternState::RegionHop(s) => s.next_access(rng),
+            PatternState::PointerChase(s) => s.next_access(rng),
+            PatternState::Mixed(s) => s.next_access(rng),
+        }
+    }
+}
+
+/// Interleaved sequential streams.
+#[derive(Clone, Debug)]
+pub struct StreamingState {
+    cursors: Vec<u64>, // block offsets within the region
+    strides: Vec<i64>,
+    region_blocks: u64,
+    restart_prob: f32,
+    next_stream: usize,
+}
+
+impl StreamingState {
+    fn new(
+        streams: usize,
+        strides: &[i64],
+        region_pages: u64,
+        restart_prob: f32,
+        rng: &mut InitRng,
+    ) -> Self {
+        let streams = streams.max(1);
+        let region_blocks = region_pages.max(1) * BLOCKS_PER_PAGE;
+        let cursors = (0..streams).map(|_| rng.next_u64() % region_blocks).collect();
+        let strides = (0..streams)
+            .map(|_| if strides.is_empty() { 1 } else { strides[rng.below(strides.len())] })
+            .collect();
+        StreamingState { cursors, strides, region_blocks, restart_prob, next_stream: 0 }
+    }
+}
+
+impl AccessPattern for StreamingState {
+    fn next_access(&mut self, rng: &mut InitRng) -> (u64, u64) {
+        let s = self.next_stream;
+        self.next_stream = (self.next_stream + 1) % self.cursors.len();
+        if rng.next_f32() < self.restart_prob {
+            self.cursors[s] = rng.next_u64() % self.region_blocks;
+        }
+        let block = self.cursors[s];
+        let next =
+            (block as i64 + self.strides[s]).rem_euclid(self.region_blocks as i64) as u64;
+        self.cursors[s] = next;
+        let pc = CODE_BASE + (s as u64) * 0x40;
+        (pc, DATA_BASE + block * (1 << BLOCK_BITS))
+    }
+}
+
+/// Burst-wise stencil sweeps over several arrays: each array is swept with
+/// its own stride for `BURST` consecutive accesses before switching, so the
+/// delta set stays small ({strides} plus one switch jump per burst) — the
+/// low-delta regime of leslie3d/lbm in Table IV.
+#[derive(Clone, Debug)]
+pub struct StencilState {
+    arrays: Vec<ArraySpec>,
+    cursors: Vec<u64>,
+    bases: Vec<u64>,
+    active: usize,
+    burst_left: usize,
+}
+
+/// Accesses per array before switching to the next.
+const STENCIL_BURST: usize = 32;
+
+impl StencilState {
+    fn new(arrays: &[ArraySpec]) -> Self {
+        assert!(!arrays.is_empty(), "stencil needs at least one array");
+        let mut bases = Vec::with_capacity(arrays.len());
+        let mut base = DATA_BASE;
+        for a in arrays {
+            bases.push(base);
+            // Arrays are laid out back-to-back with a guard page.
+            base += (a.pages + 1) << PAGE_BITS;
+        }
+        StencilState {
+            arrays: arrays.to_vec(),
+            cursors: vec![0; arrays.len()],
+            bases,
+            active: 0,
+            burst_left: STENCIL_BURST,
+        }
+    }
+}
+
+impl AccessPattern for StencilState {
+    fn next_access(&mut self, _rng: &mut InitRng) -> (u64, u64) {
+        if self.burst_left == 0 {
+            self.active = (self.active + 1) % self.arrays.len();
+            self.burst_left = STENCIL_BURST;
+        }
+        self.burst_left -= 1;
+        let i = self.active;
+        let spec = self.arrays[i];
+        let region_blocks = spec.pages.max(1) * BLOCKS_PER_PAGE;
+        let block = self.cursors[i];
+        self.cursors[i] = (block as i64 + spec.stride).rem_euclid(region_blocks as i64) as u64;
+        let pc = CODE_BASE + 0x1000 + (i as u64) * 0x40;
+        (pc, self.bases[i] + block * (1 << BLOCK_BITS))
+    }
+}
+
+/// Random page hops with short sequential bursts.
+#[derive(Clone, Debug)]
+pub struct RegionHopState {
+    region_blocks: u64,
+    burst_len: usize,
+    cursor: u64,
+    burst_left: usize,
+}
+
+impl RegionHopState {
+    fn new(region_pages: u64, burst_len: usize, rng: &mut InitRng) -> Self {
+        let region_blocks = region_pages.max(1) * BLOCKS_PER_PAGE;
+        RegionHopState {
+            region_blocks,
+            burst_len: burst_len.max(1),
+            cursor: rng.next_u64() % region_blocks,
+            burst_left: 0,
+        }
+    }
+}
+
+impl AccessPattern for RegionHopState {
+    fn next_access(&mut self, rng: &mut InitRng) -> (u64, u64) {
+        if self.burst_left == 0 {
+            self.cursor = rng.next_u64() % self.region_blocks;
+            self.burst_left = self.burst_len;
+        }
+        let block = self.cursor;
+        self.cursor = (self.cursor + 1) % self.region_blocks;
+        self.burst_left -= 1;
+        let pc = CODE_BASE + 0x2000 + u64::from(self.burst_left == self.burst_len - 1) * 0x40;
+        (pc, DATA_BASE + block * (1 << BLOCK_BITS))
+    }
+}
+
+/// Pointer chasing over a random **permutation** graph (every node has
+/// exactly one predecessor, so the walk covers whole cycles instead of
+/// collapsing into the ~sqrt(n) rho-cycle of a random functional graph).
+///
+/// Node placement mimics pool allocation: with probability ~1/2 a node's
+/// successor sits within a few blocks (an in-range, learnable delta); the
+/// rest land anywhere in the region (the unique-delta mass that makes mcf
+/// Table IV's hardest row).
+#[derive(Clone, Debug)]
+pub struct PointerChaseState {
+    /// node -> next node (a permutation).
+    next: Vec<u32>,
+    /// node -> block offset within the region.
+    placement: Vec<u64>,
+    current: usize,
+}
+
+impl PointerChaseState {
+    fn new(nodes: usize, region_pages: u64, rng: &mut InitRng) -> Self {
+        let nodes = nodes.max(2);
+        let region_blocks = region_pages.max(1) * BLOCKS_PER_PAGE;
+        // Random permutation via Fisher–Yates.
+        let mut next: Vec<u32> = (0..nodes as u32).collect();
+        for i in (1..nodes).rev() {
+            next.swap(i, rng.below(i + 1));
+        }
+        // Place nodes along the permutation cycles with pool locality.
+        let mut placement = vec![u64::MAX; nodes];
+        for start in 0..nodes {
+            if placement[start] != u64::MAX {
+                continue;
+            }
+            let mut here = rng.next_u64() % region_blocks;
+            placement[start] = here;
+            let mut node = next[start] as usize;
+            while node != start {
+                here = if rng.next_f32() < 0.5 {
+                    // Successor allocated from the same pool: short delta.
+                    (here + 1 + rng.next_u64() % 8) % region_blocks
+                } else {
+                    rng.next_u64() % region_blocks
+                };
+                placement[node] = here;
+                node = next[node] as usize;
+            }
+        }
+        PointerChaseState { next, placement, current: 0 }
+    }
+}
+
+impl AccessPattern for PointerChaseState {
+    fn next_access(&mut self, rng: &mut InitRng) -> (u64, u64) {
+        // Occasional re-entry models traversal restarts from a worklist.
+        if rng.next_f32() < 0.001 {
+            self.current = rng.below(self.next.len());
+        }
+        let node = self.current;
+        self.current = self.next[node] as usize;
+        let pc = CODE_BASE + 0x3000;
+        (pc, DATA_BASE + self.placement[node] * (1 << BLOCK_BITS))
+    }
+}
+
+/// Weighted mixture of sub-patterns. Components run in *bursts* (the active
+/// component keeps the floor for `burst` accesses) — per-access random
+/// interleaving would make nearly every consecutive delta unique, which is
+/// the mcf regime, not the gcc/wrf one.
+#[derive(Clone, Debug)]
+pub struct MixedState {
+    parts: Vec<(f32, Box<PatternState>)>,
+    total_weight: f32,
+    burst: usize,
+    active: usize,
+    burst_left: usize,
+}
+
+impl MixedState {
+    /// Build from a `WorkloadKind::Mixed`; panics on other kinds.
+    pub fn new(kind: &WorkloadKind, rng: &mut InitRng) -> Self {
+        let WorkloadKind::Mixed { parts, burst } = kind else {
+            panic!("MixedState requires WorkloadKind::Mixed");
+        };
+        assert!(!parts.is_empty(), "mixed workload needs at least one part");
+        let built: Vec<(f32, Box<PatternState>)> = parts
+            .iter()
+            .map(|(w, k)| {
+                assert!(*w > 0.0, "mixture weights must be positive");
+                (*w, Box::new(PatternState::new(k, rng)))
+            })
+            .collect();
+        let total_weight = built.iter().map(|(w, _)| *w).sum();
+        MixedState { parts: built, total_weight, burst: (*burst).max(1), active: 0, burst_left: 0 }
+    }
+}
+
+impl AccessPattern for MixedState {
+    fn next_access(&mut self, rng: &mut InitRng) -> (u64, u64) {
+        if self.burst_left == 0 {
+            // Pick the next component by weight.
+            let mut pick = rng.next_f32() * self.total_weight;
+            self.active = self.parts.len() - 1;
+            for (i, (w, _)) in self.parts.iter().enumerate() {
+                pick -= *w;
+                if pick <= 0.0 {
+                    self.active = i;
+                    break;
+                }
+            }
+            self.burst_left = self.burst;
+        }
+        self.burst_left -= 1;
+        self.parts[self.active].1.next_access(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_advances_by_stride() {
+        let mut rng = InitRng::new(1);
+        let mut s = StreamingState::new(1, &[2], 10, 0.0, &mut rng);
+        let (_, a1) = s.next_access(&mut rng);
+        let (_, a2) = s.next_access(&mut rng);
+        assert_eq!((a2 >> BLOCK_BITS) as i64 - (a1 >> BLOCK_BITS) as i64, 2);
+    }
+
+    #[test]
+    fn stencil_sweeps_arrays_in_bursts() {
+        let mut rng = InitRng::new(2);
+        let arrays = [ArraySpec { pages: 4, stride: 1 }, ArraySpec { pages: 4, stride: 5 }];
+        let mut s = StencilState::new(&arrays);
+        // The first burst stays on array 0 with a constant stride.
+        let (pc1, a1) = s.next_access(&mut rng);
+        let (pc2, a2) = s.next_access(&mut rng);
+        assert_eq!(pc1, pc2);
+        assert_eq!((a2 >> BLOCK_BITS) - (a1 >> BLOCK_BITS), 1);
+        // After the burst, the PC switches to array 1.
+        for _ in 0..STENCIL_BURST - 2 {
+            let _ = s.next_access(&mut rng);
+        }
+        let (pc3, _) = s.next_access(&mut rng);
+        assert_ne!(pc1, pc3);
+    }
+
+    #[test]
+    fn region_hop_bursts_are_sequential() {
+        let mut rng = InitRng::new(3);
+        let mut s = RegionHopState::new(100, 4, &mut rng);
+        let (_, a1) = s.next_access(&mut rng);
+        let (_, a2) = s.next_access(&mut rng);
+        let (_, a3) = s.next_access(&mut rng);
+        assert_eq!((a2 >> BLOCK_BITS) - (a1 >> BLOCK_BITS), 1);
+        assert_eq!((a3 >> BLOCK_BITS) - (a2 >> BLOCK_BITS), 1);
+    }
+
+    #[test]
+    fn pointer_chase_deterministic_walk() {
+        let mut rng1 = InitRng::new(4);
+        let mut s1 = PointerChaseState::new(100, 10, &mut rng1);
+        let mut rng2 = InitRng::new(4);
+        let mut s2 = PointerChaseState::new(100, 10, &mut rng2);
+        for _ in 0..50 {
+            assert_eq!(s1.next_access(&mut rng1), s2.next_access(&mut rng2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MixedState requires")]
+    fn mixed_rejects_non_mixed_kind() {
+        let mut rng = InitRng::new(5);
+        let _ = MixedState::new(
+            &WorkloadKind::RegionHop { region_pages: 1, burst_len: 1 },
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn addresses_stay_in_region() {
+        let mut rng = InitRng::new(6);
+        let mut s = StreamingState::new(4, &[1, 3], 8, 0.01, &mut rng);
+        let region_bytes = 8 * BLOCKS_PER_PAGE * (1 << BLOCK_BITS);
+        for _ in 0..1000 {
+            let (_, addr) = s.next_access(&mut rng);
+            assert!(addr >= DATA_BASE && addr < DATA_BASE + region_bytes);
+        }
+    }
+}

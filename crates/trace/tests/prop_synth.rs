@@ -1,0 +1,46 @@
+//! Property-based tests on trace generation and statistics.
+
+use dart_trace::{spec_workloads, TraceStats};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generation is a pure function of (workload, len, seed).
+    #[test]
+    fn generation_deterministic(wi in 0usize..8, seed in 0u64..1000, len in 10usize..500) {
+        let w = &spec_workloads()[wi];
+        prop_assert_eq!(w.generate(len, seed), w.generate(len, seed));
+    }
+
+    /// Prefix property: generating a longer trace extends the shorter one.
+    #[test]
+    fn generation_prefix_stable(wi in 0usize..8, seed in 0u64..1000, len in 10usize..200) {
+        let w = &spec_workloads()[wi];
+        let short = w.generate(len, seed);
+        let long = w.generate(len * 2, seed);
+        prop_assert_eq!(&long[..len], &short[..]);
+    }
+
+    /// Stats bounds: uniques never exceed what the trace could contain.
+    #[test]
+    fn stats_bounds(wi in 0usize..8, seed in 0u64..1000, len in 2usize..800) {
+        let w = &spec_workloads()[wi];
+        let trace = w.generate(len, seed);
+        let s = TraceStats::compute(&trace);
+        prop_assert_eq!(s.accesses, len);
+        prop_assert!(s.unique_blocks <= len);
+        prop_assert!(s.unique_pages <= s.unique_blocks);
+        prop_assert!(s.unique_deltas <= len - 1);
+    }
+
+    /// Instruction ids strictly increase for every workload and seed.
+    #[test]
+    fn instr_ids_increase(wi in 0usize..8, seed in 0u64..1000) {
+        let w = &spec_workloads()[wi];
+        let trace = w.generate(100, seed);
+        for pair in trace.windows(2) {
+            prop_assert!(pair[1].instr_id > pair[0].instr_id);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Design-space exploration with the table configurator: sweep latency and
+//! storage constraints and print the chosen `(L, D, H, K, C)` points — how a
+//! prefetcher architect would size DART for a cache controller budget.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use dart::core::config::DesignConstraints;
+use dart::core::configurator::{model_cost, ShapeParams, TableConfigurator};
+
+fn main() {
+    let conf = TableConfigurator::default();
+    println!(
+        "{:>10} {:>10} | {:>16} {:>9} {:>12} {:>8}",
+        "tau (cyc)", "s (bytes)", "config (L,D,H,K,C)", "latency", "storage", "ops"
+    );
+    println!("{}", "-".repeat(75));
+    for tau in [40u64, 60, 100, 200, 400] {
+        for s in [16_000u64, 100_000, 1_000_000, 4_000_000] {
+            let constraints = DesignConstraints { latency_cycles: tau, storage_bytes: s };
+            match conf.configure(&constraints) {
+                Some((cfg, cost)) => println!(
+                    "{:>10} {:>10} | ({},{},{},{},{})          {:>9} {:>12} {:>8}",
+                    tau,
+                    s,
+                    cfg.layers,
+                    cfg.dim,
+                    cfg.heads,
+                    cfg.k,
+                    cfg.c,
+                    cost.latency_cycles,
+                    cost.storage_bytes,
+                    cost.ops
+                ),
+                None => println!("{tau:>10} {s:>10} | infeasible"),
+            }
+        }
+    }
+
+    // Show the frontier trade-off of Fig. 10 in one line per K.
+    println!("\nK sweep at the DART structural point (L=1, D=32, H=2, C=2):");
+    for k in [16usize, 64, 256, 1024] {
+        let cfg = dart::core::config::PredictorConfig { k, ..dart::core::config::PredictorConfig::dart() };
+        let cost = model_cost(&cfg, &ShapeParams::default());
+        println!(
+            "  K={k:<5} latency={:<4} storage={:<9} ops={}",
+            cost.latency_cycles, cost.storage_bytes, cost.ops
+        );
+    }
+}

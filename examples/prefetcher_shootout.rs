@@ -1,0 +1,84 @@
+//! Prefetcher shootout: BO vs ISB vs DART on one synthetic workload,
+//! reporting accuracy, coverage, and IPC improvement.
+//!
+//! ```sh
+//! cargo run --release --example prefetcher_shootout [workload]
+//! # workload: bwaves | milc | leslie3d | libquantum | gcc | mcf | lbm | wrf
+//! ```
+
+use dart::core::config::{PredictorConfig, TabularConfig};
+use dart::core::pipeline::{run_pipeline, PipelineConfig};
+use dart::core::DistillConfig;
+use dart::nn::train::TrainConfig;
+use dart::prefetch::{BestOffset, DartPrefetcher, Isb};
+use dart::sim::{NullPrefetcher, Prefetcher, SimConfig, Simulator};
+use dart::trace::{build_dataset, workload_by_name, PreprocessConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "libquantum".into());
+    let workload = workload_by_name(&name).expect("unknown workload; try e.g. `mcf`");
+    println!("workload: {}", workload.name);
+
+    let trace = workload.generate(30_000, 1);
+    let sim = Simulator::new(SimConfig::table_iii());
+    let base = sim.run(&trace, &mut NullPrefetcher, true);
+    let llc = base.llc_trace.clone().unwrap();
+
+    // Train a DART predictor on the first 60% of the LLC stream.
+    let pre = PreprocessConfig {
+        seq_len: 8,
+        addr_segments: 5,
+        seg_bits: 6,
+        pc_segments: 1,
+        delta_range: 32,
+        lookforward: 20,
+    };
+    let split = llc.len() * 6 / 10;
+    let train = build_dataset(&llc[..split], &pre, 4);
+    let test = build_dataset(&llc[split..], &pre, 4);
+    let variant = PredictorConfig::dart();
+    let cfg = PipelineConfig {
+        teacher: dart::nn::model::ModelConfig {
+            input_dim: pre.input_dim(),
+            dim: 64,
+            heads: 4,
+            layers: 2,
+            ffn_dim: 256,
+            output_dim: pre.output_dim(),
+            seq_len: pre.seq_len,
+        },
+        student: variant.to_model_config(pre.input_dim(), pre.output_dim(), pre.seq_len),
+        teacher_train: TrainConfig { epochs: 3, ..Default::default() },
+        distill: DistillConfig {
+            train: TrainConfig { epochs: 5, ..Default::default() },
+            ..Default::default()
+        },
+        tabular: TabularConfig::from_predictor(&variant),
+        train_student_without_kd: false,
+        seed: 3,
+    };
+    eprintln!("training DART (teacher -> student -> tables)...");
+    let artifacts = run_pipeline(&train, &test, &cfg);
+    eprintln!("DART F1 on held-out stream: {:.3}", artifacts.f1.dart);
+
+    let mut dart_pf = DartPrefetcher::new("DART", artifacts.tabular, pre, &variant, 0.5, 8);
+    let mut bo = BestOffset::new();
+    let mut isb = Isb::new();
+
+    println!("\n{:<6} {:>9} {:>9} {:>8} {:>10} {:>9}", "pf", "accuracy", "coverage", "IPC+%", "storage", "latency");
+    let mut report = |name: &str, pf: &mut dyn Prefetcher| {
+        let r = sim.run(&trace, pf, false);
+        println!(
+            "{:<6} {:>8.1}% {:>8.1}% {:>7.1}% {:>10} {:>9}",
+            name,
+            r.prefetch_accuracy() * 100.0,
+            r.prefetch_coverage() * 100.0,
+            r.ipc_improvement_pct(&base),
+            pf.storage_bytes(),
+            pf.latency(),
+        );
+    };
+    report("BO", &mut bo);
+    report("ISB", &mut isb);
+    report("DART", &mut dart_pf);
+}

@@ -1,0 +1,76 @@
+//! Persisting work: save a trained teacher's parameters, reload them into a
+//! fresh model, and tabularize with the fused-FFN extension (paper §VIII
+//! future work) — the workflow for iterating on table configurations
+//! without retraining.
+//!
+//! ```sh
+//! cargo run --release --example save_and_reuse
+//! ```
+
+use dart::core::config::TabularConfig;
+use dart::core::eval::evaluate_tabular_f1;
+use dart::core::tabularize::tabularize;
+use dart::nn::model::{AccessPredictor, ModelConfig, SequenceModel};
+use dart::nn::serialize::{load_model, save_model};
+use dart::nn::train::{evaluate_f1, train_bce, TrainConfig};
+use dart::sim::{NullPrefetcher, SimConfig, Simulator};
+use dart::trace::{build_dataset, workload_by_name, PreprocessConfig};
+
+fn main() {
+    let pre = PreprocessConfig {
+        seq_len: 8,
+        addr_segments: 5,
+        seg_bits: 6,
+        pc_segments: 1,
+        delta_range: 32,
+        lookforward: 20,
+    };
+    let workload = workload_by_name("lbm").unwrap();
+    let trace = workload.generate(20_000, 17);
+    let sim = Simulator::new(SimConfig::table_iii());
+    let llc = sim.run(&trace, &mut NullPrefetcher, true).llc_trace.unwrap();
+    let data = build_dataset(&llc, &pre, 4);
+    let (train, test) = data.split(0.7);
+
+    // Train once...
+    let cfg = ModelConfig {
+        input_dim: pre.input_dim(),
+        dim: 32,
+        heads: 2,
+        layers: 1,
+        ffn_dim: 128,
+        output_dim: pre.output_dim(),
+        seq_len: pre.seq_len,
+    };
+    let mut model = AccessPredictor::new(cfg.clone(), 5).unwrap();
+    train_bce(&mut model, &train, &TrainConfig { epochs: 4, ..Default::default() });
+    let f1 = evaluate_f1(&mut model, &test, 256);
+    println!("trained student F1: {f1:.3}");
+
+    // ...save, reload into a fresh instance, verify identity.
+    let path = std::env::temp_dir().join("dart_student.params");
+    save_model(&mut model, &path).expect("save");
+    println!("saved {} bytes to {}", std::fs::metadata(&path).unwrap().len(), path.display());
+    let mut reloaded = AccessPredictor::new(cfg, 999).unwrap();
+    load_model(&mut reloaded, &path).expect("load");
+    let f1_reloaded = evaluate_f1(&mut reloaded, &test, 256);
+    assert!((f1 - f1_reloaded).abs() < 1e-9, "reload must be exact");
+    println!("reloaded student F1: {f1_reloaded:.3} (identical)");
+
+    // Tabularize the same trained model two ways without retraining.
+    for (label, tab_cfg) in [
+        ("two-kernel FFN", TabularConfig { k: 64, c: 2, fine_tune_epochs: 3, ..Default::default() }),
+        (
+            "fused FFN (§VIII)",
+            TabularConfig { k: 64, c: 2, fine_tune_epochs: 3, fuse_ffn: true, ..Default::default() },
+        ),
+    ] {
+        let (table, _) = tabularize(&reloaded, &train.inputs, &tab_cfg);
+        let tab_f1 = evaluate_tabular_f1(&table, &test, 256);
+        println!(
+            "{label:<18} F1 {tab_f1:.3}  table storage {:>8} bytes",
+            table.storage_bytes()
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}

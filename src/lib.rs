@@ -1,0 +1,19 @@
+//! # dart — facade crate for the DART reproduction
+//!
+//! Re-exports every workspace crate under one roof:
+//!
+//! * [`nn`] — neural-network substrate (attention predictor, LSTM, training),
+//! * [`pq`] — product-quantization tabularization kernels,
+//! * [`trace`] — memory traces, synthetic workloads, preprocessing,
+//! * [`sim`] — trace-driven cache/CPU simulator,
+//! * [`prefetch`] — prefetcher zoo (BO, ISB, DART, NN baselines),
+//! * [`core`] — the DART pipeline: configurator, distillation, tabularization.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use dart_core as core;
+pub use dart_nn as nn;
+pub use dart_pq as pq;
+pub use dart_prefetch as prefetch;
+pub use dart_sim as sim;
+pub use dart_trace as trace;

@@ -1,0 +1,138 @@
+//! Cross-crate integration: tabularization kernels against the live neural
+//! layers they replace, plus property-based tests on the quantizer stack.
+
+use dart::nn::init::InitRng;
+use dart::nn::layers::{Layer, Linear, Msa};
+use dart::nn::matrix::{cosine_similarity, Matrix};
+use dart::pq::{AttentionTable, AttentionTableConfig, EncoderKind, LinearTable};
+use proptest::prelude::*;
+
+fn rand_matrix(r: usize, c: usize, seed: u64) -> Matrix {
+    let mut rng = InitRng::new(seed);
+    Matrix::from_fn(r, c, |_, _| rng.normal())
+}
+
+/// A trained linear layer and its table must agree strongly on data drawn
+/// from the fitting distribution.
+#[test]
+fn linear_table_tracks_live_layer() {
+    let mut rng = InitRng::new(17);
+    let mut layer = Linear::new(16, 8, &mut rng);
+    // Gaussian inputs are the hardest case for PQ (no cluster structure),
+    // so use 4-dim subspaces where 256 prototypes quantize well.
+    let train = rand_matrix(1500, 16, 23);
+    let table = LinearTable::fit(
+        &train,
+        &layer.w.value,
+        layer.b.value.as_slice(),
+        4,
+        256,
+        EncoderKind::Argmin,
+        5,
+    );
+    let test = rand_matrix(64, 16, 29);
+    let exact = layer.forward(&test, false);
+    let approx = table.query(&test);
+    let sim = cosine_similarity(exact.as_slice(), approx.as_slice());
+    assert!(sim > 0.9, "cosine {sim}");
+}
+
+/// The attention kernel must track the sigmoid-attention surrogate of a live
+/// MSA head on in-distribution data.
+#[test]
+fn attention_table_tracks_sigmoid_attention() {
+    let (t, dh) = (8usize, 8usize);
+    let q = rand_matrix(200 * t, dh, 31);
+    let k = rand_matrix(200 * t, dh, 37);
+    let v = rand_matrix(200 * t, dh, 41);
+    let cfg = AttentionTableConfig { k: 256, ck: 2, ct: 2, ..Default::default() };
+    let table = AttentionTable::fit(&q, &k, &v, t, &cfg);
+
+    let mut sims = Vec::new();
+    for n in 0..20 {
+        let qs = q.slice_rows(n * t, (n + 1) * t);
+        let ks = k.slice_rows(n * t, (n + 1) * t);
+        let vs = v.slice_rows(n * t, (n + 1) * t);
+        let approx = table.query(&qs, &ks, &vs);
+        // Reference: sigmoid(QK^T / sqrt(dh)) V.
+        let mut scores = qs.matmul_transb(&ks);
+        scores.scale_assign(1.0 / (dh as f32).sqrt());
+        let exact = scores.map(|x| 1.0 / (1.0 + (-x).exp())).matmul(&vs);
+        sims.push(cosine_similarity(exact.as_slice(), approx.as_slice()));
+    }
+    let mean = sims.iter().sum::<f32>() / sims.len() as f32;
+    assert!(mean > 0.85, "mean cosine {mean}");
+}
+
+/// MSA wired through `dart-nn` must be shape-stable for any head split.
+#[test]
+fn msa_head_splits() {
+    for heads in [1usize, 2, 4, 8] {
+        let mut rng = InitRng::new(heads as u64);
+        let mut msa = Msa::new(16, heads, 4, &mut rng);
+        let x = rand_matrix(8, 16, heads as u64 + 100);
+        assert_eq!(msa.forward(&x, false).shape(), (8, 16));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Encoding then reconstructing never increases distance vs. any other
+    /// prototype choice (arg-min optimality of the k-means encoder).
+    #[test]
+    fn argmin_encoding_is_nearest(seed in 0u64..1000, k in 2usize..8, c in 1usize..4) {
+        let data = rand_matrix(120, 8, seed);
+        let pq = dart::pq::ProductQuantizer::fit(&data, c, k, EncoderKind::Argmin, seed);
+        for i in 0..8 {
+            let row = data.row(i);
+            let codes = pq.encode_row(row);
+            for (ci, &(lo, hi)) in pq.bounds().iter().enumerate() {
+                let q = &pq.quantizers()[ci];
+                let sub = &row[lo..hi];
+                let chosen: f32 = sub
+                    .iter()
+                    .zip(q.prototypes.row(codes[ci]))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                for p in 0..q.num_protos() {
+                    let alt: f32 = sub
+                        .iter()
+                        .zip(q.prototypes.row(p))
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    prop_assert!(chosen <= alt + 1e-4);
+                }
+            }
+        }
+    }
+
+    /// The linear kernel is exact in the limit: when every input row is a
+    /// prototype, the table reproduces the dense result.
+    #[test]
+    fn linear_table_exact_on_prototypes(seed in 0u64..500) {
+        let base = rand_matrix(4, 6, seed);
+        let train = Matrix::vstack(&[base.clone(), base.clone(), base.clone()]);
+        let w = rand_matrix(3, 6, seed + 1);
+        let b = vec![0.5, -0.5, 0.0];
+        let table = LinearTable::fit(&train, &w, &b, 2, 4, EncoderKind::Argmin, seed);
+        let exact = base.matmul_transb(&w).add_row_broadcast(&b);
+        let approx = table.query(&base);
+        for i in 0..exact.len() {
+            prop_assert!((exact.as_slice()[i] - approx.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    /// Bitmap round trip: every delta in range maps to a bit and back.
+    #[test]
+    fn delta_bitmap_roundtrip(range in 1usize..128) {
+        let cfg = dart::trace::PreprocessConfig { delta_range: range, ..Default::default() };
+        for d in (-(range as i64)..=range as i64).filter(|&d| d != 0) {
+            let bit = cfg.delta_to_bit(d).expect("in range");
+            prop_assert!(bit < cfg.output_dim());
+            prop_assert_eq!(cfg.bit_to_delta(bit), d);
+        }
+        prop_assert_eq!(cfg.delta_to_bit(0), None);
+        prop_assert_eq!(cfg.delta_to_bit(range as i64 + 1), None);
+    }
+}

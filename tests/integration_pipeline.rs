@@ -1,0 +1,113 @@
+//! Cross-crate integration: trace generation -> simulation -> preprocessing
+//! -> attention training -> distillation -> tabularization -> evaluation.
+
+use dart::core::config::TabularConfig;
+use dart::core::pipeline::{run_pipeline, PipelineConfig};
+use dart::core::DistillConfig;
+use dart::nn::model::ModelConfig;
+use dart::nn::train::TrainConfig;
+use dart::sim::{NullPrefetcher, SimConfig, Simulator};
+use dart::trace::{build_dataset, workload_by_name, PreprocessConfig};
+
+fn small_pre() -> PreprocessConfig {
+    PreprocessConfig {
+        seq_len: 8,
+        addr_segments: 5,
+        seg_bits: 6,
+        pc_segments: 1,
+        delta_range: 32,
+        lookforward: 20,
+    }
+}
+
+/// The full paper workflow on an easy (streaming) workload must produce a
+/// tabular model whose F1 lands close to the networks it was distilled from.
+#[test]
+fn pipeline_on_streaming_workload_reaches_high_f1() {
+    let workload = workload_by_name("libquantum").unwrap();
+    let trace = workload.generate(12_000, 5);
+    let sim = Simulator::new(SimConfig::table_iii());
+    let llc = sim.run(&trace, &mut NullPrefetcher, true).llc_trace.unwrap();
+    assert!(!llc.is_empty(), "LLC stream must not be empty");
+
+    let pre = small_pre();
+    let split = llc.len() * 6 / 10;
+    let train = build_dataset(&llc[..split], &pre, 4);
+    let test = build_dataset(&llc[split..], &pre, 4);
+    assert!(train.len() > 100 && test.len() > 50);
+
+    let teacher = ModelConfig {
+        input_dim: pre.input_dim(),
+        dim: 32,
+        heads: 2,
+        layers: 1,
+        ffn_dim: 64,
+        output_dim: pre.output_dim(),
+        seq_len: pre.seq_len,
+    };
+    let student = ModelConfig { dim: 16, ffn_dim: 32, ..teacher.clone() };
+    let cfg = PipelineConfig {
+        teacher,
+        student,
+        teacher_train: TrainConfig { epochs: 3, ..Default::default() },
+        distill: DistillConfig {
+            train: TrainConfig { epochs: 4, ..Default::default() },
+            ..Default::default()
+        },
+        tabular: TabularConfig { k: 64, c: 2, fine_tune_epochs: 3, ..Default::default() },
+        train_student_without_kd: false,
+        seed: 1,
+    };
+    let artifacts = run_pipeline(&train, &test, &cfg);
+
+    // Streaming is the easy regime: every stage should predict well.
+    assert!(artifacts.f1.teacher > 0.7, "teacher F1 {}", artifacts.f1.teacher);
+    assert!(artifacts.f1.student > 0.6, "student F1 {}", artifacts.f1.student);
+    assert!(artifacts.f1.dart > 0.5, "DART F1 {}", artifacts.f1.dart);
+    // The tables approximate the student from below (small tolerance).
+    assert!(artifacts.f1.dart <= artifacts.f1.student + 0.1);
+    // Diagnostics cover input, per-block marks, and output.
+    assert!(artifacts.report.similarities.len() >= 7);
+    assert!(artifacts.tabular.storage_bytes() > 0);
+}
+
+/// Tabularization must preserve batch semantics: predicting sample-by-sample
+/// equals predicting a stacked batch.
+#[test]
+fn tabular_model_batch_equals_single() {
+    let workload = workload_by_name("gcc").unwrap();
+    let trace = workload.generate(6_000, 9);
+    let sim = Simulator::new(SimConfig::table_iii());
+    let llc = sim.run(&trace, &mut NullPrefetcher, true).llc_trace.unwrap();
+    let pre = small_pre();
+    let data = build_dataset(&llc, &pre, 8);
+
+    let student = dart::nn::model::AccessPredictor::new(
+        ModelConfig {
+            input_dim: pre.input_dim(),
+            dim: 16,
+            heads: 2,
+            layers: 1,
+            ffn_dim: 32,
+            output_dim: pre.output_dim(),
+            seq_len: pre.seq_len,
+        },
+        3,
+    )
+    .unwrap();
+    let tab_cfg = TabularConfig { k: 16, c: 2, fine_tune_epochs: 0, ..Default::default() };
+    let (table, _) = dart::core::tabularize::tabularize(&student, &data.inputs, &tab_cfg);
+
+    let (batch_x, _) = data.batch(0, 4.min(data.len()));
+    let batch_probs = table.forward_probs(&batch_x);
+    for i in 0..batch_probs.rows() {
+        let (x, _) = data.batch(i, i + 1);
+        let single = table.forward_probs(&x);
+        for j in 0..single.cols() {
+            assert!(
+                (single.get(0, j) - batch_probs.get(i, j)).abs() < 1e-5,
+                "sample {i} bit {j} differs between batch and single"
+            );
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Cross-crate integration: prefetchers inside the simulator.
+
+use dart::prefetch::{BestOffset, Isb, NnBatchPrefetcher};
+use dart::sim::{NullPrefetcher, Prefetcher, SimConfig, Simulator};
+use dart::trace::workload_by_name;
+
+/// BO must beat no-prefetching on a streaming workload (the regime it was
+/// designed for).
+#[test]
+fn best_offset_speeds_up_streams() {
+    let trace = workload_by_name("libquantum").unwrap().generate(20_000, 3);
+    let sim = Simulator::new(SimConfig::table_iii());
+    let base = sim.run(&trace, &mut NullPrefetcher, false);
+    let mut bo = BestOffset::new();
+    let with_bo = sim.run(&trace, &mut bo, false);
+    // Degree-1 BO leaves some latency exposed; require a solid, not
+    // heroic, speedup.
+    assert!(
+        with_bo.ipc() > base.ipc() * 1.05,
+        "BO should speed up a stream: {} vs {}",
+        with_bo.ipc(),
+        base.ipc()
+    );
+    assert!(with_bo.prefetch_accuracy() > 0.8, "acc {}", with_bo.prefetch_accuracy());
+}
+
+/// An oracle prefetcher built from the trace itself must approach perfect
+/// accuracy — and its 25-kilocycle-latency twin must do strictly worse
+/// (the paper's central latency argument, end to end).
+#[test]
+fn oracle_prefetcher_latency_ablation() {
+    let trace = workload_by_name("milc").unwrap().generate(20_000, 7);
+    let sim = Simulator::new(SimConfig::table_iii());
+    let base = sim.run(&trace, &mut NullPrefetcher, true);
+    let llc = base.llc_trace.clone().unwrap();
+
+    // Oracle: at LLC access i, "predict" the blocks of accesses i+1..i+4.
+    let preds: Vec<Vec<u64>> = (0..llc.len())
+        .map(|i| {
+            llc[i + 1..llc.len().min(i + 5)]
+                .iter()
+                .map(|r| r.block())
+                .collect()
+        })
+        .collect();
+
+    let mut ideal = NnBatchPrefetcher::new("oracle-0", 0, 0, preds.clone());
+    let mut slow = NnBatchPrefetcher::new("oracle-25k", 25_000, 0, preds);
+    let ideal_r = sim.run(&trace, &mut ideal, false);
+    let slow_r = sim.run(&trace, &mut slow, false);
+
+    assert!(ideal_r.prefetch_coverage() > 0.5, "ideal cov {}", ideal_r.prefetch_coverage());
+    assert!(
+        slow_r.prefetch_coverage() < ideal_r.prefetch_coverage() * 0.5,
+        "latency should destroy coverage: {} vs {}",
+        slow_r.prefetch_coverage(),
+        ideal_r.prefetch_coverage()
+    );
+    assert!(ideal_r.ipc() > slow_r.ipc(), "latency should cost IPC");
+}
+
+/// ISB only helps once streams recur; on cold streams it must at least do no
+/// harm and issue (almost) nothing.
+#[test]
+fn isb_is_quiet_on_cold_streams() {
+    let trace = workload_by_name("libquantum").unwrap().generate(10_000, 1);
+    let sim = Simulator::new(SimConfig::table_iii());
+    let base = sim.run(&trace, &mut NullPrefetcher, false);
+    let mut isb = Isb::new();
+    let r = sim.run(&trace, &mut isb, false);
+    // Cold blocks are never revisited, so the pair table never fires.
+    assert_eq!(r.prefetches_issued, 0);
+    assert!((r.ipc() - base.ipc()).abs() / base.ipc() < 0.01);
+}
+
+/// The simulator's demand behaviour must be identical across prefetchers
+/// (what makes batch precomputation of NN predictions legitimate).
+#[test]
+fn llc_demand_stream_invariant_under_prefetching() {
+    let trace = workload_by_name("wrf").unwrap().generate(15_000, 13);
+    let sim = Simulator::new(SimConfig::table_iii());
+    let a = sim.run(&trace, &mut NullPrefetcher, true);
+    let mut bo = BestOffset::new();
+    let b = sim.run(&trace, &mut bo, true);
+    assert_eq!(a.llc_trace.unwrap(), b.llc_trace.unwrap());
+}

@@ -1,0 +1,118 @@
+//! Cross-crate integration and property tests: workloads through the
+//! simulator, dataset construction, and metric invariants.
+
+use dart::sim::{NullPrefetcher, SimConfig, Simulator};
+use dart::trace::{build_dataset, spec_workloads, PreprocessConfig, TraceStats};
+use proptest::prelude::*;
+
+/// Every Table IV workload must flow through the simulator and produce a
+/// non-degenerate LLC stream and dataset.
+#[test]
+fn all_workloads_simulate_and_preprocess() {
+    let sim = Simulator::new(SimConfig::table_iii());
+    let pre = PreprocessConfig {
+        seq_len: 8,
+        addr_segments: 5,
+        seg_bits: 6,
+        pc_segments: 1,
+        delta_range: 32,
+        lookforward: 20,
+    };
+    for w in spec_workloads() {
+        let trace = w.generate(5_000, 99);
+        let r = sim.run(&trace, &mut NullPrefetcher, true);
+        assert!(r.ipc() > 0.0, "{}: zero IPC", w.name);
+        let llc = r.llc_trace.unwrap();
+        assert!(!llc.is_empty(), "{}: empty LLC stream", w.name);
+        let ds = build_dataset(&llc, &pre, 4);
+        assert!(ds.len() > 0, "{}: empty dataset", w.name);
+        // Labels must carry some positives somewhere (except possibly the
+        // pointer-chasing extreme at this tiny scale).
+        let positives: f32 = ds.targets.as_slice().iter().sum();
+        if !w.name.contains("mcf") {
+            assert!(positives > 0.0, "{}: all-zero labels", w.name);
+        }
+    }
+}
+
+/// The relative difficulty ordering of Table IV must hold at any scale:
+/// mcf has the most unique deltas, libquantum the fewest.
+#[test]
+fn delta_ordering_matches_paper() {
+    let stats: Vec<(String, TraceStats)> = spec_workloads()
+        .iter()
+        .map(|w| (w.name.clone(), TraceStats::compute(&w.generate(20_000, 3))))
+        .collect();
+    let get = |name: &str| {
+        stats.iter().find(|(n, _)| n.contains(name)).map(|(_, s)| s.unique_deltas).unwrap()
+    };
+    let mcf = get("mcf");
+    let libq = get("libquantum");
+    for (name, s) in &stats {
+        if !name.contains("mcf") {
+            assert!(s.unique_deltas < mcf, "{name} deltas {} >= mcf {mcf}", s.unique_deltas);
+        }
+        if !name.contains("libquantum") {
+            assert!(
+                s.unique_deltas > libq,
+                "{name} deltas {} <= libquantum {libq}",
+                s.unique_deltas
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// IPC is positive and bounded by core width for arbitrary trace shapes.
+    #[test]
+    fn ipc_is_bounded(len in 100usize..2000, gap in 0u64..50, stride in 1u64..9) {
+        let trace: Vec<dart::trace::TraceRecord> = (0..len as u64)
+            .map(|i| dart::trace::TraceRecord {
+                instr_id: i * (gap + 1),
+                pc: 0x400000,
+                addr: 0x100_0000 + i * stride * 64,
+            })
+            .collect();
+        let sim = Simulator::new(SimConfig::small());
+        let r = sim.run(&trace, &mut NullPrefetcher, false);
+        prop_assert!(r.ipc() > 0.0);
+        prop_assert!(r.ipc() <= 4.0 + 1e-9);
+        prop_assert_eq!(r.l1d.accesses, len as u64);
+    }
+
+    /// Cache stats identity: hits + misses == accesses at every level.
+    #[test]
+    fn cache_stats_identity(len in 100usize..1500, span in 1u64..500) {
+        let trace: Vec<dart::trace::TraceRecord> = (0..len as u64)
+            .map(|i| dart::trace::TraceRecord {
+                instr_id: i * 5,
+                pc: 0x400000,
+                addr: 0x100_0000 + (i % span) * 64,
+            })
+            .collect();
+        let sim = Simulator::new(SimConfig::small());
+        let r = sim.run(&trace, &mut NullPrefetcher, false);
+        for stats in [r.l1d, r.l2, r.llc] {
+            prop_assert_eq!(stats.hits + stats.misses, stats.accesses);
+        }
+    }
+
+    /// Trace IO round-trips arbitrary records.
+    #[test]
+    fn trace_io_roundtrip(records in proptest::collection::vec(
+        (0u64..u64::MAX / 2, 0u64..u64::MAX / 2, 0u64..u64::MAX / 2),
+        0..50,
+    )) {
+        let mut trace: Vec<dart::trace::TraceRecord> = records
+            .iter()
+            .map(|&(i, pc, addr)| dart::trace::TraceRecord { instr_id: i, pc, addr })
+            .collect();
+        trace.sort_by_key(|r| r.instr_id);
+        let mut buf = Vec::new();
+        dart::trace::io::write_binary(&mut buf, &trace).unwrap();
+        let back = dart::trace::io::read_binary(&buf[..]).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+}
