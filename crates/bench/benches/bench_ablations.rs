@@ -51,7 +51,8 @@ fn bench_attention_activation(c: &mut Criterion) {
         ("sigmoid_scaled", AttentionActivation::SigmoidScaled),
         ("softmax_per_subspace", AttentionActivation::SoftmaxPerSubspace),
     ] {
-        let cfg = AttentionTableConfig { k: 64, ck: 2, ct: 2, activation: act, ..Default::default() };
+        let cfg =
+            AttentionTableConfig { k: 64, ck: 2, ct: 2, activation: act, ..Default::default() };
         let table = AttentionTable::fit(&q, &k, &v, t, &cfg);
         let qs = q.slice_rows(0, t);
         let ks = k.slice_rows(0, t);

@@ -33,9 +33,7 @@ fn bench_inference(c: &mut Criterion) {
     group.bench_function("student_L1_D32", |b| {
         b.iter(|| black_box(student.forward_logits(&x, false)))
     });
-    group.bench_function("dart_tables_K128_C2", |b| {
-        b.iter(|| black_box(dart.forward_probs(&x)))
-    });
+    group.bench_function("dart_tables_K128_C2", |b| b.iter(|| black_box(dart.forward_probs(&x))));
     group.finish();
 }
 

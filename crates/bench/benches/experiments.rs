@@ -56,13 +56,14 @@ fn main() {
         // regeneration stays within a coffee break (unset DART_WORKLOADS and
         // DART_SCALE=full for the paper-faithful runs).
         let heavy = ["exp_table6", "exp_table7", "exp_fig8", "exp_fig9", "exp_prefetching"];
-        let envs: &[(&str, &str)] = if bin.starts_with("exp_fig1") && bin != "exp_fig10" && bin != "exp_fig11" {
-            &[("DART_REUSE", "1"), ("DART_WORKLOADS", "2")]
-        } else if heavy.contains(&bin) {
-            &[("DART_WORKLOADS", "2")]
-        } else {
-            &[]
-        };
+        let envs: &[(&str, &str)] =
+            if bin.starts_with("exp_fig1") && bin != "exp_fig10" && bin != "exp_fig11" {
+                &[("DART_REUSE", "1"), ("DART_WORKLOADS", "2")]
+            } else if heavy.contains(&bin) {
+                &[("DART_WORKLOADS", "2")]
+            } else {
+                &[]
+            };
         run(bin, envs);
     }
     println!("\nAll experiments done. JSON records: target/experiments/");

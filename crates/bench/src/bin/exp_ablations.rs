@@ -31,22 +31,23 @@ fn main() {
         students.push((prepared, artifacts.student));
     }
 
-    let mut run_setting = |name: &str, setting: &str, mutate: &dyn Fn(&mut dart_core::config::TabularConfig)| {
-        let mut row = vec![name.to_string(), setting.to_string()];
-        let mut scores = Vec::new();
-        for (prepared, student) in &students {
-            let mut cfg = tabular_config(ctx.scale, &variant);
-            mutate(&mut cfg);
-            let (tab, _) = tabularize(student, &prepared.train.inputs, &cfg);
-            let f1 = evaluate_tabular_f1(&tab, &prepared.test, 256);
-            row.push(format!("{f1:.3}"));
-            scores.push(f1);
-        }
-        t.row(row);
-        records.push(serde_json::json!({
-            "ablation": name, "setting": setting, "f1": scores,
-        }));
-    };
+    let mut run_setting =
+        |name: &str, setting: &str, mutate: &dyn Fn(&mut dart_core::config::TabularConfig)| {
+            let mut row = vec![name.to_string(), setting.to_string()];
+            let mut scores = Vec::new();
+            for (prepared, student) in &students {
+                let mut cfg = tabular_config(ctx.scale, &variant);
+                mutate(&mut cfg);
+                let (tab, _) = tabularize(student, &prepared.train.inputs, &cfg);
+                let f1 = evaluate_tabular_f1(&tab, &prepared.test, 256);
+                row.push(format!("{f1:.3}"));
+                scores.push(f1);
+            }
+            t.row(row);
+            records.push(serde_json::json!({
+                "ablation": name, "setting": setting, "f1": scores,
+            }));
+        };
 
     run_setting("encoder", "argmin (exact)", &|c| c.encoder = EncoderKind::Argmin);
     run_setting("encoder", "hash-tree (log K)", &|c| c.encoder = EncoderKind::HashTree);

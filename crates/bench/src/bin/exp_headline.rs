@@ -19,8 +19,7 @@ fn load(name: &str) -> Option<Value> {
 
 fn mean_of(records: &Value, stage: &str) -> Option<f64> {
     let arr = records.as_array()?;
-    let vals: Vec<f64> =
-        arr.iter().filter_map(|r| r.get("ours")?.get(stage)?.as_f64()).collect();
+    let vals: Vec<f64> = arr.iter().filter_map(|r| r.get("ours")?.get(stage)?.as_f64()).collect();
     if vals.is_empty() {
         None
     } else {
@@ -113,11 +112,7 @@ fn main() {
 
     if let Some(m) = load("prefetching") {
         let ipc = |p: &str| prefetch_mean(&m, p, "ipc_improvement_pct");
-        t.row(vec![
-            "DART IPC improvement".into(),
-            "37.6%".into(),
-            fmt(ipc("DART"), 1.0, "%"),
-        ]);
+        t.row(vec!["DART IPC improvement".into(), "37.6%".into(), fmt(ipc("DART"), 1.0, "%")]);
         if let (Some(d), Some(b)) = (ipc("DART"), ipc("BO")) {
             t.row(vec![
                 "DART over BO (IPC points)".into(),

@@ -20,26 +20,60 @@ fn main() {
     let dc = model_cost(&dart, &shape);
 
     let mut t = Table::new(&[
-        "Model", "L", "D", "H", "K", "C", "Latency (paper)", "Latency (ours)",
-        "Storage (paper)", "Storage (ours)", "Ops (paper)", "Ops (ours)",
+        "Model",
+        "L",
+        "D",
+        "H",
+        "K",
+        "C",
+        "Latency (paper)",
+        "Latency (ours)",
+        "Storage (paper)",
+        "Storage (ours)",
+        "Ops (paper)",
+        "Ops (ours)",
     ]);
     t.row(vec![
-        "Teacher".into(), "4".into(), "256".into(), "8".into(), "-".into(), "-".into(),
-        "16.5K".into(), human_count(tc.latency_cycles),
-        "86.2MB".into(), human_bytes(tc.storage_bytes),
-        "98.3M".into(), human_count(tc.ops),
+        "Teacher".into(),
+        "4".into(),
+        "256".into(),
+        "8".into(),
+        "-".into(),
+        "-".into(),
+        "16.5K".into(),
+        human_count(tc.latency_cycles),
+        "86.2MB".into(),
+        human_bytes(tc.storage_bytes),
+        "98.3M".into(),
+        human_count(tc.ops),
     ]);
     t.row(vec![
-        "Student".into(), "1".into(), "32".into(), "2".into(), "-".into(), "-".into(),
-        "908".into(), human_count(sc.latency_cycles),
-        "827.4KB".into(), human_bytes(sc.storage_bytes),
-        "134.7K".into(), human_count(sc.ops),
+        "Student".into(),
+        "1".into(),
+        "32".into(),
+        "2".into(),
+        "-".into(),
+        "-".into(),
+        "908".into(),
+        human_count(sc.latency_cycles),
+        "827.4KB".into(),
+        human_bytes(sc.storage_bytes),
+        "134.7K".into(),
+        human_count(sc.ops),
     ]);
     t.row(vec![
-        "DART".into(), "1".into(), "32".into(), "2".into(), "128".into(), "2".into(),
-        "97".into(), dc.latency_cycles.to_string(),
-        "864.4KB".into(), human_bytes(dc.storage_bytes),
-        "11.0K".into(), human_count(dc.ops),
+        "DART".into(),
+        "1".into(),
+        "32".into(),
+        "2".into(),
+        "128".into(),
+        "2".into(),
+        "97".into(),
+        dc.latency_cycles.to_string(),
+        "864.4KB".into(),
+        human_bytes(dc.storage_bytes),
+        "11.0K".into(),
+        human_count(dc.ops),
     ]);
     print_table("Table V: model configurations and complexity", &t);
 

@@ -23,16 +23,17 @@ fn main() {
     let variant = PredictorConfig::dart();
     let mut t = Table::new(&[
         "Application",
-        "Teacher p.", "Teacher ours",
-        "Stu w/o KD p.", "Stu w/o KD ours",
-        "Student p.", "Student ours",
+        "Teacher p.",
+        "Teacher ours",
+        "Stu w/o KD p.",
+        "Stu w/o KD ours",
+        "Student p.",
+        "Student ours",
     ]);
     let mut records = Vec::new();
     let mut sums = [0.0f64; 3];
-    let workloads: Vec<_> = spec_workloads()
-        .into_iter()
-        .take(dart_bench::prefetch_eval::workload_limit())
-        .collect();
+    let workloads: Vec<_> =
+        spec_workloads().into_iter().take(dart_bench::prefetch_eval::workload_limit()).collect();
     for (wi, workload) in workloads.iter().enumerate() {
         eprintln!("[table6] {} ({}/{})", workload.name, wi + 1, workloads.len());
         let prepared = ctx.prepare(workload, 0x7AB6 + wi as u64 * 13);

@@ -25,16 +25,16 @@ fn main() {
     let variant = PredictorConfig::dart();
     let mut t = Table::new(&[
         "Application",
-        "w/o FT p.", "w/o FT ours",
-        "DART p.", "DART ours",
+        "w/o FT p.",
+        "w/o FT ours",
+        "DART p.",
+        "DART ours",
         "Student ours",
     ]);
     let mut records = Vec::new();
     let mut sums = [0.0f64; 3];
-    let workloads: Vec<_> = spec_workloads()
-        .into_iter()
-        .take(dart_bench::prefetch_eval::workload_limit())
-        .collect();
+    let workloads: Vec<_> =
+        spec_workloads().into_iter().take(dart_bench::prefetch_eval::workload_limit()).collect();
     for (wi, workload) in workloads.iter().enumerate() {
         eprintln!("[table7] {} ({}/{})", workload.name, wi + 1, workloads.len());
         let prepared = ctx.prepare(workload, 0x7AB7 + wi as u64 * 13);

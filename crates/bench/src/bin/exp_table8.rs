@@ -15,8 +15,16 @@ fn main() {
     ];
 
     let mut t = Table::new(&[
-        "Prefetcher", "Constraints (t/cyc, s/B)", "Config paper", "Config ours",
-        "Latency paper", "Latency ours", "Storage paper", "Storage ours", "Ops paper", "Ops ours",
+        "Prefetcher",
+        "Constraints (t/cyc, s/B)",
+        "Config paper",
+        "Config ours",
+        "Latency paper",
+        "Latency ours",
+        "Storage paper",
+        "Storage ours",
+        "Ops paper",
+        "Ops ours",
     ]);
     let mut records = Vec::new();
     for (name, constraints, p_cfg, p_lat, p_sto, p_ops) in cases {

@@ -9,7 +9,12 @@ use dart_sim::Prefetcher;
 
 fn main() {
     let mut t = Table::new(&[
-        "Prefetcher", "Storage (paper)", "Latency (paper)", "Table", "ML", "Mechanism",
+        "Prefetcher",
+        "Storage (paper)",
+        "Latency (paper)",
+        "Table",
+        "ML",
+        "Mechanism",
         "Our impl storage",
     ]);
     let bo = BestOffset::new();

@@ -159,8 +159,8 @@ mod tests {
         let mut prepared = ctx.prepare(&w, 42);
         prepared.trace.truncate(0); // only checking dataset invariants
         assert!(!prepared.llc_trace.is_empty());
-        assert!(prepared.train.len() > 0);
-        assert!(prepared.test.len() > 0);
+        assert!(!prepared.train.is_empty());
+        assert!(!prepared.test.is_empty());
         assert_eq!(prepared.train.inputs.cols(), ctx.pre.input_dim());
         assert_eq!(prepared.train.targets.cols(), ctx.pre.output_dim());
     }

@@ -126,17 +126,12 @@ pub fn run_matrix(ctx: &ExperimentContext, verbose: bool) -> PrefetchMatrix {
         train_bce(&mut teacher, &prepared.train, &train_config(ctx.scale, 3, 8));
 
         for (name, variant) in dart_variants() {
-            let dcfg = DistillConfig {
-                train: train_config(ctx.scale, 5, 12),
-                ..Default::default()
-            };
+            let dcfg =
+                DistillConfig { train: train_config(ctx.scale, 5, 12), ..Default::default() };
             let (student, _) =
                 distill(&mut teacher, student_config(&variant, &ctx.pre), &prepared.train, &dcfg);
-            let (tabular, _) = tabularize(
-                &student,
-                &prepared.train.inputs,
-                &tabular_config(ctx.scale, &variant),
-            );
+            let (tabular, _) =
+                tabularize(&student, &prepared.train.inputs, &tabular_config(ctx.scale, &variant));
             let latency = model_latency(&variant);
             let mut dart = DartPrefetcher::with_latency(
                 name,

@@ -28,10 +28,7 @@ pub fn teacher_config(scale: Scale, pre: &PreprocessConfig) -> ModelConfig {
 }
 
 /// Student architecture for a DART variant.
-pub fn student_config(
-    variant: &PredictorConfig,
-    pre: &PreprocessConfig,
-) -> ModelConfig {
+pub fn student_config(variant: &PredictorConfig, pre: &PreprocessConfig) -> ModelConfig {
     variant.to_model_config(pre.input_dim(), pre.output_dim(), pre.seq_len)
 }
 

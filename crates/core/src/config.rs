@@ -70,7 +70,12 @@ impl PredictorConfig {
     }
 
     /// Expand to a full `dart-nn` model configuration.
-    pub fn to_model_config(&self, input_dim: usize, output_dim: usize, seq_len: usize) -> ModelConfig {
+    pub fn to_model_config(
+        &self,
+        input_dim: usize,
+        output_dim: usize,
+        seq_len: usize,
+    ) -> ModelConfig {
         ModelConfig {
             input_dim,
             dim: self.dim,
@@ -140,9 +145,18 @@ mod tests {
 
     #[test]
     fn paper_configs_match_table_viii() {
-        assert_eq!(PredictorConfig::dart_s(), PredictorConfig { layers: 1, dim: 16, heads: 2, k: 16, c: 1 });
-        assert_eq!(PredictorConfig::dart(), PredictorConfig { layers: 1, dim: 32, heads: 2, k: 128, c: 2 });
-        assert_eq!(PredictorConfig::dart_l(), PredictorConfig { layers: 2, dim: 32, heads: 2, k: 256, c: 2 });
+        assert_eq!(
+            PredictorConfig::dart_s(),
+            PredictorConfig { layers: 1, dim: 16, heads: 2, k: 16, c: 1 }
+        );
+        assert_eq!(
+            PredictorConfig::dart(),
+            PredictorConfig { layers: 1, dim: 32, heads: 2, k: 128, c: 2 }
+        );
+        assert_eq!(
+            PredictorConfig::dart_l(),
+            PredictorConfig { layers: 2, dim: 32, heads: 2, k: 256, c: 2 }
+        );
     }
 
     #[test]

@@ -165,7 +165,10 @@ impl TableConfigurator {
     /// with the **highest** latency not exceeding `τ`, pick the one with the
     /// **maximum** storage not exceeding `s`; if none qualifies, fall back to
     /// the next-lower latency tier, and so on.
-    pub fn configure(&self, constraints: &DesignConstraints) -> Option<(PredictorConfig, ModelCost)> {
+    pub fn configure(
+        &self,
+        constraints: &DesignConstraints,
+    ) -> Option<(PredictorConfig, ModelCost)> {
         let mut cands: Vec<(PredictorConfig, ModelCost)> = self
             .candidates()
             .into_iter()
@@ -303,7 +306,9 @@ mod tests {
             .collect();
         let stores: Vec<u64> = ks
             .iter()
-            .map(|&k| model_storage_bytes(&PredictorConfig { k, ..PredictorConfig::dart() }, &shape))
+            .map(|&k| {
+                model_storage_bytes(&PredictorConfig { k, ..PredictorConfig::dart() }, &shape)
+            })
             .collect();
         // Eq. 22 has eight log(K) terms at L = 1 (input + output linears,
         // four encoder linears, and 2 log K inside the attention kernel).

@@ -72,8 +72,8 @@ pub fn train_student_without_kd(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dart_nn::model::SequenceModel;
     use dart_nn::matrix::Matrix;
+    use dart_nn::model::SequenceModel;
     use dart_nn::train::evaluate_f1;
 
     /// A learnable toy task: bit b is set iff the (normalized) mean of the
@@ -159,8 +159,7 @@ mod tests {
     fn student_without_kd_trains() {
         let data = toy_dataset(128, 4, 4, 6, 17);
         let tcfg = TrainConfig { epochs: 10, batch_size: 32, ..Default::default() };
-        let (mut student, history) =
-            train_student_without_kd(small_student_cfg(), &data, &tcfg, 3);
+        let (mut student, history) = train_student_without_kd(small_student_cfg(), &data, &tcfg, 3);
         assert!(history.last().unwrap().loss < history.first().unwrap().loss);
         let f1 = evaluate_f1(&mut student, &data, 64);
         assert!(f1 > 0.6, "F1 {f1}");

@@ -26,7 +26,7 @@ impl ExactLayerNorm {
         ExactLayerNorm {
             gamma: ln.gamma.value.as_slice().to_vec(),
             beta: ln.beta.value.as_slice().to_vec(),
-            eps: 1e-5,
+            eps: ln.eps(),
         }
     }
 
@@ -108,11 +108,16 @@ pub struct TabularEncoderBlock {
 
 impl TabularEncoderBlock {
     /// Forward one stacked batch (`(batch*T) x D`).
+    ///
+    /// Every kernel runs its batched path: the QKV/out/FFN linear kernels
+    /// aggregate subspace-major over the whole batch, and each attention
+    /// head processes all samples in one `query_batch` call with shared
+    /// scratch buffers.
     pub fn forward(&self, x: &Matrix, seq_len: usize) -> Matrix {
         let dim = x.cols();
         let heads = self.heads.len();
         let dh = dim / heads;
-        let batch = x.rows() / seq_len;
+        debug_assert_eq!(x.rows() % seq_len, 0, "rows not divisible by seq_len");
 
         let a = self.ln1.apply(x);
         let qkv = self.qkv.query(&a);
@@ -121,16 +126,14 @@ impl TabularEncoderBlock {
         let v = qkv.slice_cols(2 * dim, 3 * dim);
 
         let mut concat = Matrix::zeros(x.rows(), dim);
-        for n in 0..batch {
-            for (h, head) in self.heads.iter().enumerate() {
-                let (lo, hi) = (h * dh, (h + 1) * dh);
-                let qs = q.slice_rows(n * seq_len, (n + 1) * seq_len).slice_cols(lo, hi);
-                let ks = k.slice_rows(n * seq_len, (n + 1) * seq_len).slice_cols(lo, hi);
-                let vs = v.slice_rows(n * seq_len, (n + 1) * seq_len).slice_cols(lo, hi);
-                let y = head.query(&qs, &ks, &vs);
-                for t in 0..seq_len {
-                    concat.row_mut(n * seq_len + t)[lo..hi].copy_from_slice(y.row(t));
-                }
+        for (h, head) in self.heads.iter().enumerate() {
+            let (lo, hi) = (h * dh, (h + 1) * dh);
+            let qs = q.slice_cols(lo, hi);
+            let ks = k.slice_cols(lo, hi);
+            let vs = v.slice_cols(lo, hi);
+            let y = head.query_batch(&qs, &ks, &vs);
+            for r in 0..x.rows() {
+                concat.row_mut(r)[lo..hi].copy_from_slice(y.row(r));
             }
         }
         let x1 = x.add(&self.out.query(&concat));
@@ -206,6 +209,26 @@ impl TabularModel {
         let mut logits = self.forward_logits(x);
         self.sigmoid.apply(logits.as_mut_slice());
         logits
+    }
+
+    /// Batched prediction over `B` stacked samples — the serving entry
+    /// point used by `dart-serve`.
+    ///
+    /// `x` is `(B * seq_len) x D_I`: sample `n`'s token rows occupy rows
+    /// `[n*seq_len, (n+1)*seq_len)`. Returns `B x D_O` bitmap
+    /// probabilities. Results are bit-for-bit identical to calling
+    /// [`Self::forward_probs`] on each sample individually; the batched
+    /// path amortizes table-lookup locality and scratch buffers across the
+    /// whole batch.
+    pub fn predict_batch(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.rows() % self.config.seq_len,
+            0,
+            "predict_batch rows {} not divisible by seq_len {}",
+            x.rows(),
+            self.config.seq_len
+        );
+        self.forward_probs(x)
     }
 
     /// Measured table storage in bytes (actual, not the Eq. 23 estimate).

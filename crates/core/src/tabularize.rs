@@ -103,8 +103,7 @@ pub fn tabularize(
         // QKV projection.
         let qkv_target = blk.msa.qkv.apply(&a_exact);
         let (w, b) = fine_tune_linear(&blk.msa.qkv, &a_approx, &qkv_target, cfg);
-        let qkv =
-            LinearTable::fit(&a_approx, &w, &b, cfg.c, cfg.k, cfg.encoder, next_seed());
+        let qkv = LinearTable::fit(&a_approx, &w, &b, cfg.c, cfg.k, cfg.encoder, next_seed());
         let qkv_approx = qkv.query(&a_approx);
         report.record(format!("block{bi}.qkv"), &qkv_approx, &qkv_target);
 
@@ -134,8 +133,7 @@ pub fn tabularize(
         // Output projection + residual.
         let out_target = blk.msa.out.apply(&concat_exact);
         let (w, b) = fine_tune_linear(&blk.msa.out, &concat_approx, &out_target, cfg);
-        let out =
-            LinearTable::fit(&concat_approx, &w, &b, cfg.c, cfg.k, cfg.encoder, next_seed());
+        let out = LinearTable::fit(&concat_approx, &w, &b, cfg.c, cfg.k, cfg.encoder, next_seed());
         approx = approx.add(&out.query(&concat_approx));
         exact = exact.add(&out_target);
         report.record(format!("block{bi}.msa_residual"), &approx, &exact);
@@ -175,8 +173,7 @@ pub fn tabularize(
             // FFN output with the ReLU folded into the table prototypes:
             // the fine-tune regresses on post-ReLU inputs, the table is
             // fitted on pre-ReLU inputs with a Relu prototype transform.
-            let (w, b) =
-                fine_tune_linear(&blk.ffn.output, &relu(&hidden_approx), &ffn_target, cfg);
+            let (w, b) = fine_tune_linear(&blk.ffn.output, &relu(&hidden_approx), &ffn_target, cfg);
             let ffn_out = LinearTable::fit_transformed(
                 &hidden_approx,
                 &w,
@@ -206,8 +203,7 @@ pub fn tabularize(
     // --- Output linear --------------------------------------------------------
     let out_target = student.output_linear.apply(&exact);
     let (w, b) = fine_tune_linear(&student.output_linear, &approx, &out_target, cfg);
-    let output_linear =
-        LinearTable::fit(&approx, &w, &b, cfg.c, cfg.k, cfg.encoder, next_seed());
+    let output_linear = LinearTable::fit(&approx, &w, &b, cfg.c, cfg.k, cfg.encoder, next_seed());
     let out_approx = output_linear.query(&approx);
     report.record("output_linear", &out_approx, &out_target);
 

@@ -186,8 +186,10 @@ mod tests {
 
     #[test]
     fn lstm_latency_scales_linearly_with_seq() {
-        let short = lstm_model_cost(&LstmConfig { input_dim: 8, hidden: 64, output_dim: 128, seq_len: 8 });
-        let long = lstm_model_cost(&LstmConfig { input_dim: 8, hidden: 64, output_dim: 128, seq_len: 16 });
+        let short =
+            lstm_model_cost(&LstmConfig { input_dim: 8, hidden: 64, output_dim: 128, seq_len: 8 });
+        let long =
+            lstm_model_cost(&LstmConfig { input_dim: 8, hidden: 64, output_dim: 128, seq_len: 16 });
         let delta = long.latency_cycles - short.latency_cycles;
         // Doubling T should roughly double the recurrent latency share.
         assert!(delta > short.latency_cycles / 2);
@@ -196,8 +198,12 @@ mod tests {
     #[test]
     fn lstm_is_slower_than_attention_at_same_scale() {
         // The recurrence serializes; attention parallelizes.
-        let lstm =
-            lstm_model_cost(&LstmConfig { input_dim: 8, hidden: 256, output_dim: 128, seq_len: 16 });
+        let lstm = lstm_model_cost(&LstmConfig {
+            input_dim: 8,
+            hidden: 256,
+            output_dim: 128,
+            seq_len: 16,
+        });
         let attn = attention_model_cost(&ModelConfig {
             input_dim: 8,
             dim: 256,

@@ -24,7 +24,13 @@ pub struct EncoderBlock {
 
 impl EncoderBlock {
     /// New encoder block.
-    pub fn new(dim: usize, heads: usize, ffn_dim: usize, seq_len: usize, rng: &mut InitRng) -> Self {
+    pub fn new(
+        dim: usize,
+        heads: usize,
+        ffn_dim: usize,
+        seq_len: usize,
+        rng: &mut InitRng,
+    ) -> Self {
         EncoderBlock {
             ln1: LayerNorm::new(dim),
             msa: Msa::new(dim, heads, seq_len, rng),

@@ -41,6 +41,12 @@ impl LayerNorm {
         self.gamma.value.cols()
     }
 
+    /// Variance epsilon (copied verbatim into the tabular model's exact
+    /// LayerNorm so both predictors normalize identically).
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     /// Forward pass without caching.
     pub fn apply(&self, x: &Matrix) -> Matrix {
         self.normalize(x).0

@@ -32,11 +32,7 @@ impl Linear {
     pub fn from_parts(w: Matrix, b: Vec<f32>) -> Self {
         assert_eq!(b.len(), w.rows(), "bias length must equal out_dim");
         let out_dim = w.rows();
-        Linear {
-            w: Param::new(w),
-            b: Param::new(Matrix::from_vec(1, out_dim, b)),
-            cache_x: None,
-        }
+        Linear { w: Param::new(w), b: Param::new(Matrix::from_vec(1, out_dim, b)), cache_x: None }
     }
 
     /// Input feature dimension.

@@ -113,8 +113,8 @@ mod tests {
             lp.as_mut_slice()[i] += eps;
             let mut lm = logits.clone();
             lm.as_mut_slice()[i] -= eps;
-            let numeric = (bce_with_logits(&lp, &targets).0 - bce_with_logits(&lm, &targets).0)
-                / (2.0 * eps);
+            let numeric =
+                (bce_with_logits(&lp, &targets).0 - bce_with_logits(&lm, &targets).0) / (2.0 * eps);
             assert!((grad.as_slice()[i] - numeric).abs() < 1e-3);
         }
     }

@@ -149,7 +149,11 @@ impl Matrix {
 
     /// A new matrix holding rows `[start, end)`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "row slice {start}..{end} out of 0..{}", self.rows);
+        assert!(
+            start <= end && end <= self.rows,
+            "row slice {start}..{end} out of 0..{}",
+            self.rows
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,
@@ -410,7 +414,10 @@ impl Matrix {
 
     /// Row-wise means (length `rows`).
     pub fn row_means(&self) -> Vec<f32> {
-        self.data.chunks_exact(self.cols).map(|row| row.iter().sum::<f32>() / self.cols as f32).collect()
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().sum::<f32>() / self.cols as f32)
+            .collect()
     }
 
     /// Mean over all rows: returns a `1 x cols` matrix.

@@ -127,7 +127,13 @@ impl AccessPredictor {
         let mut rng = InitRng::new(seed);
         let blocks = (0..config.layers)
             .map(|_| {
-                EncoderBlock::new(config.dim, config.heads, config.ffn_dim, config.seq_len, &mut rng)
+                EncoderBlock::new(
+                    config.dim,
+                    config.heads,
+                    config.ffn_dim,
+                    config.seq_len,
+                    &mut rng,
+                )
             })
             .collect();
         Ok(AccessPredictor {

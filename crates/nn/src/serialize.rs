@@ -111,26 +111,26 @@ pub fn read_state<R: Read>(reader: R) -> io::Result<StateDict> {
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "shape overflow"))?;
         let mut raw = vec![0u8; n * 4];
         r.read_exact(&mut raw)?;
-        let data: Vec<f32> = raw
-            .chunks_exact(4)
-            .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
-            .collect();
+        let data: Vec<f32> =
+            raw.chunks_exact(4).map(|b| f32::from_le_bytes(b.try_into().unwrap())).collect();
         params.push(Matrix::from_vec(rows, cols, data));
     }
     Ok(StateDict { params })
 }
 
 /// Save a model's parameters to a file.
-pub fn save_model<M: SequenceModel + ?Sized>(model: &mut M, path: impl AsRef<Path>) -> io::Result<()> {
+pub fn save_model<M: SequenceModel + ?Sized>(
+    model: &mut M,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
     write_state(std::fs::File::create(path)?, &export_state(model))
 }
 
 /// Load parameters from a file into a model of the same architecture.
 pub fn load_model<M: SequenceModel + ?Sized>(model: &mut M, path: impl AsRef<Path>) -> Result<()> {
-    let state = read_state(
-        std::fs::File::open(path).map_err(|e| Error::Serialization(e.to_string()))?,
-    )
-    .map_err(|e| Error::Serialization(e.to_string()))?;
+    let state =
+        read_state(std::fs::File::open(path).map_err(|e| Error::Serialization(e.to_string()))?)
+            .map_err(|e| Error::Serialization(e.to_string()))?;
     import_state(model, &state)
 }
 
@@ -201,5 +201,4 @@ mod tests {
     fn bad_magic_rejected() {
         assert!(read_state(&[0u8; 32][..]).is_err());
     }
-
 }

@@ -344,7 +344,11 @@ pub fn evaluate_f1<M: SequenceModel>(model: &mut M, data: &Dataset, batch_size: 
 
 /// Compute a model's logits over a whole dataset (used to cache teacher
 /// outputs before distillation).
-pub fn predict_logits<M: SequenceModel>(model: &mut M, data: &Dataset, batch_size: usize) -> Matrix {
+pub fn predict_logits<M: SequenceModel>(
+    model: &mut M,
+    data: &Dataset,
+    batch_size: usize,
+) -> Matrix {
     let mut parts = Vec::new();
     let mut start = 0;
     while start < data.len() {
@@ -366,12 +370,9 @@ mod tests {
         let inputs = Matrix::from_fn(n * seq, di, |r, c| ((r * di + c) as f32 * 0.618).sin());
         let mut targets = Matrix::zeros(n, dout);
         for i in 0..n {
-            let mean: f32 = inputs
-                .slice_rows(i * seq, (i + 1) * seq)
-                .as_slice()
-                .iter()
-                .sum::<f32>()
-                / (seq * di) as f32;
+            let mean: f32 =
+                inputs.slice_rows(i * seq, (i + 1) * seq).as_slice().iter().sum::<f32>()
+                    / (seq * di) as f32;
             for b in 0..dout {
                 if mean > (b as f32 / dout as f32) - 0.5 {
                     targets.set(i, b, 1.0);

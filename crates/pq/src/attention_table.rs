@@ -171,34 +171,68 @@ impl AttentionTable {
     /// (`q`,`k`,`v` are `T x D_k`) using only table lookups (Eq. 13 + 15).
     pub fn query(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
         assert_eq!(q.shape(), (self.seq_len, self.dk), "Q shape mismatch");
+        self.query_batch(q, k, v)
+    }
+
+    /// Batched attention over `B` stacked samples (`q`/`k`/`v` are
+    /// `(B*T) x D_k`), reusing every encode/scratch buffer across samples —
+    /// the multi-sample counterpart of [`Self::query`], bit-for-bit equal to
+    /// querying each sample individually.
+    pub fn query_batch(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+        let t = self.seq_len;
+        assert_eq!(q.cols(), self.dk, "Q shape mismatch");
+        assert_eq!(q.rows() % t, 0, "rows not divisible by seq_len");
         assert_eq!(k.shape(), q.shape());
         assert_eq!(v.shape(), q.shape());
-
-        // Stage 1: Q̂K^T via the QK table.
-        let qkt = lookup_qk(&self.q_pq, &self.k_pq, &self.qk_tables, q, k);
-
-        // Stage 2: encode Q̂K^T rows and V columns; aggregate the QKV table.
+        let batch = q.rows() / t;
+        let ck = self.q_pq.num_subspaces();
         let ct = self.qkt_pq.num_subspaces();
-        let mut row_codes = vec![0usize; ct];
-        let mut col_codes = vec![vec![0usize; ct]; self.dk];
-        let mut vcol = vec![0.0f32; self.seq_len];
-        for (o, codes) in col_codes.iter_mut().enumerate() {
-            for (t, slot) in vcol.iter_mut().enumerate() {
-                *slot = v.get(t, o);
-            }
-            self.v_pq.encode_row_into(&vcol, codes);
-        }
 
-        let mut out = Matrix::zeros(self.seq_len, self.dk);
-        for t in 0..self.seq_len {
-            self.qkt_pq.encode_row_into(qkt.row(t), &mut row_codes);
-            let orow = out.row_mut(t);
-            for (o, slot) in orow.iter_mut().enumerate() {
-                let mut acc = 0.0f32;
-                for (c, table) in self.qkv_tables.iter().enumerate() {
-                    acc += table.get(row_codes[c], col_codes[o][c]);
+        let mut out = Matrix::zeros(q.rows(), self.dk);
+        let mut q_codes = vec![0usize; t * ck];
+        let mut k_codes = vec![0usize; t * ck];
+        let mut qkt = Matrix::zeros(t, t);
+        let mut row_codes = vec![0usize; ct];
+        let mut col_codes = vec![0usize; self.dk * ct];
+        let mut vcol = vec![0.0f32; t];
+
+        for n in 0..batch {
+            let base = n * t;
+
+            // Stage 1: Q̂K^T via the QK table (Eq. 13).
+            for r in 0..t {
+                self.q_pq.encode_row_into(q.row(base + r), &mut q_codes[r * ck..(r + 1) * ck]);
+                self.k_pq.encode_row_into(k.row(base + r), &mut k_codes[r * ck..(r + 1) * ck]);
+            }
+            for t1 in 0..t {
+                let row = qkt.row_mut(t1);
+                for (t2, slot) in row.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for (ci, table) in self.qk_tables.iter().enumerate() {
+                        acc += table.get(q_codes[t1 * ck + ci], k_codes[t2 * ck + ci]);
+                    }
+                    *slot = acc;
                 }
-                *slot = acc;
+            }
+
+            // Stage 2: encode Q̂K^T rows and V columns; aggregate the QKV
+            // table (Eq. 15).
+            for o in 0..self.dk {
+                for (tt, slot) in vcol.iter_mut().enumerate() {
+                    *slot = v.get(base + tt, o);
+                }
+                self.v_pq.encode_row_into(&vcol, &mut col_codes[o * ct..(o + 1) * ct]);
+            }
+            for t1 in 0..t {
+                self.qkt_pq.encode_row_into(qkt.row(t1), &mut row_codes);
+                let orow = out.row_mut(base + t1);
+                for (o, slot) in orow.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for (c, table) in self.qkv_tables.iter().enumerate() {
+                        acc += table.get(row_codes[c], col_codes[o * ct + c]);
+                    }
+                    *slot = acc;
+                }
             }
         }
         out
@@ -324,7 +358,12 @@ mod tests {
         a.matmul(v)
     }
 
-    fn fit_default(samples: usize, t: usize, dk: usize, k: usize) -> (AttentionTable, Matrix, Matrix, Matrix) {
+    fn fit_default(
+        samples: usize,
+        t: usize,
+        dk: usize,
+        k: usize,
+    ) -> (AttentionTable, Matrix, Matrix, Matrix) {
         let q = rand_stack(samples, t, dk, 100);
         let kk = rand_stack(samples, t, dk, 200);
         let v = rand_stack(samples, t, dk, 300);
@@ -336,11 +375,7 @@ mod tests {
     #[test]
     fn query_shape() {
         let (table, q, k, v) = fit_default(20, 4, 8, 8);
-        let out = table.query(
-            &q.slice_rows(0, 4),
-            &k.slice_rows(0, 4),
-            &v.slice_rows(0, 4),
-        );
+        let out = table.query(&q.slice_rows(0, 4), &k.slice_rows(0, 4), &v.slice_rows(0, 4));
         assert_eq!(out.shape(), (4, 8));
     }
 
@@ -366,10 +401,7 @@ mod tests {
             let table = AttentionTable::fit(&q, &k, &v, 4, &cfg);
             let qs = q.slice_rows(0, 4);
             let ks = k.slice_rows(0, 4);
-            let err = table
-                .query_qk(&qs, &ks)
-                .sub(&qs.matmul_transb(&ks))
-                .frobenius_norm();
+            let err = table.query_qk(&qs, &ks).sub(&qs.matmul_transb(&ks)).frobenius_norm();
             errs.push(err);
         }
         assert!(errs[2] < errs[0], "K=128 err {} !< K=4 err {}", errs[2], errs[0]);
@@ -388,8 +420,7 @@ mod tests {
             let vs = v.slice_rows(n * 4, (n + 1) * 4);
             let approx = table.query(&qs, &ks, &vs);
             let exact = sigmoid_attention(&qs, &ks, &vs);
-            total_rel +=
-                approx.sub(&exact).frobenius_norm() / exact.frobenius_norm().max(1e-6);
+            total_rel += approx.sub(&exact).frobenius_norm() / exact.frobenius_norm().max(1e-6);
         }
         let mean_rel = total_rel / trials as f32;
         assert!(mean_rel < 0.5, "mean relative error {mean_rel}");

@@ -71,8 +71,7 @@ pub fn attention_storage_bits(
     ct: usize,
     d_bits: usize,
 ) -> u64 {
-    ((2 * t * ck + t * ct + d_k * ct) as u64) * log2_ceil(k)
-        + (k * k * (ck + ct) * d_bits) as u64
+    ((2 * t * ck + t * ct + d_k * ct) as u64) * log2_ceil(k) + (k * k * (ck + ct) * d_bits) as u64
 }
 
 /// Eq. 20 — linear kernel arithmetic operations:
@@ -99,7 +98,13 @@ pub fn linear_kernel_cost(t: usize, d_o: usize, k: usize, c: usize, d_bits: usiz
 }
 
 /// Full cost of an attention kernel instance (with `C = C_k = C_t`).
-pub fn attention_kernel_cost(t: usize, d_k: usize, k: usize, c: usize, d_bits: usize) -> KernelCost {
+pub fn attention_kernel_cost(
+    t: usize,
+    d_k: usize,
+    k: usize,
+    c: usize,
+    d_bits: usize,
+) -> KernelCost {
     KernelCost {
         latency_cycles: attention_latency(k, c, c),
         storage_bits: attention_storage_bits(t, d_k, k, c, c, d_bits),
@@ -156,10 +161,8 @@ mod tests {
     #[test]
     fn latency_grows_logarithmically_in_k() {
         // Fig. 10: latency linear in log(K).
-        let lat: Vec<u64> = [16usize, 32, 64, 128, 256, 512, 1024]
-            .iter()
-            .map(|&k| linear_latency(k, 2))
-            .collect();
+        let lat: Vec<u64> =
+            [16usize, 32, 64, 128, 256, 512, 1024].iter().map(|&k| linear_latency(k, 2)).collect();
         for w in lat.windows(2) {
             assert_eq!(w[1] - w[0], 1, "latency should step by 1 per K doubling");
         }

@@ -59,14 +59,10 @@ impl FusedFfnTable {
 
         let ffn = |x: &[f32]| -> Vec<f32> {
             let hidden: Vec<f32> = (0..w_hidden.rows())
-                .map(|h| {
-                    dart_nn::matrix::dot(x, w_hidden.row(h)) + b_hidden[h]
-                })
+                .map(|h| dart_nn::matrix::dot(x, w_hidden.row(h)) + b_hidden[h])
                 .map(|v| v.max(0.0))
                 .collect();
-            (0..out_dim)
-                .map(|o| dart_nn::matrix::dot(&hidden, w_out.row(o)) + b_out[o])
-                .collect()
+            (0..out_dim).map(|o| dart_nn::matrix::dot(&hidden, w_out.row(o)) + b_out[o]).collect()
         };
         let mean_out = ffn(mean.row(0));
 
@@ -107,13 +103,18 @@ impl FusedFfnTable {
 
     /// Approximate the fused FFN over stacked rows.
     pub fn query(&self, x: &Matrix) -> Matrix {
-        assert_eq!(x.cols(), self.pq.dim(), "query dim mismatch");
         let mut out = Matrix::zeros(x.rows(), self.out_dim);
-        out.as_mut_slice()
-            .par_chunks_mut(self.out_dim)
-            .enumerate()
-            .for_each(|(r, orow)| self.query_row_into(x.row(r), orow));
+        self.query_batch_into(x, &mut out);
         out
+    }
+
+    /// Batched multi-row query into a caller buffer (same two-phase scheme
+    /// as `LinearTable::query_batch_into`; bit-for-bit equal to
+    /// row-at-a-time [`Self::query_row_into`]).
+    pub fn query_batch_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(x.cols(), self.pq.dim(), "query dim mismatch");
+        assert_eq!(out.shape(), (x.rows(), self.out_dim), "output shape mismatch");
+        crate::linear_table::aggregate_codes_batch(&self.pq, &self.tables, x, out);
     }
 
     /// Single-row query.
@@ -176,8 +177,7 @@ mod tests {
         let bh = vec![0.1f32; 8];
         let wo = rand_matrix(3, 8, 7);
         let bo = vec![-0.2f32; 3];
-        let fused =
-            FusedFfnTable::fit(&train, &wh, &bh, &wo, &bo, 1, 4, EncoderKind::Argmin, 1);
+        let fused = FusedFfnTable::fit(&train, &wh, &bh, &wo, &bo, 1, 4, EncoderKind::Argmin, 1);
         let approx = fused.query(&base);
         let exact = dense_ffn(&base, &wh, &bh, &wo, &bo);
         for i in 0..exact.len() {
@@ -197,8 +197,7 @@ mod tests {
         let bh = vec![0.0f32; 16];
         let wo = rand_matrix(4, 16, 17);
         let bo = vec![0.0f32; 4];
-        let fused =
-            FusedFfnTable::fit(&train, &wh, &bh, &wo, &bo, 2, 128, EncoderKind::Argmin, 3);
+        let fused = FusedFfnTable::fit(&train, &wh, &bh, &wo, &bo, 2, 128, EncoderKind::Argmin, 3);
         let test = rand_matrix(50, 8, 19);
         let approx = fused.query(&test);
         let exact = dense_ffn(&test, &wh, &bh, &wo, &bo);
@@ -215,9 +214,9 @@ mod tests {
         let fused = FusedFfnTable::fit(
             &train,
             &wh,
-            &vec![0.0; 16],
+            &[0.0; 16],
             &wo,
-            &vec![0.0; 4],
+            &[0.0; 4],
             2,
             64,
             EncoderKind::Argmin,
@@ -236,9 +235,9 @@ mod tests {
         let fused = FusedFfnTable::fit(
             &train,
             &wh,
-            &vec![0.0; 12],
+            &[0.0; 12],
             &wo,
-            &vec![0.0; 5],
+            &[0.0; 5],
             3,
             8,
             EncoderKind::HashTree,

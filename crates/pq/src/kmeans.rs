@@ -88,10 +88,8 @@ pub fn kmeans(data: &Matrix, config: &KMeansConfig) -> KMeansResult {
     for iter in 0..config.max_iters {
         iterations = iter + 1;
         // Assignment step (parallel over rows).
-        let new: Vec<(usize, f32)> = (0..n)
-            .into_par_iter()
-            .map(|i| nearest_centroid(data.row(i), &centroids))
-            .collect();
+        let new: Vec<(usize, f32)> =
+            (0..n).into_par_iter().map(|i| nearest_centroid(data.row(i), &centroids)).collect();
         let new_inertia: f64 = new.iter().map(|&(_, d)| d as f64).sum();
         for (i, &(a, _)) in new.iter().enumerate() {
             assignments[i] = a;

@@ -154,14 +154,22 @@ impl LinearTable {
 
     /// Approximate `x W^T + b` for stacked rows `x` (`R x D_I`) via lookups.
     pub fn query(&self, x: &Matrix) -> Matrix {
-        assert_eq!(x.cols(), self.pq.dim(), "query dim mismatch");
-        let rows = x.rows();
-        let mut out = Matrix::zeros(rows, self.out_dim);
-        out.as_mut_slice()
-            .par_chunks_mut(self.out_dim)
-            .enumerate()
-            .for_each(|(r, orow)| self.query_row_into(x.row(r), orow));
+        let mut out = Matrix::zeros(x.rows(), self.out_dim);
+        self.query_batch_into(x, &mut out);
         out
+    }
+
+    /// Batched multi-row query into a caller buffer (the serving hot path).
+    ///
+    /// Phase 1 encodes every row subspace-major (each quantizer's
+    /// prototypes stay cache-resident across the batch); phase 2 aggregates
+    /// rows in parallel. Per-row accumulation order is identical to
+    /// [`Self::query_row_into`] — subspace 0, 1, … — so results are
+    /// bit-for-bit equal to row-at-a-time queries.
+    pub fn query_batch_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(x.cols(), self.pq.dim(), "query dim mismatch");
+        assert_eq!(out.shape(), (x.rows(), self.out_dim), "output shape mismatch");
+        aggregate_codes_batch(&self.pq, &self.tables, x, out);
     }
 
     /// Single-row query into a caller buffer (the prefetcher's hot path).
@@ -186,6 +194,31 @@ impl LinearTable {
     pub fn storage_bytes(&self) -> u64 {
         self.tables.iter().map(|t| (t.len() * 4) as u64).sum()
     }
+}
+
+/// Shared batched table aggregation used by [`LinearTable`] and
+/// [`crate::FusedFfnTable`]: encode all rows of `x` subspace-major, then
+/// sum each row's per-subspace table rows into `out` (row-parallel; per-row
+/// subspace order matches the single-row query paths bit for bit).
+pub(crate) fn aggregate_codes_batch(
+    pq: &ProductQuantizer,
+    tables: &[Matrix],
+    x: &Matrix,
+    out: &mut Matrix,
+) {
+    let c = pq.num_subspaces();
+    let out_dim = out.cols();
+    let mut codes = vec![0usize; x.rows() * c];
+    pq.encode_batch_into(x, &mut codes);
+    out.as_mut_slice().par_chunks_mut(out_dim).enumerate().for_each(|(r, orow)| {
+        orow.fill(0.0);
+        for (ci, table) in tables.iter().enumerate() {
+            let trow = table.row(codes[r * c + ci]);
+            for (o, &t) in orow.iter_mut().zip(trow) {
+                *o += t;
+            }
+        }
+    });
 }
 
 #[cfg(test)]
@@ -259,12 +292,8 @@ mod tests {
         for k in [2, 8, 64] {
             let lt = LinearTable::fit(&train, &w, &b, 2, k, EncoderKind::Argmin, 3);
             let approx = lt.query(&test);
-            let err: f64 = approx
-                .sub(&exact)
-                .as_slice()
-                .iter()
-                .map(|&e| (e as f64) * (e as f64))
-                .sum::<f64>();
+            let err: f64 =
+                approx.sub(&exact).as_slice().iter().map(|&e| (e as f64) * (e as f64)).sum::<f64>();
             assert!(err < last_err + 1e-9, "K={k}: error {err} did not shrink from {last_err}");
             last_err = err;
         }
@@ -310,7 +339,7 @@ mod tests {
         let big = LinearTable::fit(&train, &w, &b, 4, 16, EncoderKind::Argmin, 6);
         assert!(big.storage_bytes() > small.storage_bytes());
         // K*C*DO*4 bytes exactly.
-        assert_eq!(small.storage_bytes(), (4 * 1 * 4 * 4) as u64);
+        assert_eq!(small.storage_bytes(), (4 * 4 * 4) as u64);
         assert_eq!(big.storage_bytes(), (16 * 4 * 4 * 4) as u64);
     }
 

@@ -66,9 +66,7 @@ impl QuantizedLinearTable {
     pub fn query_row_into(&self, row: &[f32], out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.out_dim);
         out.fill(0.0);
-        for (ci, (&(lo, hi), q)) in
-            self.pq.bounds().iter().zip(self.pq.quantizers()).enumerate()
-        {
+        for (ci, (&(lo, hi), q)) in self.pq.bounds().iter().zip(self.pq.quantizers()).enumerate() {
             let code = q.encode(&row[lo..hi]);
             let scale = self.scales[ci];
             let trow = &self.tables[ci][code * self.out_dim..(code + 1) * self.out_dim];
@@ -80,8 +78,7 @@ impl QuantizedLinearTable {
 
     /// Table storage in bytes (1 byte per entry).
     pub fn storage_bytes(&self) -> u64 {
-        self.tables.iter().map(|t| t.len() as u64).sum::<u64>()
-            + (self.scales.len() * 4) as u64
+        self.tables.iter().map(|t| t.len() as u64).sum::<u64>() + (self.scales.len() * 4) as u64
     }
 
     /// Worst-case absolute quantization error added per output (sum over
@@ -90,7 +87,6 @@ impl QuantizedLinearTable {
         self.scales.iter().map(|s| 0.5 * s).sum()
     }
 }
-
 
 /// Quantize an [`AttentionTable`]'s QK and QKV tables to int8 and
 /// dequantize back, returning a table whose entries carry int8 precision
@@ -163,10 +159,7 @@ mod tests {
         let (table, test) = fitted();
         let q = QuantizedLinearTable::from_table(&table);
         for r in 0..test.rows() {
-            assert_eq!(
-                table.quantizer().encode_row(test.row(r)),
-                q.pq.encode_row(test.row(r))
-            );
+            assert_eq!(table.quantizer().encode_row(test.row(r)), q.pq.encode_row(test.row(r)));
         }
     }
 

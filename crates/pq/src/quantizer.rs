@@ -119,11 +119,7 @@ impl HashTree {
                     let mid = vals.len() / 2;
                     // Midpoint between the halves generalizes better than the
                     // median value itself for queries between clusters.
-                    let t = if mid == 0 {
-                        vals[0]
-                    } else {
-                        0.5 * (vals[mid - 1] + vals[mid])
-                    };
+                    let t = if mid == 0 { vals[0] } else { 0.5 * (vals[mid - 1] + vals[mid]) };
                     level_thresh.push(t);
                 }
             }
@@ -314,6 +310,23 @@ impl ProductQuantizer {
         }
     }
 
+    /// Encode every row of `x` into `out` (`rows * C` codes, row-major:
+    /// code of row `r`, subspace `c` lands at `out[r * C + c]`).
+    ///
+    /// Iterates subspace-major so one quantizer's prototypes (or hash tree)
+    /// stay hot in cache across the whole batch — the multi-row counterpart
+    /// of [`Self::encode_row_into`] used by the batched kernel queries.
+    pub fn encode_batch_into(&self, x: &Matrix, out: &mut [usize]) {
+        let c = self.bounds.len();
+        assert_eq!(x.cols(), self.dim, "encode dim mismatch");
+        assert_eq!(out.len(), x.rows() * c, "code buffer size mismatch");
+        for (ci, (&(lo, hi), q)) in self.bounds.iter().zip(&self.quantizers).enumerate() {
+            for r in 0..x.rows() {
+                out[r * c + ci] = q.encode(&x.row(r)[lo..hi]);
+            }
+        }
+    }
+
     /// Reconstruct an approximation of a row from its codes (testing aid).
     pub fn reconstruct(&self, codes: &[usize]) -> Vec<f32> {
         let mut out = vec![0.0f32; self.dim];
@@ -329,11 +342,8 @@ impl ProductQuantizer {
         for i in 0..data.rows() {
             let codes = self.encode_row(data.row(i));
             let rec = self.reconstruct(&codes);
-            total += rec
-                .iter()
-                .zip(data.row(i))
-                .map(|(a, b)| ((a - b) * (a - b)) as f64)
-                .sum::<f64>();
+            total +=
+                rec.iter().zip(data.row(i)).map(|(a, b)| ((a - b) * (a - b)) as f64).sum::<f64>();
         }
         total / (data.rows() * self.dim) as f64
     }

@@ -143,9 +143,7 @@ impl Prefetcher for BestOffset {
         if self.current == 0 {
             return Vec::new();
         }
-        (1..=self.degree as i64)
-            .map(|i| (block as i64 + i * self.current) as u64)
-            .collect()
+        (1..=self.degree as i64).map(|i| (block as i64 + i * self.current) as u64).collect()
     }
 
     fn storage_bytes(&self) -> u64 {
@@ -159,7 +157,14 @@ mod tests {
     use super::*;
 
     fn access(seq: usize, block: u64) -> LlcAccess {
-        LlcAccess { seq, instr_id: seq as u64 * 4, pc: 0x400000, addr: block << 6, block, hit: false }
+        LlcAccess {
+            seq,
+            instr_id: seq as u64 * 4,
+            pc: 0x400000,
+            addr: block << 6,
+            block,
+            hit: false,
+        }
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use std::collections::VecDeque;
 
-use dart_core::configurator::model_latency;
 use dart_core::config::PredictorConfig;
+use dart_core::configurator::model_latency;
 use dart_core::TabularModel;
 use dart_nn::matrix::Matrix;
 use dart_sim::{LlcAccess, Prefetcher};
@@ -92,24 +92,16 @@ impl Prefetcher for DartPrefetcher {
         }
         let probs = self.model.forward_probs(&self.features);
 
-        // Rank bits above threshold, emit the strongest `max_degree` deltas.
-        let mut candidates: Vec<(f32, usize)> = probs
-            .row(0)
-            .iter()
-            .enumerate()
-            .filter(|&(_, &p)| p >= self.threshold)
-            .map(|(bit, &p)| (p, bit))
-            .collect();
-        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
-        candidates
-            .into_iter()
-            .take(self.max_degree)
-            .filter_map(|(_, bit)| {
-                let delta = self.pre.bit_to_delta(bit);
-                let target = access.block as i64 + delta;
-                (target > 0).then_some(target as u64)
-            })
-            .collect()
+        // Rank bits above threshold, emit the strongest `max_degree` deltas
+        // (the emission rule shared with `dart-serve`).
+        let mut candidates = Vec::new();
+        self.pre.decode_bitmap_into(
+            probs.row(0),
+            access.block,
+            self.threshold,
+            self.max_degree,
+            &mut candidates,
+        )
     }
 
     fn storage_bytes(&self) -> u64 {
@@ -152,7 +144,14 @@ mod tests {
     }
 
     fn access(seq: usize, block: u64) -> LlcAccess {
-        LlcAccess { seq, instr_id: seq as u64 * 4, pc: 0x400100, addr: block << 6, block, hit: false }
+        LlcAccess {
+            seq,
+            instr_id: seq as u64 * 4,
+            pc: 0x400100,
+            addr: block << 6,
+            block,
+            hit: false,
+        }
     }
 
     #[test]

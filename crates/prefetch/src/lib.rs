@@ -30,5 +30,5 @@ pub use dart::DartPrefetcher;
 pub use isb::Isb;
 pub use next_line::NextLine;
 pub use nn_batch::{precompute_predictions, NnBatchPrefetcher};
-pub use stride::StridePrefetcher;
 pub use spec::PrefetcherSpec;
+pub use stride::StridePrefetcher;

@@ -89,16 +89,12 @@ pub fn precompute_predictions<M: SequenceModel>(
     // Featurize every window (parallel), then run the model in chunks.
     let num_windows = n - t + 1;
     let mut inputs = Matrix::zeros(num_windows * t, di);
-    inputs
-        .as_mut_slice()
-        .par_chunks_mut(t * di)
-        .enumerate()
-        .for_each(|(w, chunk)| {
-            for (tok, row) in chunk.chunks_mut(di).enumerate() {
-                let rec = &llc_trace[w + tok];
-                pre.write_token_features(rec.block(), rec.pc, row);
-            }
-        });
+    inputs.as_mut_slice().par_chunks_mut(t * di).enumerate().for_each(|(w, chunk)| {
+        for (tok, row) in chunk.chunks_mut(di).enumerate() {
+            let rec = &llc_trace[w + tok];
+            pre.write_token_features(rec.block(), rec.pc, row);
+        }
+    });
 
     const CHUNK: usize = 512;
     let mut w = 0;

@@ -88,10 +88,8 @@ impl Prefetcher for StridePrefetcher {
                 self.table.insert(access.pc, e);
             }
             None => {
-                self.table.insert(
-                    access.pc,
-                    StrideEntry { last_block: block, stride: 0, confidence: 0 },
-                );
+                self.table
+                    .insert(access.pc, StrideEntry { last_block: block, stride: 0, confidence: 0 });
                 self.order.push_back(access.pc);
                 if self.order.len() > TABLE_CAPACITY {
                     if let Some(old) = self.order.pop_front() {

@@ -1,0 +1,56 @@
+//! # dart-serve — a sharded, batched prefetch-serving runtime
+//!
+//! The paper's point is that tabularized attention models make neural
+//! prefetching cheap enough to run *online*. This crate is the deployment
+//! layer that cashes that in: a multi-threaded runtime that serves
+//! predictions for **many concurrent access streams** against one shared
+//! [`TabularModel`](dart_core::TabularModel), the way TransFetch-style
+//! systems batch inference to amortize per-call cost.
+//!
+//! Architecture:
+//!
+//! ```text
+//!            submit(PrefetchRequest)
+//!                      │
+//!               ┌──────▼──────┐
+//!               │ StreamRouter │  stream_id ──hash──► shard
+//!               └──────┬──────┘
+//!        ┌─────────────┼─────────────┐
+//!   ┌────▼────┐   ┌────▼────┐   ┌────▼────┐
+//!   │ shard 0 │   │ shard 1 │   │ shard N │   each: queue + worker thread
+//!   │ worker  │   │ worker  │   │ worker  │   owns per-stream history state
+//!   └────┬────┘   └────┬────┘   └────┬────┘
+//!        │  coalesce pending requests into one
+//!        │  stacked feature matrix, then one
+//!        ▼  TabularModel::predict_batch call
+//!   PrefetchResponse (per request, in per-stream order)
+//! ```
+//!
+//! Key properties:
+//!
+//! * **Sharded state** — a stream's history lives on exactly one shard
+//!   (chosen by [`StreamRouter`]), so no cross-thread locking on the hot
+//!   path and per-stream request order is preserved.
+//! * **Batch coalescing** — each worker drains its queue (up to
+//!   `max_batch` requests) and issues one `predict_batch` call for every
+//!   warm stream in the drain, amortizing table-lookup locality.
+//! * **Complete accounting** — every submitted request produces exactly one
+//!   [`PrefetchResponse`] (cold-history requests return an empty prefetch
+//!   list), so dropped or misrouted work is detectable.
+//!
+//! See `examples/serve_quickstart.rs` for an end-to-end tour and
+//! `cargo run --release -p dart-bench --bin serve_bench` for the
+//! throughput/latency scaling study.
+
+pub mod loadgen;
+pub mod request;
+pub mod router;
+pub mod runtime;
+pub mod shard;
+pub mod stream;
+
+pub use loadgen::{generate_requests, LoadGenConfig};
+pub use request::{PrefetchRequest, PrefetchResponse};
+pub use router::StreamRouter;
+pub use runtime::{ServeConfig, ServeRuntime, ServeStats};
+pub use stream::StreamState;

@@ -1,0 +1,220 @@
+//! End-to-end tests of the sharded serving runtime against a real (tiny)
+//! tabularized model: completeness, ordering, routing, serial equivalence,
+//! and a multi-threaded submission smoke test.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+
+use dart_core::config::TabularConfig;
+use dart_core::tabularize::tabularize;
+use dart_core::TabularModel;
+use dart_nn::init::InitRng;
+use dart_nn::matrix::Matrix;
+use dart_nn::model::{AccessPredictor, ModelConfig};
+use dart_serve::{generate_requests, LoadGenConfig, PrefetchRequest, ServeConfig, ServeRuntime};
+use dart_trace::PreprocessConfig;
+
+/// A tiny tabularized model + preprocessing pair (fast to fit).
+fn tiny_setup() -> (Arc<TabularModel>, PreprocessConfig) {
+    let pre = PreprocessConfig {
+        seq_len: 4,
+        addr_segments: 3,
+        seg_bits: 4,
+        pc_segments: 1,
+        delta_range: 4,
+        lookforward: 4,
+    };
+    let cfg = ModelConfig {
+        input_dim: pre.input_dim(),
+        dim: 8,
+        heads: 2,
+        layers: 1,
+        ffn_dim: 16,
+        output_dim: pre.output_dim(),
+        seq_len: pre.seq_len,
+    };
+    let student = AccessPredictor::new(cfg, 3).unwrap();
+    let mut rng = InitRng::new(9);
+    let x = Matrix::from_fn(40 * 4, pre.input_dim(), |_, _| rng.next_f32());
+    let tab_cfg = TabularConfig { k: 8, c: 2, fine_tune_epochs: 0, ..Default::default() };
+    let (model, _) = tabularize(&student, &x, &tab_cfg);
+    (Arc::new(model), pre)
+}
+
+fn serve_cfg(shards: usize) -> ServeConfig {
+    ServeConfig { shards, max_batch: 16, threshold: 0.0, max_degree: 4 }
+}
+
+#[test]
+fn every_request_gets_exactly_one_response() {
+    let (model, pre) = tiny_setup();
+    let runtime = ServeRuntime::start(model, pre, serve_cfg(2));
+    let reqs = generate_requests(&LoadGenConfig { streams: 8, accesses_per_stream: 20, seed: 1 });
+    let total = reqs.len();
+    runtime.submit_all(reqs);
+    runtime.wait_idle();
+    let responses = runtime.drain_completed();
+    assert_eq!(responses.len(), total);
+    let stats = runtime.shutdown();
+    assert_eq!(stats.requests as usize, total);
+    // threshold 0.0: every warm request must emit prefetches.
+    // streams warm after seq_len accesses: 8 * (20 - 3) warm requests.
+    assert_eq!(stats.predictions, 8 * 17);
+}
+
+#[test]
+fn per_stream_order_and_routing_hold() {
+    let (model, pre) = tiny_setup();
+    let runtime = ServeRuntime::start(model, pre, serve_cfg(4));
+    let reqs = generate_requests(&LoadGenConfig { streams: 16, accesses_per_stream: 12, seed: 2 });
+    runtime.submit_all(reqs);
+    runtime.wait_idle();
+    let responses = runtime.drain_completed();
+    let router = *runtime.router();
+
+    let mut seqs: HashMap<u64, Vec<u64>> = HashMap::new();
+    for resp in &responses {
+        assert_eq!(resp.shard, router.shard_of(resp.stream_id), "misrouted response");
+        seqs.entry(resp.stream_id).or_default().push(resp.seq);
+    }
+    assert_eq!(seqs.len(), 16);
+    for (stream, mut s) in seqs {
+        s.sort_unstable();
+        let expect: Vec<u64> = (0..12).collect();
+        assert_eq!(s, expect, "stream {stream} has gaps or duplicates");
+    }
+    runtime.shutdown();
+}
+
+#[test]
+fn warmup_responses_are_empty_then_predictions_flow() {
+    let (model, pre) = tiny_setup();
+    let runtime = ServeRuntime::start(model, pre, serve_cfg(1));
+    // One stream, sequential blocks.
+    for i in 0..10u64 {
+        runtime.submit(PrefetchRequest { stream_id: 7, pc: 0x400, addr: (100 + i) << 6 });
+    }
+    runtime.wait_idle();
+    let mut responses = runtime.drain_completed();
+    responses.sort_by_key(|r| r.seq);
+    assert_eq!(responses.len(), 10);
+    for resp in &responses[..3] {
+        assert!(resp.prefetch_blocks.is_empty(), "seq {} predicted while cold", resp.seq);
+    }
+    // threshold 0.0 with max_degree 4: every warm prediction emits (the
+    // emission rule only drops non-positive targets, impossible here).
+    for resp in &responses[3..] {
+        assert!(!resp.prefetch_blocks.is_empty(), "seq {} emitted nothing", resp.seq);
+    }
+    runtime.shutdown();
+}
+
+/// The runtime's batched predictions must match a serial replay of the same
+/// per-stream accesses through `TabularModel::forward_probs` one sample at
+/// a time (the naive DartPrefetcher-style loop).
+#[test]
+fn batched_serving_matches_serial_replay() {
+    let (model, pre) = tiny_setup();
+    let reqs = generate_requests(&LoadGenConfig { streams: 6, accesses_per_stream: 15, seed: 5 });
+
+    // Serial reference: replay per stream, predicting on every warm window.
+    let mut reference: HashMap<(u64, u64), Vec<u64>> = HashMap::new();
+    let mut histories: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+    let mut seq_counters: HashMap<u64, u64> = HashMap::new();
+    for req in &reqs {
+        let hist = histories.entry(req.stream_id).or_default();
+        hist.push((req.addr >> 6, req.pc));
+        let seq = *seq_counters.entry(req.stream_id).and_modify(|s| *s += 1).or_insert(0);
+        if hist.len() >= pre.seq_len {
+            let window = &hist[hist.len() - pre.seq_len..];
+            let mut feats = Matrix::zeros(pre.seq_len, pre.input_dim());
+            for (t, &(block, pc)) in window.iter().enumerate() {
+                pre.write_token_features(block, pc, feats.row_mut(t));
+            }
+            let probs = model.forward_probs(&feats);
+            let anchor = window.last().unwrap().0;
+            let mut candidates: Vec<(f32, usize)> =
+                probs.row(0).iter().enumerate().map(|(bit, &p)| (p, bit)).collect();
+            candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            let blocks: Vec<u64> = candidates
+                .into_iter()
+                .take(4)
+                .filter_map(|(_, bit)| {
+                    let target = anchor as i64 + pre.bit_to_delta(bit);
+                    (target > 0).then_some(target as u64)
+                })
+                .collect();
+            reference.insert((req.stream_id, seq), blocks);
+        }
+    }
+
+    let runtime = ServeRuntime::start(model, pre, serve_cfg(3));
+    runtime.submit_all(reqs);
+    runtime.wait_idle();
+    for resp in runtime.drain_completed() {
+        if let Some(expect) = reference.get(&(resp.stream_id, resp.seq)) {
+            assert_eq!(
+                &resp.prefetch_blocks, expect,
+                "stream {} seq {} diverged from serial replay",
+                resp.stream_id, resp.seq
+            );
+        } else {
+            assert!(resp.prefetch_blocks.is_empty());
+        }
+    }
+    runtime.shutdown();
+}
+
+/// Concurrency smoke test: hammer the runtime from 8 submitter threads and
+/// verify no response is dropped, duplicated, or misrouted.
+#[test]
+fn eight_thread_hammer_drops_nothing() {
+    let (model, pre) = tiny_setup();
+    let runtime = Arc::new(ServeRuntime::start(model, pre, serve_cfg(4)));
+    let threads = 8;
+    let per_thread_streams = 8;
+    let accesses = 40;
+
+    thread::scope(|scope| {
+        for tid in 0..threads {
+            let rt = Arc::clone(&runtime);
+            scope.spawn(move || {
+                // Each thread owns disjoint stream ids.
+                for k in 0..accesses {
+                    for s in 0..per_thread_streams {
+                        let stream_id = (tid * per_thread_streams + s) as u64;
+                        rt.submit(PrefetchRequest {
+                            stream_id,
+                            pc: 0x400 + stream_id * 4,
+                            addr: (1000 + stream_id * 10_000 + k as u64) << 6,
+                        });
+                    }
+                }
+            });
+        }
+    });
+
+    runtime.wait_idle();
+    let responses = runtime.drain_completed();
+    let total = threads * per_thread_streams * accesses;
+    assert_eq!(responses.len(), total, "dropped or duplicated responses");
+
+    let router = *runtime.router();
+    let mut per_stream: HashMap<u64, Vec<u64>> = HashMap::new();
+    for resp in &responses {
+        assert_eq!(resp.shard, router.shard_of(resp.stream_id), "misrouted");
+        per_stream.entry(resp.stream_id).or_default().push(resp.seq);
+    }
+    assert_eq!(per_stream.len(), threads * per_thread_streams);
+    for (stream, mut seqs) in per_stream {
+        seqs.sort_unstable();
+        let expect: Vec<u64> = (0..accesses as u64).collect();
+        assert_eq!(seqs, expect, "stream {stream} sequence corrupted");
+    }
+
+    let stats = Arc::into_inner(runtime).unwrap().shutdown();
+    assert_eq!(stats.requests as usize, total);
+    assert_eq!(stats.per_shard_requests.iter().sum::<u64>() as usize, total);
+    assert!(stats.p99_latency_ns >= stats.p50_latency_ns);
+}

@@ -137,10 +137,8 @@ impl Cache {
             return None;
         }
         // Evict LRU.
-        let victim = self.sets[lo..hi]
-            .iter_mut()
-            .min_by_key(|l| l.last_used)
-            .expect("non-empty set");
+        let victim =
+            self.sets[lo..hi].iter_mut().min_by_key(|l| l.last_used).expect("non-empty set");
         let evicted = victim.tag;
         if victim.prefetched {
             self.stats.wasted_prefetches += 1;

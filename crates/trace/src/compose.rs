@@ -99,15 +99,14 @@ mod tests {
             assert!(w[1].instr_id > w[0].instr_id, "merged ids must strictly increase");
         }
         // Per-source address order is preserved.
-        let a_addrs: Vec<u64> =
-            merged.iter().filter(|r| r.addr < 0x9000).map(|r| r.addr).collect();
+        let a_addrs: Vec<u64> = merged.iter().filter(|r| r.addr < 0x9000).map(|r| r.addr).collect();
         assert_eq!(a_addrs, a.iter().map(|r| r.addr).collect::<Vec<_>>());
     }
 
     #[test]
     fn interleave_single_input_is_identityish() {
         let a: Vec<TraceRecord> = (0..5).map(|i| rec(i * 3, i * 64)).collect();
-        let merged = interleave(&[a.clone()]);
+        let merged = interleave(std::slice::from_ref(&a));
         assert_eq!(merged.len(), 5);
         let addrs: Vec<u64> = merged.iter().map(|r| r.addr).collect();
         assert_eq!(addrs, a.iter().map(|r| r.addr).collect::<Vec<_>>());

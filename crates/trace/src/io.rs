@@ -4,8 +4,6 @@
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use bytes::{Buf, BufMut, BytesMut};
-
 use crate::record::TraceRecord;
 
 /// Magic bytes heading a binary trace file.
@@ -15,13 +13,12 @@ const MAGIC: &[u8; 8] = b"DARTTRC1";
 pub fn write_binary<W: Write>(writer: W, records: &[TraceRecord]) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
     w.write_all(MAGIC)?;
-    let mut buf = BytesMut::with_capacity(24);
+    let mut buf = [0u8; 24];
     w.write_all(&(records.len() as u64).to_le_bytes())?;
     for r in records {
-        buf.clear();
-        buf.put_u64_le(r.instr_id);
-        buf.put_u64_le(r.pc);
-        buf.put_u64_le(r.addr);
+        buf[..8].copy_from_slice(&r.instr_id.to_le_bytes());
+        buf[8..16].copy_from_slice(&r.pc.to_le_bytes());
+        buf[16..].copy_from_slice(&r.addr.to_le_bytes());
         w.write_all(&buf)?;
     }
     w.flush()
@@ -38,13 +35,12 @@ pub fn read_binary<R: Read>(reader: R) -> io::Result<Vec<TraceRecord>> {
     let count = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
     let mut raw = vec![0u8; count * 24];
     r.read_exact(&mut raw)?;
-    let mut buf = &raw[..];
     let mut records = Vec::with_capacity(count);
-    for _ in 0..count {
+    for rec in raw.chunks_exact(24) {
         records.push(TraceRecord {
-            instr_id: buf.get_u64_le(),
-            pc: buf.get_u64_le(),
-            addr: buf.get_u64_le(),
+            instr_id: u64::from_le_bytes(rec[..8].try_into().unwrap()),
+            pc: u64::from_le_bytes(rec[8..16].try_into().unwrap()),
+            addr: u64::from_le_bytes(rec[16..].try_into().unwrap()),
         });
     }
     Ok(records)
@@ -82,7 +78,10 @@ pub fn read_text<R: Read>(reader: R) -> io::Result<Vec<TraceRecord>> {
         let mut parts = line.split_whitespace();
         let parse = |s: Option<&str>, radix: u32| -> io::Result<u64> {
             let s = s.ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: missing field", lineno + 1))
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: missing field", lineno + 1),
+                )
             })?;
             u64::from_str_radix(s, radix).map_err(|e| {
                 io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
@@ -141,7 +140,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        let garbage = vec![0u8; 32];
+        let garbage = [0u8; 32];
         assert!(read_binary(&garbage[..]).is_err());
     }
 

@@ -84,6 +84,34 @@ impl PreprocessConfig {
         }
     }
 
+    /// The DART emission rule shared by `DartPrefetcher` and the
+    /// `dart-serve` runtime: rank bitmap probabilities at or above
+    /// `threshold`, take the strongest `max_degree` bits, and map each to a
+    /// prefetch block address relative to `anchor_block` (dropping
+    /// non-positive targets). `candidates` is caller-owned scratch.
+    pub fn decode_bitmap_into(
+        &self,
+        probs: &[f32],
+        anchor_block: u64,
+        threshold: f32,
+        max_degree: usize,
+        candidates: &mut Vec<(f32, usize)>,
+    ) -> Vec<u64> {
+        candidates.clear();
+        candidates.extend(
+            probs.iter().enumerate().filter(|&(_, &p)| p >= threshold).map(|(bit, &p)| (p, bit)),
+        );
+        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        candidates
+            .iter()
+            .take(max_degree.max(1))
+            .filter_map(|&(_, bit)| {
+                let target = anchor_block as i64 + self.bit_to_delta(bit);
+                (target > 0).then_some(target as u64)
+            })
+            .collect()
+    }
+
     /// Write one token's features (segmented block + PC) into `out`.
     ///
     /// `block` is a cache-block address (`addr >> 6`).
@@ -182,7 +210,12 @@ mod tests {
 
     #[test]
     fn segments_decompose_address() {
-        let cfg = PreprocessConfig { addr_segments: 3, seg_bits: 4, pc_segments: 0, ..Default::default() };
+        let cfg = PreprocessConfig {
+            addr_segments: 3,
+            seg_bits: 4,
+            pc_segments: 0,
+            ..Default::default()
+        };
         let mut out = vec![0.0f32; 3];
         // block = 0xABC -> segments (low first): C, B, A
         cfg.write_token_features(0xABC, 0, &mut out);
@@ -193,15 +226,10 @@ mod tests {
 
     #[test]
     fn dataset_labels_future_deltas() {
-        let cfg = PreprocessConfig {
-            seq_len: 2,
-            delta_range: 4,
-            lookforward: 2,
-            ..Default::default()
-        };
+        let cfg =
+            PreprocessConfig { seq_len: 2, delta_range: 4, lookforward: 2, ..Default::default() };
         // Blocks: 10, 11, 12, 14 (addresses are blocks << 6).
-        let trace: Vec<TraceRecord> =
-            [10u64, 11, 12, 14].iter().map(|&b| rec(b << 6)).collect();
+        let trace: Vec<TraceRecord> = [10u64, 11, 12, 14].iter().map(|&b| rec(b << 6)).collect();
         let ds = build_dataset(&trace, &cfg, 1);
         // Samples start at 0 and 1.
         assert_eq!(ds.len(), 2);
@@ -237,12 +265,8 @@ mod tests {
 
     #[test]
     fn out_of_range_deltas_do_not_set_bits() {
-        let cfg = PreprocessConfig {
-            seq_len: 2,
-            delta_range: 2,
-            lookforward: 1,
-            ..Default::default()
-        };
+        let cfg =
+            PreprocessConfig { seq_len: 2, delta_range: 2, lookforward: 1, ..Default::default() };
         // Jump of +100 blocks: outside the range, label must be empty.
         let trace: Vec<TraceRecord> = [10u64, 11, 111].iter().map(|&b| rec(b << 6)).collect();
         let ds = build_dataset(&trace, &cfg, 1);

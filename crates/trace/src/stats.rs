@@ -60,7 +60,11 @@ pub struct PatternPoint {
 
 /// Scatter-cloud data behind the paper's Fig. 7, down-sampled to at most
 /// `max_points` points.
-pub fn pattern_cloud(trace: &[TraceRecord], max_points: usize, delta_clip: i64) -> Vec<PatternPoint> {
+pub fn pattern_cloud(
+    trace: &[TraceRecord],
+    max_points: usize,
+    delta_clip: i64,
+) -> Vec<PatternPoint> {
     if trace.len() < 2 {
         return Vec::new();
     }
@@ -95,8 +99,7 @@ mod tests {
     #[test]
     fn stats_count_uniques() {
         // Two blocks in the same page, then a new page.
-        let trace =
-            vec![rec(0, 0x1000), rec(1, 0x1040), rec(2, 0x1000), rec(3, 0x2000)];
+        let trace = vec![rec(0, 0x1000), rec(1, 0x1040), rec(2, 0x1000), rec(3, 0x2000)];
         let s = TraceStats::compute(&trace);
         assert_eq!(s.accesses, 4);
         assert_eq!(s.unique_blocks, 3);

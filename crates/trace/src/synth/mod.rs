@@ -82,7 +82,8 @@ impl Workload {
         for _ in 0..len {
             let (pc, addr) = state.next_access(&mut rng);
             records.push(TraceRecord { instr_id, pc, addr });
-            let gap = if gap_hi > gap_lo { gap_lo + rng.next_u64() % (gap_hi - gap_lo) } else { gap_lo };
+            let gap =
+                if gap_hi > gap_lo { gap_lo + rng.next_u64() % (gap_hi - gap_lo) } else { gap_lo };
             instr_id += 1 + gap;
         }
         records

@@ -117,8 +117,7 @@ impl AccessPattern for StreamingState {
             self.cursors[s] = rng.next_u64() % self.region_blocks;
         }
         let block = self.cursors[s];
-        let next =
-            (block as i64 + self.strides[s]).rem_euclid(self.region_blocks as i64) as u64;
+        let next = (block as i64 + self.strides[s]).rem_euclid(self.region_blocks as i64) as u64;
         self.cursors[s] = next;
         let pc = CODE_BASE + (s as u64) * 0x40;
         (pc, DATA_BASE + block * (1 << BLOCK_BITS))
@@ -385,10 +384,8 @@ mod tests {
     #[should_panic(expected = "MixedState requires")]
     fn mixed_rejects_non_mixed_kind() {
         let mut rng = InitRng::new(5);
-        let _ = MixedState::new(
-            &WorkloadKind::RegionHop { region_pages: 1, burst_len: 1 },
-            &mut rng,
-        );
+        let _ =
+            MixedState::new(&WorkloadKind::RegionHop { region_pages: 1, burst_len: 1 }, &mut rng);
     }
 
     #[test]

@@ -31,7 +31,7 @@ proptest! {
         prop_assert_eq!(s.accesses, len);
         prop_assert!(s.unique_blocks <= len);
         prop_assert!(s.unique_pages <= s.unique_blocks);
-        prop_assert!(s.unique_deltas <= len - 1);
+        prop_assert!(s.unique_deltas < len);
     }
 
     /// Instruction ids strictly increase for every workload and seed.

@@ -41,7 +41,10 @@ fn main() {
     // Show the frontier trade-off of Fig. 10 in one line per K.
     println!("\nK sweep at the DART structural point (L=1, D=32, H=2, C=2):");
     for k in [16usize, 64, 256, 1024] {
-        let cfg = dart::core::config::PredictorConfig { k, ..dart::core::config::PredictorConfig::dart() };
+        let cfg = dart::core::config::PredictorConfig {
+            k,
+            ..dart::core::config::PredictorConfig::dart()
+        };
         let cost = model_cost(&cfg, &ShapeParams::default());
         println!(
             "  K={k:<5} latency={:<4} storage={:<9} ops={}",

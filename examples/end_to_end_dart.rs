@@ -88,10 +88,8 @@ fn main() {
     );
 
     // --- 4. Deploy at the LLC ----------------------------------------------
-    let mut dart_pf =
-        DartPrefetcher::new("DART", artifacts.tabular.clone(), pre, &variant, 0.5, 8);
-    let mut dart_ideal =
-        DartPrefetcher::with_latency("DART-I", artifacts.tabular, pre, 0, 0.5, 8);
+    let mut dart_pf = DartPrefetcher::new("DART", artifacts.tabular.clone(), pre, &variant, 0.5, 8);
+    let mut dart_ideal = DartPrefetcher::with_latency("DART-I", artifacts.tabular, pre, 0, 0.5, 8);
     let mut bo = BestOffset::new();
 
     println!("\n{:<8} {:>9} {:>9} {:>8}", "pf", "accuracy", "coverage", "IPC+%");

@@ -65,8 +65,11 @@ fn main() {
     let mut bo = BestOffset::new();
     let mut isb = Isb::new();
 
-    println!("\n{:<6} {:>9} {:>9} {:>8} {:>10} {:>9}", "pf", "accuracy", "coverage", "IPC+%", "storage", "latency");
-    let mut report = |name: &str, pf: &mut dyn Prefetcher| {
+    println!(
+        "\n{:<6} {:>9} {:>9} {:>8} {:>10} {:>9}",
+        "pf", "accuracy", "coverage", "IPC+%", "storage", "latency"
+    );
+    let report = |name: &str, pf: &mut dyn Prefetcher| {
         let r = sim.run(&trace, pf, false);
         println!(
             "{:<6} {:>8.1}% {:>8.1}% {:>7.1}% {:>10} {:>9}",

@@ -24,7 +24,8 @@ fn main() {
     println!("core loads: {}, LLC demand accesses: {}", trace.len(), llc.len());
 
     // 2. Segmented-address inputs + delta-bitmap labels (paper §VI-A).
-    let pre = PreprocessConfig { seq_len: 8, delta_range: 32, lookforward: 16, ..Default::default() };
+    let pre =
+        PreprocessConfig { seq_len: 8, delta_range: 32, lookforward: 16, ..Default::default() };
     let data = build_dataset(&llc, &pre, 2);
     let (train, test) = data.split(0.7);
     println!("dataset: {} train / {} test samples", train.len(), test.len());

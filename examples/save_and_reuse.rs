@@ -10,7 +10,7 @@
 use dart::core::config::TabularConfig;
 use dart::core::eval::evaluate_tabular_f1;
 use dart::core::tabularize::tabularize;
-use dart::nn::model::{AccessPredictor, ModelConfig, SequenceModel};
+use dart::nn::model::{AccessPredictor, ModelConfig};
 use dart::nn::serialize::{load_model, save_model};
 use dart::nn::train::{evaluate_f1, train_bce, TrainConfig};
 use dart::sim::{NullPrefetcher, SimConfig, Simulator};
@@ -59,18 +59,24 @@ fn main() {
 
     // Tabularize the same trained model two ways without retraining.
     for (label, tab_cfg) in [
-        ("two-kernel FFN", TabularConfig { k: 64, c: 2, fine_tune_epochs: 3, ..Default::default() }),
+        (
+            "two-kernel FFN",
+            TabularConfig { k: 64, c: 2, fine_tune_epochs: 3, ..Default::default() },
+        ),
         (
             "fused FFN (§VIII)",
-            TabularConfig { k: 64, c: 2, fine_tune_epochs: 3, fuse_ffn: true, ..Default::default() },
+            TabularConfig {
+                k: 64,
+                c: 2,
+                fine_tune_epochs: 3,
+                fuse_ffn: true,
+                ..Default::default()
+            },
         ),
     ] {
         let (table, _) = tabularize(&reloaded, &train.inputs, &tab_cfg);
         let tab_f1 = evaluate_tabular_f1(&table, &test, 256);
-        println!(
-            "{label:<18} F1 {tab_f1:.3}  table storage {:>8} bytes",
-            table.storage_bytes()
-        );
+        println!("{label:<18} F1 {tab_f1:.3}  table storage {:>8} bytes", table.storage_bytes());
     }
     let _ = std::fs::remove_file(&path);
 }

@@ -1,0 +1,93 @@
+//! Serving quickstart: put a tabularized DART model behind the sharded,
+//! batched `dart-serve` runtime and serve many concurrent access streams.
+//!
+//! ```sh
+//! cargo run --release --example serve_quickstart
+//! ```
+
+use std::sync::Arc;
+
+use dart::core::config::TabularConfig;
+use dart::core::tabularize::tabularize;
+use dart::nn::model::{AccessPredictor, ModelConfig};
+use dart::serve::{generate_requests, LoadGenConfig, ServeConfig, ServeRuntime};
+use dart::trace::{build_dataset, workload_by_name, PreprocessConfig};
+
+fn main() {
+    // 1. A DART table model. Quickstart shortcut: tabularize an untrained
+    //    student on real trace features (see examples/end_to_end_dart.rs
+    //    for the full train -> distill -> tabularize pipeline; serving
+    //    mechanics are identical).
+    let pre = PreprocessConfig {
+        seq_len: 8,
+        addr_segments: 4,
+        seg_bits: 6,
+        pc_segments: 2,
+        delta_range: 16,
+        lookforward: 8,
+    };
+    let cfg = ModelConfig {
+        input_dim: pre.input_dim(),
+        dim: 16,
+        heads: 2,
+        layers: 1,
+        ffn_dim: 32,
+        output_dim: pre.output_dim(),
+        seq_len: pre.seq_len,
+    };
+    let student = AccessPredictor::new(cfg, 42).expect("valid config");
+    let trace = workload_by_name("leslie3d").expect("workload").generate(3_000, 11);
+    let data = build_dataset(&trace, &pre, 2);
+    let tab_cfg = TabularConfig { k: 16, c: 2, fine_tune_epochs: 0, ..Default::default() };
+    let (model, _) = tabularize(&student, &data.inputs, &tab_cfg);
+    println!("tabular model ready: {} KiB of tables", model.storage_bytes() / 1024);
+
+    // 2. Start the runtime: 4 shard workers share the model; streams are
+    //    hash-routed so each shard owns its streams' history.
+    let runtime = ServeRuntime::start(
+        Arc::new(model),
+        pre,
+        ServeConfig { shards: 4, max_batch: 64, threshold: 0.4, max_degree: 4 },
+    );
+
+    // 3. Synthetic traffic: 64 interleaved client streams, each replaying a
+    //    SPEC-like synthetic pattern.
+    let reqs =
+        generate_requests(&LoadGenConfig { streams: 64, accesses_per_stream: 200, seed: 0xFEED });
+    println!("submitting {} requests across 64 streams...", reqs.len());
+    // Submit in per-round waves with back-pressure so reported latency
+    // reflects queue + inference time rather than an unbounded backlog.
+    for round in reqs.chunks(64) {
+        runtime.submit_all(round.iter().copied());
+        if runtime.outstanding() > 512 {
+            runtime.wait_below(256);
+        }
+    }
+    runtime.wait_idle();
+
+    // 4. Collect responses and statistics.
+    let responses = runtime.drain_completed();
+    let with_prefetch = responses.iter().filter(|r| !r.prefetch_blocks.is_empty()).count();
+    println!("{} responses ({} with prefetch emissions)", responses.len(), with_prefetch);
+    if let Some(sample) = responses.iter().find(|r| !r.prefetch_blocks.is_empty()) {
+        println!(
+            "e.g. stream {} seq {} on shard {} -> prefetch blocks {:?}",
+            sample.stream_id, sample.seq, sample.shard, sample.prefetch_blocks
+        );
+    }
+
+    let stats = runtime.shutdown();
+    println!(
+        "predictions: {}, batched calls: {} (mean batch {:.1}, max {})",
+        stats.predictions,
+        stats.batches,
+        stats.mean_batch(),
+        stats.max_batch
+    );
+    println!(
+        "latency: p50 {:.1} us, p99 {:.1} us",
+        stats.p50_latency_ns as f64 / 1_000.0,
+        stats.p99_latency_ns as f64 / 1_000.0
+    );
+    println!("per-shard requests: {:?}", stats.per_shard_requests);
+}

@@ -7,13 +7,16 @@
 //! * [`trace`] — memory traces, synthetic workloads, preprocessing,
 //! * [`sim`] — trace-driven cache/CPU simulator,
 //! * [`prefetch`] — prefetcher zoo (BO, ISB, DART, NN baselines),
-//! * [`core`] — the DART pipeline: configurator, distillation, tabularization.
+//! * [`core`] — the DART pipeline: configurator, distillation, tabularization,
+//! * [`serve`] — the sharded, batched prefetch-serving runtime.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! See `examples/quickstart.rs` for a five-minute tour and
+//! `examples/serve_quickstart.rs` for the serving runtime.
 
 pub use dart_core as core;
 pub use dart_nn as nn;
 pub use dart_pq as pq;
 pub use dart_prefetch as prefetch;
+pub use dart_serve as serve;
 pub use dart_sim as sim;
 pub use dart_trace as trace;

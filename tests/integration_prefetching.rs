@@ -1,7 +1,7 @@
 //! Cross-crate integration: prefetchers inside the simulator.
 
 use dart::prefetch::{BestOffset, Isb, NnBatchPrefetcher};
-use dart::sim::{NullPrefetcher, Prefetcher, SimConfig, Simulator};
+use dart::sim::{NullPrefetcher, SimConfig, Simulator};
 use dart::trace::workload_by_name;
 
 /// BO must beat no-prefetching on a streaming workload (the regime it was
@@ -36,12 +36,7 @@ fn oracle_prefetcher_latency_ablation() {
 
     // Oracle: at LLC access i, "predict" the blocks of accesses i+1..i+4.
     let preds: Vec<Vec<u64>> = (0..llc.len())
-        .map(|i| {
-            llc[i + 1..llc.len().min(i + 5)]
-                .iter()
-                .map(|r| r.block())
-                .collect()
-        })
+        .map(|i| llc[i + 1..llc.len().min(i + 5)].iter().map(|r| r.block()).collect())
         .collect();
 
     let mut ideal = NnBatchPrefetcher::new("oracle-0", 0, 0, preds.clone());

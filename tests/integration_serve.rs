@@ -1,0 +1,90 @@
+//! Cross-crate properties of the batched prediction path and the serving
+//! runtime: `predict_batch` must equal row-by-row `forward_probs`
+//! bit-for-bit, for any batch composition.
+
+use dart::core::config::TabularConfig;
+use dart::core::tabularize::tabularize;
+use dart::core::TabularModel;
+use dart::nn::init::InitRng;
+use dart::nn::matrix::Matrix;
+use dart::nn::model::{AccessPredictor, ModelConfig};
+use dart::pq::EncoderKind;
+use dart::trace::PreprocessConfig;
+use proptest::prelude::*;
+
+fn tiny_model(seed: u64, encoder: EncoderKind) -> (TabularModel, PreprocessConfig) {
+    let pre = PreprocessConfig {
+        seq_len: 4,
+        addr_segments: 3,
+        seg_bits: 4,
+        pc_segments: 1,
+        delta_range: 4,
+        lookforward: 4,
+    };
+    let cfg = ModelConfig {
+        input_dim: pre.input_dim(),
+        dim: 8,
+        heads: 2,
+        layers: 1,
+        ffn_dim: 16,
+        output_dim: pre.output_dim(),
+        seq_len: pre.seq_len,
+    };
+    let student = AccessPredictor::new(cfg, seed).unwrap();
+    let mut rng = InitRng::new(seed.wrapping_add(1));
+    let x = Matrix::from_fn(40 * 4, pre.input_dim(), |_, _| rng.next_f32());
+    let tab_cfg = TabularConfig { k: 8, c: 2, encoder, fine_tune_epochs: 0, ..Default::default() };
+    let (model, _) = tabularize(&student, &x, &tab_cfg);
+    (model, pre)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `predict_batch` on a stacked matrix equals calling `forward_probs`
+    /// sample-by-sample, bit for bit, regardless of batch size.
+    #[test]
+    fn predict_batch_equals_row_by_row(
+        seed in 0u64..50,
+        batch in 1usize..9,
+        tree in proptest::bool::ANY,
+    ) {
+        let encoder = if tree { EncoderKind::HashTree } else { EncoderKind::Argmin };
+        let (model, pre) = tiny_model(seed, encoder);
+        let t = pre.seq_len;
+        let di = pre.input_dim();
+
+        let mut rng = InitRng::new(seed ^ 0xBA7C4);
+        let stacked = Matrix::from_fn(batch * t, di, |_, _| rng.next_f32());
+        let batched = model.predict_batch(&stacked);
+        prop_assert_eq!(batched.shape(), (batch, pre.output_dim()));
+
+        for n in 0..batch {
+            let single = model.forward_probs(&stacked.slice_rows(n * t, (n + 1) * t));
+            // Bit-for-bit: the batched kernels preserve per-row accumulation
+            // order exactly.
+            prop_assert_eq!(
+                single.row(0), batched.row(n),
+                "sample {} diverged (seed {}, batch {})", n, seed, batch
+            );
+        }
+    }
+
+    /// Batched attention/linear kernels keep the model deterministic: the
+    /// same stacked input always produces the same output.
+    #[test]
+    fn predict_batch_is_deterministic(seed in 0u64..50, batch in 1usize..6) {
+        let (model, pre) = tiny_model(seed, EncoderKind::Argmin);
+        let mut rng = InitRng::new(seed ^ 0xD00D);
+        let x = Matrix::from_fn(batch * pre.seq_len, pre.input_dim(), |_, _| rng.next_f32());
+        prop_assert_eq!(model.predict_batch(&x), model.predict_batch(&x));
+    }
+}
+
+#[test]
+#[should_panic(expected = "not divisible")]
+fn predict_batch_rejects_ragged_input() {
+    let (model, pre) = tiny_model(1, EncoderKind::Argmin);
+    let x = Matrix::zeros(pre.seq_len + 1, pre.input_dim());
+    let _ = model.predict_batch(&x);
+}

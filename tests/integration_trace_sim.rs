@@ -25,7 +25,7 @@ fn all_workloads_simulate_and_preprocess() {
         let llc = r.llc_trace.unwrap();
         assert!(!llc.is_empty(), "{}: empty LLC stream", w.name);
         let ds = build_dataset(&llc, &pre, 4);
-        assert!(ds.len() > 0, "{}: empty dataset", w.name);
+        assert!(!ds.is_empty(), "{}: empty dataset", w.name);
         // Labels must carry some positives somewhere (except possibly the
         // pointer-chasing extreme at this tiny scale).
         let positives: f32 = ds.targets.as_slice().iter().sum();

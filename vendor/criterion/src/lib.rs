@@ -1,0 +1,164 @@
+//! Vendored micro-benchmark harness.
+//!
+//! The build environment has no registry access, so the real criterion
+//! cannot be fetched. This crate implements the small API surface the
+//! workspace's benches use — `benchmark_group`, `bench_function`,
+//! `sample_size`, `throughput`, `iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! median-of-samples timer and plain-text reporting.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared workload size for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 20, throughput: None }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_benchmark("", name, 20, None, f);
+    }
+}
+
+/// A named group of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(&mut self, name: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&self.name, &name.to_string(), self.sample_size, self.throughput, f);
+    }
+
+    /// End the group (no-op; printing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the measured routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up and per-sample iteration estimate: aim for ~2ms per sample,
+        // clamped to keep total time bounded.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+}
+
+fn run_benchmark(
+    group: &str,
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { samples: Vec::new(), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let label = if group.is_empty() { name.to_string() } else { format!("{group}/{name}") };
+    let rate = throughput
+        .map(|t| {
+            let per_sec = match t {
+                Throughput::Elements(n) => {
+                    format!("{:.0} elem/s", n as f64 / median.as_secs_f64())
+                }
+                Throughput::Bytes(n) => {
+                    format!("{:.0} B/s", n as f64 / median.as_secs_f64())
+                }
+            };
+            format!("  ({per_sec})")
+        })
+        .unwrap_or_default();
+    println!("{label:<50} median {median:>12.3?}{rate}");
+}
+
+/// Bundle benchmark functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` for one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

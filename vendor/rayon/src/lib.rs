@@ -1,0 +1,114 @@
+//! Vendored **sequential** shim of the rayon API surface this workspace uses.
+//!
+//! The build environment has no registry access, so the real rayon cannot be
+//! fetched. The workspace only relies on rayon for data-parallel `for_each`
+//! / `map` / `collect` chains over slices and ranges; this shim maps each
+//! `par_*` entry point onto the equivalent `std` sequential iterator, which
+//! keeps every call site source-compatible and bit-identical in output.
+//!
+//! Throughput-critical parallelism in this repo lives in `dart-serve`, which
+//! uses `std::thread` shard workers directly and does not depend on rayon.
+
+/// Everything a `use rayon::prelude::*;` call site expects.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Sequential stand-in for rayon's `IntoParallelIterator`.
+///
+/// Blanket-implemented for every `IntoIterator`, so ranges, vectors, and
+/// iterator adapters all gain `into_par_iter()`.
+pub trait IntoParallelIterator {
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// "Parallel" iteration — sequential in this shim.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for rayon's `ParallelSlice` (shared slices).
+pub trait ParallelSlice<T> {
+    /// Sequential `iter()` under rayon's name.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// Sequential `chunks()` under rayon's name.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Sequential stand-in for rayon's `ParallelSliceMut` (mutable slices).
+pub trait ParallelSliceMut<T> {
+    /// Sequential `iter_mut()` under rayon's name.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Sequential `chunks_mut()` under rayon's name.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Number of "worker threads" — 1 in this sequential shim.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = [1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn into_par_iter_on_range() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_for_each() {
+        let mut buf = vec![0u32; 6];
+        buf.par_chunks_mut(2).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i as u32;
+            }
+        });
+        assert_eq!(buf, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn zip_of_par_chunks() {
+        let a = vec![1, 2, 3, 4];
+        let mut b = vec![0, 0, 0, 0];
+        b.par_chunks_mut(2).zip(a.par_chunks(2)).for_each(|(dst, src)| {
+            dst.copy_from_slice(src);
+        });
+        assert_eq!(a, b);
+    }
+}

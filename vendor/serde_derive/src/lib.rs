@@ -1,0 +1,415 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! workspace's serde lookalike.
+//!
+//! The build environment has no registry access, so `syn`/`quote` are
+//! unavailable; the item is parsed directly from the raw `TokenStream`.
+//! Supported shapes — which cover every annotated type in this workspace:
+//!
+//! * structs with named fields (including `#[serde(skip)]` fields, which are
+//!   omitted on serialize and `Default::default()`-filled on deserialize),
+//! * tuple structs (serialized as arrays),
+//! * externally-tagged enums with unit, newtype, tuple, and struct variants.
+//!
+//! Generics are intentionally unsupported and fail loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name (or tuple index) plus its `#[serde(skip)]` flag.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// True when an attribute group body is `serde(...)` containing `skip`.
+fn attr_is_serde_skip(body: TokenStream) -> bool {
+    let mut toks = body.into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consume leading `#[...]` attributes; report whether any was
+/// `#[serde(skip)]`.
+fn eat_attrs(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next();
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                skip |= attr_is_serde_skip(g.stream());
+            }
+            other => panic!("serde_derive: malformed attribute, got {other:?}"),
+        }
+    }
+    skip
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility.
+fn eat_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+/// Skip the remainder of a field/variant entry: everything up to a comma at
+/// angle-bracket depth 0 (commas inside `Vec<(A, B)>` are depth-protected by
+/// `<`/`>` tracking; parenthesized commas hide inside `Group`s already).
+fn skip_until_comma(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    for tok in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parse `name: Type, ...` named fields from a brace-group body.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut toks = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = eat_attrs(&mut toks);
+        eat_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_until_comma(&mut toks);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Count the fields of a paren-group (tuple struct/variant) body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut toks = body.into_iter().peekable();
+    let mut arity = 0;
+    while toks.peek().is_some() {
+        eat_attrs(&mut toks);
+        eat_vis(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        skip_until_comma(&mut toks);
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut toks = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        eat_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                toks.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        skip_until_comma(&mut toks);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    eat_attrs(&mut toks);
+    eat_vis(&mut toks);
+    let keyword = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is unsupported");
+    }
+    match keyword.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: tuple_arity(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive: malformed struct `{name}`, got {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("serde_derive: malformed enum `{name}`, got {other:?}"),
+        },
+        other => panic!("serde_derive: `{other}` items are unsupported"),
+    }
+}
+
+/// Generate `impl Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{0}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{0})));\n",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n}}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> =
+                (0..arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Array(vec![{}])\n}}\n}}",
+                items.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{0} => ::serde::Value::String(\"{0}\".to_string()),\n",
+                        v.name
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{name}::{0}(f0) => ::serde::Value::Object(vec![(\"{0}\".to_string(), \
+                         ::serde::Serialize::to_value(f0))]),\n",
+                        v.name
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{0}({1}) => ::serde::Value::Object(vec![(\"{0}\".to_string(), \
+                             ::serde::Value::Array(vec![{2}]))]),\n",
+                            v.name,
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{0} {{ {1} }} => ::serde::Value::Object(vec![(\"{0}\"\
+                             .to_string(), ::serde::Value::Object(vec![{2}]))]),\n",
+                            v.name,
+                            binds.join(", "),
+                            pairs.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Generate `impl Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default(),\n", f.name)
+                    } else {
+                        format!("{0}: ::serde::obj_field(v, \"{0}\")?,\n", f.name)
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+                 {{\nOk({name} {{\n{inits}}})\n}}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i})\
+                         .ok_or_else(|| ::serde::Error(\"tuple struct too short\".to_string()))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+                 {{\n\
+                 let items = v.as_array()\
+                 .ok_or_else(|| ::serde::Error(\"expected array\".to_string()))?;\n\
+                 Ok({name}({}))\n}}\n}}",
+                items.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+             {{ Ok({name}) }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),\n", v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| match &v.kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Tuple(1) => Some(format!(
+                        "\"{0}\" => Ok({name}::{0}(::serde::Deserialize::from_value(inner)?)),\n",
+                        v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(items.get({i})\
+                                     .ok_or_else(|| ::serde::Error(\
+                                     \"variant tuple too short\".to_string()))?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{0}\" => {{\n\
+                             let items = inner.as_array().ok_or_else(|| \
+                             ::serde::Error(\"expected array\".to_string()))?;\n\
+                             Ok({name}::{0}({1}))\n}}\n",
+                            v.name,
+                            items.join(", ")
+                        ))
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: ::std::default::Default::default(),\n", f.name)
+                                } else {
+                                    format!("{0}: ::serde::obj_field(inner, \"{0}\")?,\n", f.name)
+                                }
+                            })
+                            .collect();
+                        Some(format!("\"{0}\" => Ok({name}::{0} {{\n{inits}}}),\n", v.name))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+                 {{\n\
+                 match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::Error(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (tag, inner) = &fields[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => Err(::serde::Error(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::Error(\"expected enum representation\".to_string())),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
