@@ -10,7 +10,9 @@
 //!
 //! Reports predictions/sec, p50/p99 request latency, and mean coalesced
 //! batch size. Scale with `DART_SERVE_STREAMS` / `DART_SERVE_ACCESSES`
-//! (defaults: 192 streams x 300 accesses).
+//! (defaults: 192 streams x 300 accesses); `DART_SERVE_MAX_BATCH`
+//! (default 64) caps coalescing per drain, matching `bench_layout`'s
+//! flat-arena batch size.
 //!
 //! ```sh
 //! cargo run --release -p dart-bench --bin serve_bench
@@ -122,8 +124,9 @@ fn run_runtime(
     reqs: &[PrefetchRequest],
     streams: usize,
     shards: usize,
+    max_batch: usize,
 ) -> RunResult {
-    let cfg = ServeConfig { shards, max_batch: 64, threshold: 0.5, max_degree: 4 };
+    let cfg = ServeConfig { shards, max_batch, threshold: 0.5, max_degree: 4 };
     let runtime = ServeRuntime::start(Arc::clone(model), *pre, cfg);
     // Open-loop load in per-round waves (one access per stream per round,
     // the generator's natural interleave) with back-pressure at a bounded
@@ -160,9 +163,10 @@ fn run_runtime_best_of2(
     reqs: &[PrefetchRequest],
     streams: usize,
     shards: usize,
+    max_batch: usize,
 ) -> RunResult {
-    let a = run_runtime(model, pre, reqs, streams, shards);
-    let b = run_runtime(model, pre, reqs, streams, shards);
+    let a = run_runtime(model, pre, reqs, streams, shards, max_batch);
+    let b = run_runtime(model, pre, reqs, streams, shards, max_batch);
     if a.throughput() >= b.throughput() {
         a
     } else {
@@ -173,8 +177,14 @@ fn run_runtime_best_of2(
 fn main() {
     let streams = env_usize("DART_SERVE_STREAMS", 192);
     let accesses = env_usize("DART_SERVE_ACCESSES", 300);
+    // Coalescing cap per drain; 64 matches the flat-arena layout benchmark
+    // (`bench_layout`) batch size.
+    let max_batch = env_usize("DART_SERVE_MAX_BATCH", 64);
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    println!("serve_bench: {streams} streams x {accesses} accesses ({cores} CPU core(s))");
+    println!(
+        "serve_bench: {streams} streams x {accesses} accesses, max_batch {max_batch} \
+         ({cores} CPU core(s))"
+    );
     if cores == 1 {
         println!(
             "note: single-core host — shard workers time-slice one core, so the \
@@ -196,7 +206,7 @@ fn main() {
 
     let mut results = vec![run_naive(&model, &pre, &reqs)];
     for shards in [1usize, 2, 4, 8] {
-        results.push(run_runtime_best_of2(&model, &pre, &reqs, streams, shards));
+        results.push(run_runtime_best_of2(&model, &pre, &reqs, streams, shards, max_batch));
     }
 
     let mut table =

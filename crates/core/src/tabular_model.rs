@@ -218,8 +218,10 @@ impl TabularModel {
     /// `[n*seq_len, (n+1)*seq_len)`. Returns `B x D_O` bitmap
     /// probabilities. Results are bit-for-bit identical to calling
     /// [`Self::forward_probs`] on each sample individually; the batched
-    /// path amortizes table-lookup locality and scratch buffers across the
-    /// whole batch.
+    /// path runs every kernel's tiled flat-arena query (`dart-pq`'s
+    /// `TableArena` layout: rows are aggregated a tile at a time per
+    /// sub-table pass, so each contiguous sub-table block stays
+    /// cache-resident across its tile).
     pub fn predict_batch(&self, x: &Matrix) -> Matrix {
         assert_eq!(
             x.rows() % self.config.seq_len,
@@ -229,6 +231,20 @@ impl TabularModel {
             self.config.seq_len
         );
         self.forward_probs(x)
+    }
+
+    /// Serialize the whole table hierarchy — flat `TableArena` /
+    /// `CodebookArena` storage included — to JSON (the golden-fixture
+    /// format under `tests/fixtures/`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("TabularModel serialization cannot fail")
+    }
+
+    /// Load a model serialized by [`Self::to_json`]. f32 entries survive
+    /// the round trip bit-for-bit (JSON numbers are f64, and f32 -> f64 is
+    /// exact).
+    pub fn from_json(s: &str) -> serde_json::Result<TabularModel> {
+        serde_json::from_str(s)
     }
 
     /// Measured table storage in bytes (actual, not the Eq. 23 estimate).

@@ -25,7 +25,13 @@ use dart_nn::matrix::{dot, softmax_in_place, Matrix};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::arena::TableArena;
 use crate::quantizer::{EncoderKind, ProductQuantizer};
+
+/// Samples per tile of the batched attention query: each tile reuses one
+/// set of encode/scratch buffers across its samples and tiles run
+/// rayon-parallel over disjoint output rows.
+pub const ATTN_TILE_SAMPLES: usize = 8;
 
 /// Activation folded into the QKV-table prototypes (paper Eq. 14).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -73,13 +79,14 @@ impl Default for AttentionTableConfig {
 pub struct AttentionTable {
     q_pq: ProductQuantizer,
     k_pq: ProductQuantizer,
-    /// Per `C_k`-subspace `K x K` pairwise Q·K prototype products.
-    qk_tables: Vec<Matrix>,
+    /// Flat arena of `C_k` sub-tables (`K x K` each) of pairwise Q·K
+    /// prototype products.
+    qk: TableArena,
     qkt_pq: ProductQuantizer,
     v_pq: ProductQuantizer,
-    /// Per `C_t`-subspace `K x K` products of activated `QK^T` prototypes
-    /// with V-column prototypes.
-    qkv_tables: Vec<Matrix>,
+    /// Flat arena of `C_t` sub-tables (`K x K` each) of products of
+    /// activated `QK^T` prototypes with V-column prototypes.
+    qkv: TableArena,
     seq_len: usize,
     dk: usize,
 }
@@ -107,7 +114,7 @@ impl AttentionTable {
         let q_pq = ProductQuantizer::fit(q_train, cfg.ck, cfg.k, cfg.encoder, cfg.seed);
         let k_pq =
             ProductQuantizer::fit(k_train, cfg.ck, cfg.k, cfg.encoder, cfg.seed.wrapping_add(1));
-        let qk_tables = pairwise_tables(&q_pq, &k_pq, |x| x);
+        let qk_tables = pairwise_tables(&q_pq, &k_pq);
 
         // Step 2: generate the table-approximated Q̃K^T on the training set
         // and quantize its rows over the T dimension.
@@ -154,7 +161,7 @@ impl AttentionTable {
             p
         });
 
-        AttentionTable { q_pq, k_pq, qk_tables, qkt_pq, v_pq, qkv_tables, seq_len, dk }
+        AttentionTable { q_pq, k_pq, qk: qk_tables, qkt_pq, v_pq, qkv: qkv_tables, seq_len, dk }
     }
 
     /// Sequence length `T`.
@@ -175,111 +182,116 @@ impl AttentionTable {
     }
 
     /// Batched attention over `B` stacked samples (`q`/`k`/`v` are
-    /// `(B*T) x D_k`), reusing every encode/scratch buffer across samples —
-    /// the multi-sample counterpart of [`Self::query`], bit-for-bit equal to
-    /// querying each sample individually.
+    /// `(B*T) x D_k`), tiled by [`ATTN_TILE_SAMPLES`]: each tile reuses one
+    /// set of encode/scratch buffers across its samples and tiles run
+    /// rayon-parallel over disjoint output rows — the multi-sample
+    /// counterpart of [`Self::query`], bit-for-bit equal to querying each
+    /// sample individually.
     pub fn query_batch(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
         let t = self.seq_len;
         assert_eq!(q.cols(), self.dk, "Q shape mismatch");
         assert_eq!(q.rows() % t, 0, "rows not divisible by seq_len");
         assert_eq!(k.shape(), q.shape());
         assert_eq!(v.shape(), q.shape());
-        let batch = q.rows() / t;
         let ck = self.q_pq.num_subspaces();
         let ct = self.qkt_pq.num_subspaces();
+        let dk = self.dk;
 
-        let mut out = Matrix::zeros(q.rows(), self.dk);
-        let mut q_codes = vec![0usize; t * ck];
-        let mut k_codes = vec![0usize; t * ck];
-        let mut qkt = Matrix::zeros(t, t);
-        let mut row_codes = vec![0usize; ct];
-        let mut col_codes = vec![0usize; self.dk * ct];
-        let mut vcol = vec![0.0f32; t];
+        let mut out = Matrix::zeros(q.rows(), dk);
+        let sample_span = t * dk;
+        out.as_mut_slice().par_chunks_mut(ATTN_TILE_SAMPLES * sample_span).enumerate().for_each(
+            |(tile, ochunk)| {
+                let n0 = tile * ATTN_TILE_SAMPLES;
+                let samples = ochunk.len() / sample_span;
+                let mut q_codes = vec![0usize; t * ck];
+                let mut k_codes = vec![0usize; t * ck];
+                let mut qkt = Matrix::zeros(t, t);
+                let mut row_codes = vec![0usize; ct];
+                let mut col_codes = vec![0usize; dk * ct];
+                let mut vcol = vec![0.0f32; t];
 
-        for n in 0..batch {
-            let base = n * t;
+                for s in 0..samples {
+                    let base = (n0 + s) * t;
 
-            // Stage 1: Q̂K^T via the QK table (Eq. 13).
-            for r in 0..t {
-                self.q_pq.encode_row_into(q.row(base + r), &mut q_codes[r * ck..(r + 1) * ck]);
-                self.k_pq.encode_row_into(k.row(base + r), &mut k_codes[r * ck..(r + 1) * ck]);
-            }
-            for t1 in 0..t {
-                let row = qkt.row_mut(t1);
-                for (t2, slot) in row.iter_mut().enumerate() {
-                    let mut acc = 0.0f32;
-                    for (ci, table) in self.qk_tables.iter().enumerate() {
-                        acc += table.get(q_codes[t1 * ck + ci], k_codes[t2 * ck + ci]);
+                    // Stage 1: Q̂K^T via the QK table (Eq. 13).
+                    for r in 0..t {
+                        self.q_pq
+                            .encode_row_into(q.row(base + r), &mut q_codes[r * ck..(r + 1) * ck]);
+                        self.k_pq
+                            .encode_row_into(k.row(base + r), &mut k_codes[r * ck..(r + 1) * ck]);
                     }
-                    *slot = acc;
-                }
-            }
-
-            // Stage 2: encode Q̂K^T rows and V columns; aggregate the QKV
-            // table (Eq. 15).
-            for o in 0..self.dk {
-                for (tt, slot) in vcol.iter_mut().enumerate() {
-                    *slot = v.get(base + tt, o);
-                }
-                self.v_pq.encode_row_into(&vcol, &mut col_codes[o * ct..(o + 1) * ct]);
-            }
-            for t1 in 0..t {
-                self.qkt_pq.encode_row_into(qkt.row(t1), &mut row_codes);
-                let orow = out.row_mut(base + t1);
-                for (o, slot) in orow.iter_mut().enumerate() {
-                    let mut acc = 0.0f32;
-                    for (c, table) in self.qkv_tables.iter().enumerate() {
-                        acc += table.get(row_codes[c], col_codes[o * ct + c]);
+                    for t1 in 0..t {
+                        let row = qkt.row_mut(t1);
+                        for (t2, slot) in row.iter_mut().enumerate() {
+                            let mut acc = 0.0f32;
+                            for ci in 0..ck {
+                                acc +=
+                                    self.qk.get(ci, q_codes[t1 * ck + ci], k_codes[t2 * ck + ci]);
+                            }
+                            *slot = acc;
+                        }
                     }
-                    *slot = acc;
+
+                    // Stage 2: encode Q̂K^T rows and V columns; aggregate
+                    // the QKV table (Eq. 15).
+                    for o in 0..dk {
+                        for (tt, slot) in vcol.iter_mut().enumerate() {
+                            *slot = v.get(base + tt, o);
+                        }
+                        self.v_pq.encode_row_into(&vcol, &mut col_codes[o * ct..(o + 1) * ct]);
+                    }
+                    for t1 in 0..t {
+                        self.qkt_pq.encode_row_into(qkt.row(t1), &mut row_codes);
+                        let orow = &mut ochunk[s * sample_span + t1 * dk..][..dk];
+                        for (o, slot) in orow.iter_mut().enumerate() {
+                            let mut acc = 0.0f32;
+                            for c in 0..ct {
+                                acc += self.qkv.get(c, row_codes[c], col_codes[o * ct + c]);
+                            }
+                            *slot = acc;
+                        }
+                    }
                 }
-            }
-        }
+            },
+        );
         out
     }
 
     /// Intermediate `Q̂K^T` (exposed for diagnostics and tests).
     pub fn query_qk(&self, q: &Matrix, k: &Matrix) -> Matrix {
-        lookup_qk(&self.q_pq, &self.k_pq, &self.qk_tables, q, k)
+        lookup_qk(&self.q_pq, &self.k_pq, &self.qk, q, k)
     }
 
-    /// The per-subspace QK tables (`K x K` each).
-    pub fn qk_tables(&self) -> &[Matrix] {
-        &self.qk_tables
+    /// The QK table arena (`C_k` sub-tables of `K x K`).
+    pub fn qk_tables(&self) -> &TableArena {
+        &self.qk
     }
 
-    /// The per-subspace QKV tables (`K x K` each).
-    pub fn qkv_tables(&self) -> &[Matrix] {
-        &self.qkv_tables
+    /// The QKV table arena (`C_t` sub-tables of `K x K`).
+    pub fn qkv_tables(&self) -> &TableArena {
+        &self.qkv
     }
 
     /// Replace the table contents (used by the int8 re-encoder round trip).
     /// Shapes must match the fitted tables.
-    pub fn with_tables(mut self, qk: Vec<Matrix>, qkv: Vec<Matrix>) -> AttentionTable {
-        assert_eq!(qk.len(), self.qk_tables.len(), "QK table count mismatch");
-        assert_eq!(qkv.len(), self.qkv_tables.len(), "QKV table count mismatch");
-        for (new, old) in qk.iter().zip(&self.qk_tables) {
-            assert_eq!(new.shape(), old.shape(), "QK table shape mismatch");
-        }
-        for (new, old) in qkv.iter().zip(&self.qkv_tables) {
-            assert_eq!(new.shape(), old.shape(), "QKV table shape mismatch");
-        }
-        self.qk_tables = qk;
-        self.qkv_tables = qkv;
+    pub fn with_tables(mut self, qk: TableArena, qkv: TableArena) -> AttentionTable {
+        let shape = |a: &TableArena| (a.num_subspaces(), a.num_protos(), a.width());
+        assert_eq!(shape(&qk), shape(&self.qk), "QK table shape mismatch");
+        assert_eq!(shape(&qkv), shape(&self.qkv), "QKV table shape mismatch");
+        self.qk = qk;
+        self.qkv = qkv;
         self
     }
 
     /// Table storage in bytes (QK + QKV tables, f32 entries).
     pub fn storage_bytes(&self) -> u64 {
-        let qk: usize = self.qk_tables.iter().map(Matrix::len).sum();
-        let qkv: usize = self.qkv_tables.iter().map(Matrix::len).sum();
-        ((qk + qkv) * 4) as u64
+        ((self.qk.len() + self.qkv.len()) * 4) as u64
     }
 }
 
-/// Build per-subspace `K x K` tables of pairwise prototype dot products.
-fn pairwise_tables(a: &ProductQuantizer, b: &ProductQuantizer, id: fn(f32) -> f32) -> Vec<Matrix> {
-    let _ = id;
+/// Build the arena of per-subspace `K x K` tables of pairwise prototype
+/// dot products.
+fn pairwise_tables(a: &ProductQuantizer, b: &ProductQuantizer) -> TableArena {
     pairwise_tables_transform(a, b, |p| p.to_vec())
 }
 
@@ -289,31 +301,27 @@ fn pairwise_tables_transform(
     a: &ProductQuantizer,
     b: &ProductQuantizer,
     transform: impl Fn(&[f32]) -> Vec<f32> + Sync,
-) -> Vec<Matrix> {
+) -> TableArena {
     assert_eq!(a.num_subspaces(), b.num_subspaces(), "subspace mismatch");
-    (0..a.num_subspaces())
-        .into_par_iter()
-        .map(|c| {
-            let pa = &a.quantizers()[c].prototypes;
-            let pb = &b.quantizers()[c].prototypes;
-            let mut table = Matrix::zeros(pa.rows(), pb.rows());
-            for i in 0..pa.rows() {
-                let ta = transform(pa.row(i));
-                let row = table.row_mut(i);
-                for (j, slot) in row.iter_mut().enumerate() {
-                    *slot = dot(&ta, pb.row(j));
-                }
+    let (ka, kb) = (a.num_protos(), b.num_protos());
+    let mut arena = TableArena::zeros(a.num_subspaces(), ka, kb);
+    arena.fill_subtables_parallel(|c, sub| {
+        for i in 0..ka {
+            let ta = transform(a.proto(c, i));
+            let row = &mut sub[i * kb..(i + 1) * kb];
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = dot(&ta, b.proto(c, j));
             }
-            table
-        })
-        .collect()
+        }
+    });
+    arena
 }
 
 /// Reconstruct `Q̂K^T` for one sample via QK-table lookups (Eq. 13).
 fn lookup_qk(
     q_pq: &ProductQuantizer,
     k_pq: &ProductQuantizer,
-    qk_tables: &[Matrix],
+    qk: &TableArena,
     q: &Matrix,
     k: &Matrix,
 ) -> Matrix {
@@ -330,8 +338,8 @@ fn lookup_qk(
         let row = qkt.row_mut(t1);
         for (t2, slot) in row.iter_mut().enumerate() {
             let mut acc = 0.0f32;
-            for (ci, table) in qk_tables.iter().enumerate() {
-                acc += table.get(q_codes[t1 * c + ci], k_codes[t2 * c + ci]);
+            for ci in 0..c {
+                acc += qk.get(ci, q_codes[t1 * c + ci], k_codes[t2 * c + ci]);
             }
             *slot = acc;
         }

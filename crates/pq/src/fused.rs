@@ -10,9 +10,9 @@
 //! function instead of each linear factor.
 
 use dart_nn::matrix::Matrix;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::arena::TableArena;
 use crate::complexity::{linear_latency, KernelCost};
 use crate::quantizer::{EncoderKind, ProductQuantizer};
 
@@ -20,9 +20,10 @@ use crate::quantizer::{EncoderKind, ProductQuantizer};
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FusedFfnTable {
     pq: ProductQuantizer,
-    /// One `K x D_O` table per subspace, holding per-prototype FFN outputs
-    /// divided across subspaces (see `fit` for the split).
-    tables: Vec<Matrix>,
+    /// Flat code-major arena of `C` sub-tables (`K x D_O` each), holding
+    /// per-prototype FFN outputs divided across subspaces (see `fit` for
+    /// the split).
+    table: TableArena,
     out_dim: usize,
 }
 
@@ -66,29 +67,23 @@ impl FusedFfnTable {
         };
         let mean_out = ffn(mean.row(0));
 
-        let tables: Vec<Matrix> = pq
-            .bounds()
-            .par_iter()
-            .enumerate()
-            .map(|(ci, &(lo, hi))| {
-                let q = &pq.quantizers()[ci];
-                let mut table = Matrix::zeros(q.num_protos(), out_dim);
-                let share = (num_subspaces as f32 - 1.0) / num_subspaces as f32;
-                for proto in 0..q.num_protos() {
-                    // Completion vector: mean everywhere, prototype in [lo,hi).
-                    let mut x = mean.row(0).to_vec();
-                    x[lo..hi].copy_from_slice(q.prototypes.row(proto));
-                    let y = ffn(&x);
-                    let row = table.row_mut(proto);
-                    for (o, slot) in row.iter_mut().enumerate() {
-                        *slot = y[o] - share * mean_out[o];
-                    }
+        let mut table = TableArena::zeros(num_subspaces, pq.num_protos(), out_dim);
+        let share = (num_subspaces as f32 - 1.0) / num_subspaces as f32;
+        table.fill_subtables_parallel(|ci, sub| {
+            let (lo, hi) = pq.bounds()[ci];
+            for proto in 0..pq.num_protos() {
+                // Completion vector: mean everywhere, prototype in [lo,hi).
+                let mut x = mean.row(0).to_vec();
+                x[lo..hi].copy_from_slice(pq.proto(ci, proto));
+                let y = ffn(&x);
+                let row = &mut sub[proto * out_dim..(proto + 1) * out_dim];
+                for (o, slot) in row.iter_mut().enumerate() {
+                    *slot = y[o] - share * mean_out[o];
                 }
-                table
-            })
-            .collect();
+            }
+        });
 
-        FusedFfnTable { pq, tables, out_dim }
+        FusedFfnTable { pq, table, out_dim }
     }
 
     /// Output dimension.
@@ -114,26 +109,29 @@ impl FusedFfnTable {
     pub fn query_batch_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(x.cols(), self.pq.dim(), "query dim mismatch");
         assert_eq!(out.shape(), (x.rows(), self.out_dim), "output shape mismatch");
-        crate::linear_table::aggregate_codes_batch(&self.pq, &self.tables, x, out);
+        crate::linear_table::aggregate_codes_batch(&self.pq, &self.table, x, out);
     }
 
     /// Single-row query.
     pub fn query_row_into(&self, row: &[f32], out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.out_dim);
         out.fill(0.0);
-        for ((&(lo, hi), q), table) in
-            self.pq.bounds().iter().zip(self.pq.quantizers()).zip(&self.tables)
-        {
-            let code = q.encode(&row[lo..hi]);
-            for (o, &t) in out.iter_mut().zip(table.row(code)) {
+        for (ci, &(lo, hi)) in self.pq.bounds().iter().enumerate() {
+            let code = self.pq.encode_sub(ci, &row[lo..hi]);
+            for (o, &t) in out.iter_mut().zip(self.table.row(ci, code)) {
                 *o += t;
             }
         }
     }
 
+    /// The flat code-major table arena.
+    pub fn table_arena(&self) -> &TableArena {
+        &self.table
+    }
+
     /// Table storage in bytes.
     pub fn storage_bytes(&self) -> u64 {
-        self.tables.iter().map(|t| (t.len() * 4) as u64).sum()
+        (self.table.len() * 4) as u64
     }
 
     /// Kernel cost: a single linear-kernel query replaces the FFN's two
@@ -141,7 +139,7 @@ impl FusedFfnTable {
     pub fn cost(&self, t: usize, d_bits: usize) -> KernelCost {
         KernelCost {
             latency_cycles: linear_latency(self.pq.num_protos(), self.pq.num_subspaces()),
-            storage_bits: (self.tables.iter().map(Matrix::len).sum::<usize>() * d_bits) as u64
+            storage_bits: (self.table.len() * d_bits) as u64
                 + (t * self.pq.num_subspaces()) as u64
                     * crate::complexity::log2_ceil(self.pq.num_protos()),
             ops: crate::complexity::linear_ops(

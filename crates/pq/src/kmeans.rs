@@ -164,6 +164,26 @@ pub fn nearest_centroid(point: &[f32], centroids: &Matrix) -> (usize, f32) {
     (best, best_d)
 }
 
+/// [`nearest_centroid`] over a flat row-major centroid block (`k * dim`
+/// entries) — the argmin encoder's scan over one codebook-arena subspace.
+/// Tie-breaking (strict `<`, first wins) matches [`nearest_centroid`]
+/// exactly, so codes are identical to the matrix-backed scan.
+#[inline]
+pub fn nearest_centroid_flat(point: &[f32], centroids: &[f32], dim: usize) -> (usize, f32) {
+    debug_assert_eq!(point.len(), dim);
+    debug_assert_eq!(centroids.len() % dim.max(1), 0);
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (c, row) in centroids.chunks_exact(dim).enumerate() {
+        let d = sq_dist(point, row);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

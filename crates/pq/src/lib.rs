@@ -18,6 +18,7 @@
 //! * [`complexity`] — the latency / storage / arithmetic-operation formulas
 //!   of Eq. 16–21 used by DART's table configurator.
 
+pub mod arena;
 pub mod attention_table;
 pub mod complexity;
 pub mod fused;
@@ -27,9 +28,12 @@ pub mod quantized;
 pub mod quantizer;
 pub mod sigmoid_lut;
 
-pub use attention_table::{AttentionActivation, AttentionTable, AttentionTableConfig};
+pub use arena::{CodebookArena, TableArena};
+pub use attention_table::{
+    AttentionActivation, AttentionTable, AttentionTableConfig, ATTN_TILE_SAMPLES,
+};
 pub use fused::FusedFfnTable;
-pub use linear_table::{LinearTable, ProtoTransform};
+pub use linear_table::{LinearTable, ProtoTransform, AGG_TILE_ROWS};
 pub use quantized::QuantizedLinearTable;
-pub use quantizer::{EncoderKind, ProductQuantizer, Quantizer};
+pub use quantizer::{EncoderKind, ProductQuantizer, Quantizer, ENCODE_TILE_ROWS};
 pub use sigmoid_lut::SigmoidLut;

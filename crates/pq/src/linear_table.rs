@@ -14,7 +14,15 @@ use dart_nn::matrix::{dot, Matrix};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::arena::TableArena;
 use crate::quantizer::{EncoderKind, ProductQuantizer};
+
+/// Rows per tile of the tiled batch aggregation: the loop runs
+/// subspace-outer over a tile of output rows, so one sub-table block of the
+/// arena stays cache-resident for the whole tile pass while the tile's
+/// output rows (`AGG_TILE_ROWS x D_O` floats) stay L1/L2-resident. Tiles
+/// are also the unit of rayon parallelism.
+pub const AGG_TILE_ROWS: usize = 32;
 
 /// Element-wise transform folded into the table at construction time
 /// (the paper's "integration of activation functions between operations").
@@ -44,9 +52,10 @@ impl ProtoTransform {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LinearTable {
     pq: ProductQuantizer,
-    /// One `K x D_O` table per subspace; `tables[c].row(k)` is the
-    /// precomputed contribution of prototype `k` to every output dim.
-    tables: Vec<Matrix>,
+    /// Flat code-major arena of `C` sub-tables, each `K x D_O`;
+    /// `table.row(c, k)` is the precomputed contribution of prototype `k`
+    /// to every output dim.
+    table: TableArena,
     out_dim: usize,
 }
 
@@ -97,29 +106,23 @@ impl LinearTable {
         let out_dim = weight.rows();
         let pq = ProductQuantizer::fit(train_inputs, c, k, encoder, seed);
 
-        let tables: Vec<Matrix> = pq
-            .bounds()
-            .par_iter()
-            .enumerate()
-            .map(|(ci, &(lo, hi))| {
-                let q = &pq.quantizers()[ci];
-                let mut table = Matrix::zeros(q.num_protos(), out_dim);
-                for proto in 0..q.num_protos() {
-                    let p = transform.apply(q.prototypes.row(proto));
-                    let row = table.row_mut(proto);
-                    for (o, slot) in row.iter_mut().enumerate() {
-                        *slot = dot(&p, &weight.row(o)[lo..hi]);
-                        // Bias folding: subspace 0 carries the bias.
-                        if ci == 0 {
-                            *slot += bias[o];
-                        }
+        let mut table = TableArena::zeros(pq.num_subspaces(), pq.num_protos(), out_dim);
+        table.fill_subtables_parallel(|ci, sub| {
+            let (lo, hi) = pq.bounds()[ci];
+            for proto in 0..pq.num_protos() {
+                let p = transform.apply(pq.proto(ci, proto));
+                let row = &mut sub[proto * out_dim..(proto + 1) * out_dim];
+                for (o, slot) in row.iter_mut().enumerate() {
+                    *slot = dot(&p, &weight.row(o)[lo..hi]);
+                    // Bias folding: subspace 0 carries the bias.
+                    if ci == 0 {
+                        *slot += bias[o];
                     }
                 }
-                table
-            })
-            .collect();
+            }
+        });
 
-        LinearTable { pq, tables, out_dim }
+        LinearTable { pq, table, out_dim }
     }
 
     /// Output dimension `D_O`.
@@ -147,9 +150,10 @@ impl LinearTable {
         &self.pq
     }
 
-    /// The per-subspace `K x D_O` tables (used by the int8 re-encoder).
-    pub fn tables(&self) -> &[Matrix] {
-        &self.tables
+    /// The flat code-major table arena (used by the int8 re-encoder and the
+    /// layout benchmark).
+    pub fn table_arena(&self) -> &TableArena {
+        &self.table
     }
 
     /// Approximate `x W^T + b` for stacked rows `x` (`R x D_I`) via lookups.
@@ -161,15 +165,15 @@ impl LinearTable {
 
     /// Batched multi-row query into a caller buffer (the serving hot path).
     ///
-    /// Phase 1 encodes every row subspace-major (each quantizer's
-    /// prototypes stay cache-resident across the batch); phase 2 aggregates
-    /// rows in parallel. Per-row accumulation order is identical to
-    /// [`Self::query_row_into`] — subspace 0, 1, … — so results are
+    /// Phase 1 encodes every row with the tiled subspace-major encoder;
+    /// phase 2 aggregates tiles of rows per sub-table pass (see
+    /// [`aggregate_codes_batch`]). Per-row accumulation order is identical
+    /// to [`Self::query_row_into`] — subspace 0, 1, … — so results are
     /// bit-for-bit equal to row-at-a-time queries.
     pub fn query_batch_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(x.cols(), self.pq.dim(), "query dim mismatch");
         assert_eq!(out.shape(), (x.rows(), self.out_dim), "output shape mismatch");
-        aggregate_codes_batch(&self.pq, &self.tables, x, out);
+        aggregate_codes_batch(&self.pq, &self.table, x, out);
     }
 
     /// Single-row query into a caller buffer (the prefetcher's hot path).
@@ -177,11 +181,9 @@ impl LinearTable {
     pub fn query_row_into(&self, row: &[f32], out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.out_dim);
         out.fill(0.0);
-        for ((&(lo, hi), q), table) in
-            self.pq.bounds().iter().zip(self.pq.quantizers()).zip(&self.tables)
-        {
-            let code = q.encode(&row[lo..hi]);
-            let trow = table.row(code);
+        for (ci, &(lo, hi)) in self.pq.bounds().iter().enumerate() {
+            let code = self.pq.encode_sub(ci, &row[lo..hi]);
+            let trow = self.table.row(ci, code);
             for (o, &t) in out.iter_mut().zip(trow) {
                 *o += t;
             }
@@ -192,17 +194,23 @@ impl LinearTable {
     /// per-level encoder state is negligible and excluded, matching the
     /// paper's accounting (Eq. 18 counts table entries + encoded indices).
     pub fn storage_bytes(&self) -> u64 {
-        self.tables.iter().map(|t| (t.len() * 4) as u64).sum()
+        (self.table.len() * 4) as u64
     }
 }
 
-/// Shared batched table aggregation used by [`LinearTable`] and
-/// [`crate::FusedFfnTable`]: encode all rows of `x` subspace-major, then
-/// sum each row's per-subspace table rows into `out` (row-parallel; per-row
-/// subspace order matches the single-row query paths bit for bit).
+/// Shared tiled batch aggregation used by [`LinearTable`] and
+/// [`crate::FusedFfnTable`]: encode all rows of `x` (tiled subspace-major),
+/// then sum each row's per-subspace table rows into `out`.
+///
+/// Aggregation is tiled over [`AGG_TILE_ROWS`]-row blocks of the output:
+/// within a tile the subspace loop is **outer**, so one contiguous
+/// sub-table block of the arena is swept across the whole tile before the
+/// next sub-table is touched. Per-`(row, output)` accumulation still runs
+/// in subspace order 0, 1, …, so results match the single-row query paths
+/// bit for bit; tiles write disjoint output rows and run rayon-parallel.
 pub(crate) fn aggregate_codes_batch(
     pq: &ProductQuantizer,
-    tables: &[Matrix],
+    table: &TableArena,
     x: &Matrix,
     out: &mut Matrix,
 ) {
@@ -210,15 +218,31 @@ pub(crate) fn aggregate_codes_batch(
     let out_dim = out.cols();
     let mut codes = vec![0usize; x.rows() * c];
     pq.encode_batch_into(x, &mut codes);
-    out.as_mut_slice().par_chunks_mut(out_dim).enumerate().for_each(|(r, orow)| {
-        orow.fill(0.0);
-        for (ci, table) in tables.iter().enumerate() {
-            let trow = table.row(codes[r * c + ci]);
-            for (o, &t) in orow.iter_mut().zip(trow) {
-                *o += t;
+    let codes = &codes;
+    out.as_mut_slice().par_chunks_mut(AGG_TILE_ROWS * out_dim).enumerate().for_each(
+        |(tile, orows)| {
+            let r0 = tile * AGG_TILE_ROWS;
+            for ci in 0..c {
+                let sub = table.subtable(ci);
+                for (rr, orow) in orows.chunks_exact_mut(out_dim).enumerate() {
+                    let code = codes[(r0 + rr) * c + ci];
+                    let trow = &sub[code * out_dim..(code + 1) * out_dim];
+                    if ci == 0 {
+                        // First pass initializes the tile: `0.0 + t` (not a
+                        // copy) keeps the accumulation bit-identical to the
+                        // fill-then-add scalar path, including -0.0 entries.
+                        for (o, &t) in orow.iter_mut().zip(trow) {
+                            *o = 0.0 + t;
+                        }
+                    } else {
+                        for (o, &t) in orow.iter_mut().zip(trow) {
+                            *o += t;
+                        }
+                    }
+                }
             }
-        }
-    });
+        },
+    );
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use dart_nn::matrix::Matrix;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::arena::TableArena;
 use crate::linear_table::LinearTable;
 use crate::quantizer::ProductQuantizer;
 
@@ -18,8 +19,9 @@ use crate::quantizer::ProductQuantizer;
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct QuantizedLinearTable {
     pq: ProductQuantizer,
-    /// Per subspace: row-major `K x D_O` int8 entries.
-    tables: Vec<Vec<i8>>,
+    /// Flat code-major int8 entries, mirroring [`TableArena`]'s layout:
+    /// subspace `c`'s `K x D_O` block starts at `c * K * D_O`.
+    data: Vec<i8>,
     /// Per subspace: dequantization scale (`value = entry as f32 * scale`).
     scales: Vec<f32>,
     out_dim: usize,
@@ -30,20 +32,17 @@ impl QuantizedLinearTable {
     pub fn from_table(table: &LinearTable) -> QuantizedLinearTable {
         let pq = table.quantizer().clone();
         let out_dim = table.out_dim();
-        let mut tables = Vec::with_capacity(pq.num_subspaces());
+        let arena = table.table_arena();
+        let mut data = Vec::with_capacity(arena.len());
         let mut scales = Vec::with_capacity(pq.num_subspaces());
-        for dense in table.tables() {
-            let max_abs = dense.max_abs().max(1e-12);
+        for ci in 0..arena.num_subspaces() {
+            let sub = arena.subtable(ci);
+            let max_abs = sub.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1e-12);
             let scale = max_abs / 127.0;
-            let q: Vec<i8> = dense
-                .as_slice()
-                .iter()
-                .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
-                .collect();
-            tables.push(q);
+            data.extend(sub.iter().map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8));
             scales.push(scale);
         }
-        QuantizedLinearTable { pq, tables, scales, out_dim }
+        QuantizedLinearTable { pq, data, scales, out_dim }
     }
 
     /// Output dimension.
@@ -66,10 +65,11 @@ impl QuantizedLinearTable {
     pub fn query_row_into(&self, row: &[f32], out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.out_dim);
         out.fill(0.0);
-        for (ci, (&(lo, hi), q)) in self.pq.bounds().iter().zip(self.pq.quantizers()).enumerate() {
-            let code = q.encode(&row[lo..hi]);
+        let k = self.pq.num_protos();
+        for (ci, &(lo, hi)) in self.pq.bounds().iter().enumerate() {
+            let code = self.pq.encode_sub(ci, &row[lo..hi]);
             let scale = self.scales[ci];
-            let trow = &self.tables[ci][code * self.out_dim..(code + 1) * self.out_dim];
+            let trow = &self.data[(ci * k + code) * self.out_dim..][..self.out_dim];
             for (o, &t) in out.iter_mut().zip(trow) {
                 *o += t as f32 * scale;
             }
@@ -78,7 +78,7 @@ impl QuantizedLinearTable {
 
     /// Table storage in bytes (1 byte per entry).
     pub fn storage_bytes(&self) -> u64 {
-        self.tables.iter().map(|t| t.len() as u64).sum::<u64>() + (self.scales.len() * 4) as u64
+        self.data.len() as u64 + (self.scales.len() * 4) as u64
     }
 
     /// Worst-case absolute quantization error added per output (sum over
@@ -96,14 +96,16 @@ impl QuantizedLinearTable {
 pub fn quantize_attention_int8(
     table: &crate::attention_table::AttentionTable,
 ) -> (crate::attention_table::AttentionTable, u64) {
-    let squash = |tables: &[Matrix]| -> (Vec<Matrix>, u64) {
-        let mut out = Vec::with_capacity(tables.len());
+    let squash = |arena: &TableArena| -> (TableArena, u64) {
+        let mut out = arena.clone();
         let mut bytes = 0u64;
-        for t in tables {
-            let scale = t.max_abs().max(1e-12) / 127.0;
-            let dequant = t.map(|v| (v / scale).round().clamp(-127.0, 127.0) * scale);
-            bytes += t.len() as u64 + 4; // 1 B/entry + the scale
-            out.push(dequant);
+        for ci in 0..arena.num_subspaces() {
+            let sub = out.subtable_mut(ci);
+            let scale = sub.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1e-12) / 127.0;
+            for v in sub.iter_mut() {
+                *v = (*v / scale).round().clamp(-127.0, 127.0) * scale;
+            }
+            bytes += sub.len() as u64 + 4; // 1 B/entry + the scale
         }
         (out, bytes)
     };

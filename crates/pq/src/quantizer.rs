@@ -14,7 +14,13 @@ use dart_nn::matrix::Matrix;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::kmeans::{kmeans, nearest_centroid, KMeansConfig};
+use crate::arena::CodebookArena;
+use crate::kmeans::{kmeans, nearest_centroid, nearest_centroid_flat, KMeansConfig};
+
+/// Rows per tile of the tiled batch encoder: a tile of input rows stays
+/// L1-resident while the per-subspace codebooks (or hash trees) are swept
+/// over it, and tiles are the unit of rayon parallelism.
+pub const ENCODE_TILE_ROWS: usize = 64;
 
 /// Which encoding function `g_c` a quantizer uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -29,10 +35,15 @@ pub enum EncoderKind {
 ///
 /// Level `l` holds one split dimension and `2^l` thresholds (one per node).
 /// A query walks `depth` levels; the leaf index is the bucket.
+///
+/// Thresholds are stored as a single flat heap-ordered array (level `l`,
+/// node `idx` at `(1 << l) - 1 + idx`) so the whole tree is one contiguous
+/// allocation — an `encode` touches one cache-resident array instead of
+/// chasing a `Vec<Vec<f32>>` across the heap.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct HashTree {
     split_dims: Vec<usize>,
-    thresholds: Vec<Vec<f32>>,
+    thresholds: Vec<f32>,
     k: usize,
 }
 
@@ -52,7 +63,7 @@ impl HashTree {
     pub fn encode(&self, sub: &[f32]) -> usize {
         let mut idx = 0usize;
         for (level, &dim) in self.split_dims.iter().enumerate() {
-            let go_right = sub[dim] > self.thresholds[level][idx];
+            let go_right = sub[dim] > self.thresholds[(1 << level) - 1 + idx];
             idx = 2 * idx + usize::from(go_right);
         }
         if idx >= self.k {
@@ -73,7 +84,8 @@ impl HashTree {
         let v = data.cols();
         let mut buckets: Vec<usize> = vec![0; n]; // current node of each point
         let mut split_dims = Vec::with_capacity(depth);
-        let mut thresholds = Vec::with_capacity(depth);
+        // Flat heap order: level l's thresholds land at (1<<l)-1 onward.
+        let mut thresholds = Vec::with_capacity((1usize << depth) - 1);
 
         for level in 0..depth {
             let num_nodes = 1usize << level;
@@ -132,7 +144,8 @@ impl HashTree {
                 buckets[i] = 2 * b + usize::from(right);
             }
             split_dims.push(best_dim);
-            thresholds.push(level_thresh);
+            debug_assert_eq!(thresholds.len(), num_nodes - 1);
+            thresholds.extend_from_slice(&level_thresh);
         }
 
         HashTree { split_dims, thresholds, k }
@@ -240,18 +253,21 @@ pub fn subspace_bounds(dim: usize, c: usize) -> Vec<(usize, usize)> {
     bounds
 }
 
-/// A product quantizer: one [`Quantizer`] per contiguous subspace of a
-/// `dim`-dimensional vector space.
+/// A product quantizer: one per-subspace encoder over each contiguous
+/// chunk of a `dim`-dimensional vector space, with every subspace's
+/// prototypes stored in one flat code-major [`CodebookArena`].
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ProductQuantizer {
     dim: usize,
     bounds: Vec<(usize, usize)>,
-    quantizers: Vec<Quantizer>,
+    codebook: CodebookArena,
+    encoders: Vec<Encoder>,
 }
 
 impl ProductQuantizer {
     /// Fit on the rows of `data` (`n x dim`), with `c` subspaces and `k`
-    /// prototypes per subspace. Subspaces are fitted in parallel.
+    /// prototypes per subspace. Subspaces are fitted in parallel, then
+    /// their prototypes are packed into the flat codebook arena.
     pub fn fit(data: &Matrix, c: usize, k: usize, kind: EncoderKind, seed: u64) -> Self {
         let dim = data.cols();
         let bounds = subspace_bounds(dim, c);
@@ -263,7 +279,10 @@ impl ProductQuantizer {
                 Quantizer::fit(&sub, k, kind, seed.wrapping_add(ci as u64 * 0x9E37))
             })
             .collect();
-        ProductQuantizer { dim, bounds, quantizers }
+        let (protos, encoders): (Vec<Matrix>, Vec<Encoder>) =
+            quantizers.into_iter().map(|q| (q.prototypes, q.encoder)).unzip();
+        let codebook = CodebookArena::from_prototype_matrices(&protos);
+        ProductQuantizer { dim, bounds, codebook, encoders }
     }
 
     /// Full vector dimensionality.
@@ -278,7 +297,7 @@ impl ProductQuantizer {
 
     /// Prototypes per subspace `K`.
     pub fn num_protos(&self) -> usize {
-        self.quantizers[0].num_protos()
+        self.codebook.num_protos()
     }
 
     /// Subspace column ranges.
@@ -286,9 +305,24 @@ impl ProductQuantizer {
         &self.bounds
     }
 
-    /// Per-subspace quantizers.
-    pub fn quantizers(&self) -> &[Quantizer] {
-        &self.quantizers
+    /// The flat code-major prototype arena.
+    pub fn codebook(&self) -> &CodebookArena {
+        &self.codebook
+    }
+
+    /// Prototype `k` of subspace `ci` (a slice into the flat arena).
+    #[inline]
+    pub fn proto(&self, ci: usize, k: usize) -> &[f32] {
+        self.codebook.proto(ci, k)
+    }
+
+    /// Encode one subvector against subspace `ci`'s encoder.
+    #[inline]
+    pub fn encode_sub(&self, ci: usize, sub: &[f32]) -> usize {
+        match &self.encoders[ci] {
+            Encoder::Argmin => nearest_centroid_flat(sub, self.codebook.subspace(ci), sub.len()).0,
+            Encoder::HashTree(tree) => tree.encode(sub),
+        }
     }
 
     /// Encode a full row into `C` prototype indices.
@@ -296,8 +330,8 @@ impl ProductQuantizer {
         debug_assert_eq!(row.len(), self.dim);
         self.bounds
             .iter()
-            .zip(&self.quantizers)
-            .map(|(&(lo, hi), q)| q.encode(&row[lo..hi]))
+            .enumerate()
+            .map(|(ci, &(lo, hi))| self.encode_sub(ci, &row[lo..hi]))
             .collect()
     }
 
@@ -305,33 +339,39 @@ impl ProductQuantizer {
     #[inline]
     pub fn encode_row_into(&self, row: &[f32], out: &mut [usize]) {
         debug_assert_eq!(out.len(), self.bounds.len());
-        for (slot, (&(lo, hi), q)) in out.iter_mut().zip(self.bounds.iter().zip(&self.quantizers)) {
-            *slot = q.encode(&row[lo..hi]);
+        for (ci, (slot, &(lo, hi))) in out.iter_mut().zip(&self.bounds).enumerate() {
+            *slot = self.encode_sub(ci, &row[lo..hi]);
         }
     }
 
     /// Encode every row of `x` into `out` (`rows * C` codes, row-major:
     /// code of row `r`, subspace `c` lands at `out[r * C + c]`).
     ///
-    /// Iterates subspace-major so one quantizer's prototypes (or hash tree)
-    /// stay hot in cache across the whole batch — the multi-row counterpart
-    /// of [`Self::encode_row_into`] used by the batched kernel queries.
+    /// Tiled: rows are processed in blocks of [`ENCODE_TILE_ROWS`]; within
+    /// a tile the loop runs subspace-major so each subspace's codebook
+    /// block (or hash tree) is swept across cache-resident input rows.
+    /// Tiles are independent, so they run rayon-parallel; codes are
+    /// identical to calling [`Self::encode_row_into`] per row.
     pub fn encode_batch_into(&self, x: &Matrix, out: &mut [usize]) {
         let c = self.bounds.len();
         assert_eq!(x.cols(), self.dim, "encode dim mismatch");
         assert_eq!(out.len(), x.rows() * c, "code buffer size mismatch");
-        for (ci, (&(lo, hi), q)) in self.bounds.iter().zip(&self.quantizers).enumerate() {
-            for r in 0..x.rows() {
-                out[r * c + ci] = q.encode(&x.row(r)[lo..hi]);
+        out.par_chunks_mut(ENCODE_TILE_ROWS * c).enumerate().for_each(|(tile, chunk)| {
+            let r0 = tile * ENCODE_TILE_ROWS;
+            let rows = chunk.len() / c;
+            for (ci, &(lo, hi)) in self.bounds.iter().enumerate() {
+                for rr in 0..rows {
+                    chunk[rr * c + ci] = self.encode_sub(ci, &x.row(r0 + rr)[lo..hi]);
+                }
             }
-        }
+        });
     }
 
     /// Reconstruct an approximation of a row from its codes (testing aid).
     pub fn reconstruct(&self, codes: &[usize]) -> Vec<f32> {
         let mut out = vec![0.0f32; self.dim];
-        for ((&(lo, hi), q), &code) in self.bounds.iter().zip(&self.quantizers).zip(codes) {
-            out[lo..hi].copy_from_slice(q.prototypes.row(code));
+        for ((ci, &(lo, hi)), &code) in self.bounds.iter().enumerate().zip(codes) {
+            out[lo..hi].copy_from_slice(self.codebook.proto(ci, code));
         }
         out
     }

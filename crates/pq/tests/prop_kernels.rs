@@ -107,10 +107,9 @@ proptest! {
         let codes = pq.encode_row(data.row(0));
         let rec = pq.reconstruct(&codes);
         for (ci, &(lo, hi)) in pq.bounds().iter().enumerate() {
-            let q = &pq.quantizers()[ci];
             let sub = &rec[lo..hi];
-            let is_proto = (0..q.num_protos()).any(|p| {
-                q.prototypes.row(p).iter().zip(sub).all(|(a, b)| (a - b).abs() < 1e-6)
+            let is_proto = (0..pq.num_protos()).any(|p| {
+                pq.proto(ci, p).iter().zip(sub).all(|(a, b)| (a - b).abs() < 1e-6)
             });
             prop_assert!(is_proto, "reconstructed subvector is not a prototype");
         }

@@ -117,12 +117,14 @@ impl Default for LatencyHistogram {
 }
 
 impl LatencyHistogram {
-    /// Record one latency sample.
+    /// Record one latency sample. A 0 ns sample counts into bucket 0
+    /// (`[1, 2)`); the sum saturates instead of wrapping so `mean` stays
+    /// an upper bound even after pathological (`u64::MAX`) samples.
     pub fn record(&mut self, ns: u64) {
         let bucket = 63 - ns.max(1).leading_zeros() as usize;
         self.buckets[bucket] += 1;
         self.count += 1;
-        self.sum_ns += ns;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
     }
 
     /// Fold another histogram into this one.
@@ -131,7 +133,7 @@ impl LatencyHistogram {
             *a += b;
         }
         self.count += other.count;
-        self.sum_ns += other.sum_ns;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
     }
 
     /// Nearest-rank percentile (bucket midpoint); 0 when empty.
@@ -187,6 +189,12 @@ pub(crate) struct ShardWorker {
 impl ShardWorker {
     /// Worker loop: drain → coalesce → `predict_batch` → respond, until the
     /// queue shuts down.
+    ///
+    /// The per-batch feature matrix and the stacked warm-row matrix are
+    /// built from two scratch buffers owned by the worker and recycled via
+    /// `Matrix::from_vec` / `Matrix::into_vec`, so a long-running shard
+    /// performs no steady-state allocation for feature staging regardless
+    /// of how many batches it drains.
     pub fn run(self, queue: Arc<ShardQueue>, sink: Arc<CompletionSink>) -> ShardReport {
         let t = self.pre.seq_len;
         let di = self.pre.input_dim();
@@ -196,6 +204,12 @@ impl ShardWorker {
         // feature-matrix order.
         let mut warm: Vec<(usize, u64)> = Vec::new();
         let mut candidates: Vec<(f32, usize)> = Vec::new();
+        // Reused feature staging: `feat_buf` backs the per-batch feature
+        // matrix (capacity max_batch * t * di after the first full batch),
+        // `stack_buf` backs the exact-size stacked matrix handed to
+        // `predict_batch`.
+        let mut feat_buf: Vec<f32> = Vec::new();
+        let mut stack_buf: Vec<f32> = Vec::new();
 
         while let Some(batch) = queue.pop_batch(self.max_batch) {
             report.batches += 1;
@@ -207,7 +221,9 @@ impl ShardWorker {
             // written immediately after each push, so a stream submitting
             // several requests within one batch gets one prediction per
             // request, each over its own history window.
-            let mut feats = Matrix::zeros(batch.len() * t, di);
+            feat_buf.clear();
+            feat_buf.resize(batch.len() * t * di, 0.0);
+            let mut feats = Matrix::from_vec(batch.len() * t, di, std::mem::take(&mut feat_buf));
             let mut responses: Vec<PrefetchResponse> = Vec::with_capacity(batch.len());
             for (i, env) in batch.iter().enumerate() {
                 let state = streams.entry(env.req.stream_id).or_insert_with(|| StreamState::new(t));
@@ -227,14 +243,18 @@ impl ShardWorker {
 
             // Phase 2: one batched prediction for every warm request.
             if !warm.is_empty() {
-                let stacked = feats.slice_rows(0, warm.len() * t);
+                stack_buf.clear();
+                stack_buf.extend_from_slice(&feats.as_slice()[..warm.len() * t * di]);
+                let stacked = Matrix::from_vec(warm.len() * t, di, std::mem::take(&mut stack_buf));
                 let probs = self.model.predict_batch(&stacked);
+                stack_buf = stacked.into_vec();
                 report.predictions += warm.len() as u64;
                 for (w, &(i, anchor)) in warm.iter().enumerate() {
                     responses[i].prefetch_blocks =
                         decode_bitmap(probs.row(w), &self.pre, anchor, self.emit, &mut candidates);
                 }
             }
+            feat_buf = feats.into_vec();
 
             // Phase 3: deliver, stamping observed latency.
             let now = Instant::now();
@@ -300,6 +320,44 @@ mod tests {
         let mut scratch = Vec::new();
         let out = decode_bitmap(&probs, &pre, 100, emit, &mut scratch);
         assert_eq!(out, vec![101, 98]); // delta +1 first (higher prob), then -2
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_zero_one_and_max() {
+        // 0 ns is clamped into bucket 0 ([1, 2)) rather than underflowing
+        // the bucket index; 1 ns is the true lower boundary of bucket 0.
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.percentile(0.5), 1, "bucket 0 midpoint");
+        // Exact powers of two land in the bucket they open: 2^i is the
+        // inclusive lower bound of bucket i.
+        let mut p2 = LatencyHistogram::default();
+        p2.record(1 << 10);
+        let mid = (1u64 << 10) + (1 << 9);
+        assert_eq!(p2.percentile(0.5), mid);
+        let mut below = LatencyHistogram::default();
+        below.record((1 << 10) - 1);
+        assert!(below.percentile(0.5) < 1 << 10, "2^10 - 1 belongs to bucket 9");
+        // u64::MAX lands in the top bucket and its reported midpoint does
+        // not overflow.
+        let mut top = LatencyHistogram::default();
+        top.record(u64::MAX);
+        assert_eq!(top.percentile(0.99), (1u64 << 63) + (1 << 62));
+    }
+
+    #[test]
+    fn histogram_sum_saturates_instead_of_wrapping() {
+        let mut h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        // A wrapping sum would report a tiny mean; saturation keeps it at
+        // the ceiling divided by the count.
+        assert_eq!(h.mean(), u64::MAX / 2);
+        let mut other = LatencyHistogram::default();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.mean(), u64::MAX / 3);
     }
 
     #[test]

@@ -166,6 +166,64 @@ fn batched_serving_matches_serial_replay() {
     runtime.shutdown();
 }
 
+/// Scratch-buffer-reuse hammer: the shard worker recycles its feature
+/// staging buffers across batches, and responses must be identical whether
+/// a shard drains requests one at a time (`max_batch = 1`, one buffer
+/// cycle per request) or in large coalesced batches (`max_batch = 64`,
+/// buffers resized and reused at every drain) — with heavily interleaved
+/// stream IDs so consecutive rows of one staging buffer belong to
+/// different streams. Also asserts no request is dropped either way.
+#[test]
+fn coalesced_and_single_drain_produce_identical_responses() {
+    let (model, pre) = tiny_setup();
+    // Interleave 24 streams round-robin so every coalesced batch mixes
+    // streams and repeated same-stream requests land in one batch.
+    let streams = 24u64;
+    let accesses = 30u64;
+    let mut reqs = Vec::new();
+    for k in 0..accesses {
+        for s in 0..streams {
+            reqs.push(PrefetchRequest {
+                stream_id: s,
+                pc: 0x400 + s * 8,
+                addr: (2_000 + s * 50_000 + k * (1 + s % 3)) << 6,
+            });
+        }
+    }
+
+    let run = |max_batch: usize| -> HashMap<(u64, u64), Vec<u64>> {
+        let runtime = ServeRuntime::start(
+            Arc::clone(&model),
+            pre,
+            ServeConfig { shards: 2, max_batch, threshold: 0.0, max_degree: 4 },
+        );
+        runtime.submit_all(reqs.iter().copied());
+        runtime.wait_idle();
+        let responses = runtime.drain_completed();
+        assert_eq!(
+            responses.len(),
+            (streams * accesses) as usize,
+            "dropped requests at max_batch {max_batch}"
+        );
+        let stats = runtime.shutdown();
+        assert_eq!(stats.requests, streams * accesses);
+        responses.into_iter().map(|r| ((r.stream_id, r.seq), r.prefetch_blocks)).collect()
+    };
+
+    let single = run(1);
+    let coalesced = run(64);
+    assert_eq!(single.len(), coalesced.len());
+    for (key, blocks) in &single {
+        assert_eq!(
+            coalesced.get(key),
+            Some(blocks),
+            "stream {} seq {} diverged between drain modes",
+            key.0,
+            key.1
+        );
+    }
+}
+
 /// Concurrency smoke test: hammer the runtime from 8 submitter threads and
 /// verify no response is dropped, duplicated, or misrouted.
 #[test]

@@ -121,4 +121,30 @@ mod tests {
         assert_eq!(r.ipc(), 0.0);
         assert_eq!(r.ipc_improvement_pct(&r), 0.0);
     }
+
+    #[test]
+    fn coverage_saturates_when_late_exceeds_misses() {
+        // More late prefetches than recorded misses (possible when a late
+        // cover retires before its demand miss is counted) must not
+        // underflow the uncovered term.
+        let mut r = SimResult { late_prefetches: 10, prefetches_issued: 10, ..Default::default() };
+        r.llc.misses = 3;
+        // uncovered saturates to 0 -> full coverage, not a wrapped huge
+        // denominator.
+        assert!((r.prefetch_coverage() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extreme_counter_values_stay_finite() {
+        let r = SimResult {
+            cycles: u64::MAX,
+            instructions: u64::MAX,
+            prefetches_issued: u64::MAX,
+            late_prefetches: u64::MAX,
+            ..Default::default()
+        };
+        assert!(r.ipc().is_finite());
+        assert!(r.prefetch_accuracy().is_finite());
+        assert!(r.prefetch_coverage().is_finite());
+    }
 }

@@ -88,17 +88,16 @@ proptest! {
             let row = data.row(i);
             let codes = pq.encode_row(row);
             for (ci, &(lo, hi)) in pq.bounds().iter().enumerate() {
-                let q = &pq.quantizers()[ci];
                 let sub = &row[lo..hi];
                 let chosen: f32 = sub
                     .iter()
-                    .zip(q.prototypes.row(codes[ci]))
+                    .zip(pq.proto(ci, codes[ci]))
                     .map(|(a, b)| (a - b) * (a - b))
                     .sum();
-                for p in 0..q.num_protos() {
+                for p in 0..pq.num_protos() {
                     let alt: f32 = sub
                         .iter()
-                        .zip(q.prototypes.row(p))
+                        .zip(pq.proto(ci, p))
                         .map(|(a, b)| (a - b) * (a - b))
                         .sum();
                     prop_assert!(chosen <= alt + 1e-4);

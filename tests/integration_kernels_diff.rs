@@ -1,0 +1,249 @@
+//! Differential suite for the flat-arena tiled batch kernels.
+//!
+//! The tiled kernels (`ProductQuantizer::encode_batch_into`,
+//! `LinearTable`/`FusedFfnTable::query_batch_into`,
+//! `AttentionTable::query_batch`, `TabularModel::predict_batch`) process a
+//! block of rows per sub-table pass over one contiguous arena. Their
+//! contract is **bit-for-bit** equality with the straightforward scalar
+//! reference (`encode_row`, `query_row_into`, per-sample `query` /
+//! `forward_probs`): per-`(row, output)` accumulation runs in the same
+//! subspace order, so no ULP tolerance is needed — every assertion below is
+//! exact. Batch sizes deliberately straddle the tile boundaries (empty, 1,
+//! tile - 1, tile, tile + 1, several tiles, non-multiples).
+
+use dart::core::config::TabularConfig;
+use dart::core::tabularize::tabularize;
+use dart::core::TabularModel;
+use dart::nn::init::InitRng;
+use dart::nn::matrix::Matrix;
+use dart::nn::model::{AccessPredictor, ModelConfig};
+use dart::pq::{
+    AttentionTable, AttentionTableConfig, EncoderKind, FusedFfnTable, LinearTable,
+    ProductQuantizer, AGG_TILE_ROWS, ATTN_TILE_SAMPLES, ENCODE_TILE_ROWS,
+};
+use dart::trace::PreprocessConfig;
+use proptest::prelude::*;
+
+fn rand_matrix(r: usize, c: usize, seed: u64) -> Matrix {
+    let mut rng = InitRng::new(seed);
+    Matrix::from_fn(r, c, |_, _| rng.normal())
+}
+
+/// Batch sizes that exercise both tile boundaries: empty, one row, one
+/// under/at/over each tile size, and a non-multiple several tiles long.
+fn boundary_batches() -> Vec<usize> {
+    vec![
+        0,
+        1,
+        AGG_TILE_ROWS - 1,
+        AGG_TILE_ROWS,
+        AGG_TILE_ROWS + 3,
+        ENCODE_TILE_ROWS - 1,
+        ENCODE_TILE_ROWS,
+        ENCODE_TILE_ROWS + 5,
+        2 * ENCODE_TILE_ROWS + 7,
+    ]
+}
+
+fn encoder_of(tree: bool) -> EncoderKind {
+    if tree {
+        EncoderKind::HashTree
+    } else {
+        EncoderKind::Argmin
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tiled batch encoding equals per-row scalar encoding for every code.
+    #[test]
+    fn encode_batch_matches_per_row(
+        seed in 0u64..5_000,
+        k in 1usize..24,
+        c in 1usize..5,
+        dim in 2usize..10,
+        size_idx in 0usize..9,
+        tree in proptest::bool::ANY,
+    ) {
+        let rows = boundary_batches()[size_idx];
+        let train = rand_matrix(60, dim, seed);
+        let pq = ProductQuantizer::fit(&train, c, k, encoder_of(tree), seed);
+        let x = rand_matrix(rows, dim, seed ^ 0xE0C0);
+        let mut codes = vec![0usize; rows * pq.num_subspaces()];
+        pq.encode_batch_into(&x, &mut codes);
+        for r in 0..rows {
+            let reference = pq.encode_row(x.row(r));
+            prop_assert_eq!(
+                &codes[r * pq.num_subspaces()..(r + 1) * pq.num_subspaces()],
+                &reference[..],
+                "row {} codes diverged (rows {})", r, rows
+            );
+        }
+    }
+
+    /// Tiled linear-table batch query equals the scalar single-row query
+    /// bit for bit at every batch size.
+    #[test]
+    fn linear_query_batch_matches_row_scalar(
+        seed in 0u64..5_000,
+        k in 2usize..32,
+        c in 1usize..4,
+        size_idx in 0usize..9,
+        tree in proptest::bool::ANY,
+    ) {
+        let rows = boundary_batches()[size_idx];
+        let (din, dout) = (6usize, 5usize);
+        let train = rand_matrix(80, din, seed);
+        let w = rand_matrix(dout, din, seed ^ 0x11);
+        let b: Vec<f32> = (0..dout).map(|o| o as f32 * 0.25 - 0.5).collect();
+        let table = LinearTable::fit(&train, &w, &b, c, k, encoder_of(tree), seed);
+        let x = rand_matrix(rows, din, seed ^ 0x22);
+
+        let batch = table.query(&x);
+        prop_assert_eq!(batch.shape(), (rows, dout));
+        let mut single = vec![0.0f32; dout];
+        for r in 0..rows {
+            table.query_row_into(x.row(r), &mut single);
+            prop_assert_eq!(&single[..], batch.row(r), "row {} of {}", r, rows);
+        }
+
+        // query_batch_into into a caller buffer is the same kernel.
+        let mut out = Matrix::zeros(rows, dout);
+        table.query_batch_into(&x, &mut out);
+        prop_assert_eq!(out.as_slice(), batch.as_slice());
+    }
+
+    /// Tiled fused-FFN batch query equals its scalar single-row query.
+    #[test]
+    fn fused_query_batch_matches_row_scalar(
+        seed in 0u64..5_000,
+        k in 2usize..16,
+        c in 1usize..4,
+        size_idx in 0usize..9,
+        tree in proptest::bool::ANY,
+    ) {
+        let rows = boundary_batches()[size_idx];
+        let (din, dh, dout) = (6usize, 10usize, 4usize);
+        let train = rand_matrix(70, din, seed);
+        let wh = rand_matrix(dh, din, seed ^ 0x33);
+        let bh = vec![0.05f32; dh];
+        let wo = rand_matrix(dout, dh, seed ^ 0x44);
+        let bo = vec![-0.1f32; dout];
+        let fused =
+            FusedFfnTable::fit(&train, &wh, &bh, &wo, &bo, c, k, encoder_of(tree), seed);
+        let x = rand_matrix(rows, din, seed ^ 0x55);
+
+        let batch = fused.query(&x);
+        prop_assert_eq!(batch.shape(), (rows, dout));
+        let mut single = vec![0.0f32; dout];
+        for r in 0..rows {
+            fused.query_row_into(x.row(r), &mut single);
+            prop_assert_eq!(&single[..], batch.row(r), "row {} of {}", r, rows);
+        }
+    }
+
+    /// Sample-tiled batched attention equals querying each sample alone.
+    #[test]
+    fn attention_query_batch_matches_per_sample(
+        seed in 0u64..5_000,
+        k in 2usize..16,
+        samples_idx in 0usize..6,
+        tree in proptest::bool::ANY,
+    ) {
+        // Straddle the attention tile (samples, not rows).
+        let batches =
+            [0, 1, ATTN_TILE_SAMPLES - 1, ATTN_TILE_SAMPLES, ATTN_TILE_SAMPLES + 1,
+             2 * ATTN_TILE_SAMPLES + 3];
+        let samples = batches[samples_idx];
+        let (t, dk) = (4usize, 6usize);
+        let q = rand_matrix(30 * t, dk, seed ^ 0x66);
+        let kk = rand_matrix(30 * t, dk, seed ^ 0x77);
+        let v = rand_matrix(30 * t, dk, seed ^ 0x88);
+        let cfg = AttentionTableConfig {
+            k,
+            ck: 2,
+            ct: 2,
+            encoder: encoder_of(tree),
+            ..Default::default()
+        };
+        let table = AttentionTable::fit(&q, &kk, &v, t, &cfg);
+
+        let qs = rand_matrix(samples * t, dk, seed ^ 0x99);
+        let ks = rand_matrix(samples * t, dk, seed ^ 0xAA);
+        let vs = rand_matrix(samples * t, dk, seed ^ 0xBB);
+        let batch = table.query_batch(&qs, &ks, &vs);
+        prop_assert_eq!(batch.shape(), (samples * t, dk));
+        for n in 0..samples {
+            let single = table.query(
+                &qs.slice_rows(n * t, (n + 1) * t),
+                &ks.slice_rows(n * t, (n + 1) * t),
+                &vs.slice_rows(n * t, (n + 1) * t),
+            );
+            for step in 0..t {
+                prop_assert_eq!(
+                    single.row(step), batch.row(n * t + step),
+                    "sample {} step {} diverged", n, step
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end: `predict_batch` over a batch wider than every tile equals
+/// per-sample `forward_probs`, bit for bit (the serving batch-64 shape).
+#[test]
+fn predict_batch_matches_per_sample_beyond_tile_sizes() {
+    let pre = PreprocessConfig {
+        seq_len: 4,
+        addr_segments: 3,
+        seg_bits: 4,
+        pc_segments: 1,
+        delta_range: 4,
+        lookforward: 4,
+    };
+    let cfg = ModelConfig {
+        input_dim: pre.input_dim(),
+        dim: 8,
+        heads: 2,
+        layers: 1,
+        ffn_dim: 16,
+        output_dim: pre.output_dim(),
+        seq_len: pre.seq_len,
+    };
+    let student = AccessPredictor::new(cfg, 0xD1FF).unwrap();
+    let mut rng = InitRng::new(0xD1FF + 1);
+    let x = Matrix::from_fn(40 * pre.seq_len, pre.input_dim(), |_, _| rng.next_f32());
+    let tab_cfg = TabularConfig { k: 8, c: 2, fine_tune_epochs: 0, ..Default::default() };
+    let (model, _): (TabularModel, _) = tabularize(&student, &x, &tab_cfg);
+
+    // 64 samples x 4 tokens = 256 rows: several AGG (32) and ENCODE (64)
+    // tiles plus a ragged tail at every kernel.
+    for batch in [64usize, 33, 17] {
+        let stacked = Matrix::from_fn(batch * pre.seq_len, pre.input_dim(), |r, c| {
+            ((r * 31 + c * 7) % 17) as f32 * 0.0625
+        });
+        let batched = model.predict_batch(&stacked);
+        assert_eq!(batched.shape(), (batch, pre.output_dim()));
+        for n in 0..batch {
+            let single =
+                model.forward_probs(&stacked.slice_rows(n * pre.seq_len, (n + 1) * pre.seq_len));
+            assert_eq!(single.row(0), batched.row(n), "sample {n} of batch {batch}");
+        }
+    }
+}
+
+/// The empty batch is a no-op at every layer of the stack.
+#[test]
+fn empty_batch_is_a_noop() {
+    let train = rand_matrix(50, 6, 3);
+    let w = rand_matrix(4, 6, 5);
+    let b = vec![0.0f32; 4];
+    let table = LinearTable::fit(&train, &w, &b, 2, 8, EncoderKind::Argmin, 7);
+    let empty = Matrix::zeros(0, 6);
+    let out = table.query(&empty);
+    assert_eq!(out.shape(), (0, 4));
+    let mut codes = vec![];
+    table.quantizer().encode_batch_into(&empty, &mut codes);
+    assert!(codes.is_empty());
+}
