@@ -63,6 +63,10 @@ impl SeedShapeTable {
 
 /// Flat tiled vs seed-shape linear kernel at the serving batch size.
 fn bench_layout_linear(c: &mut Criterion) {
+    // Fail fast on a malformed DART_NUM_THREADS and report the effective
+    // kernel thread count: the tiled kernels below run on that pool, so a
+    // silently-defaulted value would mislabel every number printed.
+    dart_bench::announce_threads();
     // DART-sized linear kernel: D_I=32, D_O=128, K=128, C=2; batch = 64
     // pooled rows (one serve coalesced drain) and 512 rows (64 samples of
     // an 8-token sequence through one kernel).

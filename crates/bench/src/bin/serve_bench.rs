@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use dart_bench::{print_table, record_json, Table};
+use dart_bench::{announce_threads, env_usize_strict, print_table, record_json, Table};
 use dart_core::config::TabularConfig;
 use dart_core::tabularize::tabularize;
 use dart_core::TabularModel;
@@ -30,10 +30,6 @@ use dart_nn::matrix::Matrix;
 use dart_nn::model::{AccessPredictor, ModelConfig};
 use dart_serve::{generate_requests, LoadGenConfig, PrefetchRequest, ServeConfig, ServeRuntime};
 use dart_trace::{build_dataset, workload_by_name, PreprocessConfig};
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
 
 /// Fit a small DART table model on a real synthetic trace (no NN training:
 /// serving cost does not depend on predictive quality).
@@ -126,7 +122,7 @@ fn run_runtime(
     shards: usize,
     max_batch: usize,
 ) -> RunResult {
-    let cfg = ServeConfig { shards, max_batch, threshold: 0.5, max_degree: 4 };
+    let cfg = ServeConfig { shards, max_batch, threshold: 0.5, max_degree: 4, pool_threads: None };
     let runtime = ServeRuntime::start(Arc::clone(model), *pre, cfg);
     // Open-loop load in per-round waves (one access per stream per round,
     // the generator's natural interleave) with back-pressure at a bounded
@@ -175,15 +171,16 @@ fn run_runtime_best_of2(
 }
 
 fn main() {
-    let streams = env_usize("DART_SERVE_STREAMS", 192);
-    let accesses = env_usize("DART_SERVE_ACCESSES", 300);
+    let streams = env_usize_strict("DART_SERVE_STREAMS", 192);
+    let accesses = env_usize_strict("DART_SERVE_ACCESSES", 300);
     // Coalescing cap per drain; 64 matches the flat-arena layout benchmark
     // (`bench_layout`) batch size.
-    let max_batch = env_usize("DART_SERVE_MAX_BATCH", 64);
+    let max_batch = env_usize_strict("DART_SERVE_MAX_BATCH", 64);
+    let pool_threads = announce_threads();
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!(
         "serve_bench: {streams} streams x {accesses} accesses, max_batch {max_batch} \
-         ({cores} CPU core(s))"
+         ({cores} CPU core(s), shards share one {pool_threads}-thread kernel pool)"
     );
     if cores == 1 {
         println!(

@@ -1,0 +1,49 @@
+//! Strict environment-knob parsing for the benchmark binaries.
+//!
+//! Benchmarks must not silently fall back when a knob is present but
+//! malformed (`DART_NUM_THREADS=fourty` quietly meaning "default" skews
+//! every number printed afterwards); they exit with a diagnostic instead.
+
+/// Read a `usize` knob. Unset → `default`; set but unparseable or zero →
+/// print a diagnostic and exit with status 2.
+pub fn env_usize_strict(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: {name}={raw:?} is not a valid value (expected an integer >= 1)");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// Validate `DART_NUM_THREADS` if set: exit 2 with a diagnostic on an
+/// invalid value, *before* the global pool's panic path can fire inside a
+/// worker. Does not touch (or create) any pool — benches that measure
+/// explicit pools only can call this without spinning up global workers.
+pub fn validate_threads_env() {
+    if let Ok(raw) = std::env::var(rayon::THREADS_ENV) {
+        if let Err(err) = rayon::parse_thread_count(&raw) {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// [`validate_threads_env`], then report and return the effective kernel
+/// thread count (instantiates the global pool).
+pub fn announce_threads() -> usize {
+    validate_threads_env();
+    let threads = rayon::current_num_threads();
+    println!(
+        "kernel pool: {threads} thread(s) ({} {})",
+        rayon::THREADS_ENV,
+        std::env::var(rayon::THREADS_ENV).map_or_else(
+            |_| "unset, using available parallelism".to_string(),
+            |v| format!("= {v}")
+        ),
+    );
+    threads
+}

@@ -10,11 +10,13 @@
 //! `full` (paper-faithful sizes; expect an hour-plus on a laptop).
 
 pub mod context;
+pub mod env;
 pub mod prefetch_eval;
 pub mod report;
 pub mod zoo;
 
 pub use context::{ExperimentContext, Scale};
+pub use env::{announce_threads, env_usize_strict, validate_threads_env};
 pub use report::{print_table, record_json, Table};
 
 /// Canonical short names of the eight workloads (Table IV order).

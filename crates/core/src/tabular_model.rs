@@ -237,7 +237,21 @@ impl TabularModel {
     /// `CodebookArena` storage included — to JSON (the golden-fixture
     /// format under `tests/fixtures/`).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("TabularModel serialization cannot fail")
+        let json = serde_json::to_string(self).expect("TabularModel serialization cannot fail");
+        // serde_json writes non-finite floats as `null` without erroring,
+        // and `from_json` then rejects the file far from the cause. A
+        // NaN/Inf table entry means the *fit* was degenerate — enforce the
+        // actual contract (the written JSON loads back) here at the write,
+        // where the message can say so. Serialization is a rare fixture /
+        // snapshot path, so the extra parse is immaterial.
+        assert!(
+            Self::from_json(&json).is_ok(),
+            "serialized TabularModel does not load back via from_json; refusing to write an \
+             unloadable model. Most likely cause: non-finite table entries (serde_json writes \
+             NaN/Inf as `null`), i.e. a degenerate fit — but any serializer/deserializer \
+             asymmetry trips this too"
+        );
+        json
     }
 
     /// Load a model serialized by [`Self::to_json`]. f32 entries survive

@@ -22,12 +22,23 @@ pub struct ServeConfig {
     pub threshold: f32,
     /// Maximum prefetches emitted per prediction (variable degree cap).
     pub max_degree: usize,
+    /// Kernel thread-pool size. `Some(n)` builds one `n`-thread
+    /// work-stealing pool shared by **all** shard workers — the shards ×
+    /// pool-threads knob: `n` bounds the *extra* kernel threads, instead
+    /// of each shard spawning its own pool. Note that a shard thread also
+    /// executes kernel tiles itself while draining (`install` does not
+    /// migrate the caller; waiting threads help), so concurrently-draining
+    /// shards contribute their own thread each on top of the `n` workers —
+    /// and with `Some(1)` kernels run entirely inline on each shard
+    /// thread. `None` shares the process-global pool sized by
+    /// `DART_NUM_THREADS`.
+    pub pool_threads: Option<usize>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
-        ServeConfig { shards, max_batch: 64, threshold: 0.5, max_degree: 4 }
+        ServeConfig { shards, max_batch: 64, threshold: 0.5, max_degree: 4, pool_threads: None }
     }
 }
 
@@ -72,6 +83,10 @@ pub struct ServeRuntime {
     queues: Vec<Arc<ShardQueue>>,
     sink: Arc<CompletionSink>,
     workers: Vec<JoinHandle<ShardReport>>,
+    /// Dedicated kernel pool when `cfg.pool_threads` was set; `None` means
+    /// the shard workers use the process-global pool. Kept here so the pool
+    /// outlives every worker thread that installed it.
+    pool: Option<Arc<rayon::ThreadPool>>,
     started: Instant,
 }
 
@@ -92,6 +107,18 @@ impl ServeRuntime {
         assert_eq!(model.config.output_dim, pre.output_dim(), "output dim mismatch");
 
         let sink = Arc::new(CompletionSink::new());
+        // One kernel pool for the whole runtime: every shard's batched
+        // kernels (`predict_batch` tiles) are scheduled onto the same
+        // work-stealing pool instead of each shard spawning its own.
+        let pool = cfg.pool_threads.map(|n| Arc::new(rayon::ThreadPool::new(n)));
+        if pool.is_none() {
+            // Force the global pool NOW, on the caller thread: a malformed
+            // `DART_NUM_THREADS` must panic here at startup, not lazily
+            // inside each shard worker's first kernel call (which would
+            // kill the shards without completing requests and leave
+            // `wait_idle` callers hung).
+            let _ = rayon::global_pool();
+        }
         let mut queues = Vec::with_capacity(cfg.shards);
         let mut workers = Vec::with_capacity(cfg.shards);
         for shard_id in 0..cfg.shards {
@@ -105,10 +132,14 @@ impl ServeRuntime {
             };
             let q = Arc::clone(&queue);
             let s = Arc::clone(&sink);
+            let p = pool.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("dart-serve-shard-{shard_id}"))
-                    .spawn(move || worker.run(q, s))
+                    .spawn(move || match p {
+                        Some(pool) => pool.install(|| worker.run(q, s)),
+                        None => worker.run(q, s),
+                    })
                     .expect("spawn shard worker"),
             );
             queues.push(queue);
@@ -118,8 +149,18 @@ impl ServeRuntime {
             queues,
             sink,
             workers,
+            pool,
             started: Instant::now(),
         }
+    }
+
+    /// Worker-thread count of the kernel pool the shard workers share (the
+    /// dedicated pool if `pool_threads` was set, else the global pool).
+    pub fn pool_threads(&self) -> usize {
+        // Deliberately NOT `current_num_threads()`: that reports the
+        // *caller's* installed pool, which is not the pool the shard
+        // worker threads run kernels on.
+        self.pool.as_ref().map_or_else(|| rayon::global_pool().num_threads(), |p| p.num_threads())
     }
 
     /// The stream-to-shard router in use.

@@ -43,7 +43,7 @@ fn tiny_setup() -> (Arc<TabularModel>, PreprocessConfig) {
 }
 
 fn serve_cfg(shards: usize) -> ServeConfig {
-    ServeConfig { shards, max_batch: 16, threshold: 0.0, max_degree: 4 }
+    ServeConfig { shards, max_batch: 16, threshold: 0.0, max_degree: 4, pool_threads: None }
 }
 
 #[test]
@@ -195,7 +195,7 @@ fn coalesced_and_single_drain_produce_identical_responses() {
         let runtime = ServeRuntime::start(
             Arc::clone(&model),
             pre,
-            ServeConfig { shards: 2, max_batch, threshold: 0.0, max_degree: 4 },
+            ServeConfig { shards: 2, max_batch, threshold: 0.0, max_degree: 4, pool_threads: None },
         );
         runtime.submit_all(reqs.iter().copied());
         runtime.wait_idle();
@@ -228,8 +228,37 @@ fn coalesced_and_single_drain_produce_identical_responses() {
 /// verify no response is dropped, duplicated, or misrouted.
 #[test]
 fn eight_thread_hammer_drops_nothing() {
+    hammer_with_config(serve_cfg(4));
+}
+
+/// Same hammer, but the shard workers' drains run their batched kernels on
+/// a dedicated 4-thread work-stealing pool shared across shards: pooled
+/// tile-parallel kernels under concurrent submission must still answer
+/// every request exactly once.
+#[test]
+fn pooled_kernel_hammer_drops_nothing() {
+    let mut cfg = serve_cfg(2);
+    cfg.pool_threads = Some(4);
+    hammer_with_config(cfg);
+}
+
+/// Degenerate pool: one kernel thread (the `DART_NUM_THREADS=1` shape —
+/// kernels run inline on each shard thread). The runtime must behave
+/// identically.
+#[test]
+fn single_thread_pool_hammer_drops_nothing() {
+    let mut cfg = serve_cfg(2);
+    cfg.pool_threads = Some(1);
+    hammer_with_config(cfg);
+}
+
+fn hammer_with_config(cfg: ServeConfig) {
     let (model, pre) = tiny_setup();
-    let runtime = Arc::new(ServeRuntime::start(model, pre, serve_cfg(4)));
+    let expected_pool = cfg.pool_threads;
+    let runtime = Arc::new(ServeRuntime::start(model, pre, cfg));
+    if let Some(n) = expected_pool {
+        assert_eq!(runtime.pool_threads(), n, "runtime must report its kernel pool size");
+    }
     let threads = 8;
     let per_thread_streams = 8;
     let accesses = 40;

@@ -47,7 +47,12 @@ fn main() {
     let runtime = ServeRuntime::start(
         Arc::new(model),
         pre,
-        ServeConfig { shards: 4, max_batch: 64, threshold: 0.4, max_degree: 4 },
+        ServeConfig { shards: 4, max_batch: 64, threshold: 0.4, max_degree: 4, pool_threads: None },
+    );
+    println!(
+        "runtime up: {} shards sharing a {}-thread kernel pool",
+        runtime.num_shards(),
+        runtime.pool_threads()
     );
 
     // 3. Synthetic traffic: 64 interleaved client streams, each replaying a

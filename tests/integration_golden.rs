@@ -86,9 +86,10 @@ fn golden_model_predictions_match_fixture() {
     assert_eq!(probs.shape(), expected.shape(), "prediction shape drifted");
     // f32 values survive the JSON round trip exactly (printed as shortest
     // roundtrip f64), and the kernels are deterministic in both debug and
-    // release, so the comparison is bit-for-bit.
+    // release. Compare raw bits, not f32 `==`: `==` would let a +0.0/-0.0
+    // flip (or a NaN) slip through the bit-exactness guarantee.
     for (i, (got, want)) in probs.as_slice().iter().zip(expected.as_slice()).enumerate() {
-        assert_eq!(got, want, "prediction entry {i} drifted: {got} vs {want}");
+        assert_eq!(got.to_bits(), want.to_bits(), "prediction entry {i} drifted: {got} vs {want}");
     }
 }
 

@@ -1,0 +1,510 @@
+//! Indexed parallel iterators over slices, chunks, and ranges.
+//!
+//! Everything here is an *indexed* iterator: it knows its exact length and
+//! can split itself at any index into two independent halves. Terminal
+//! operations ([`ParallelIterator::for_each`],
+//! [`ParallelIterator::collect`]) chop the index space into a few
+//! contiguous pieces per pool thread, run each piece as one scoped job on
+//! the current [`crate::ThreadPool`], and execute the last piece inline on
+//! the calling thread.
+//!
+//! **Determinism:** piece boundaries never change the result. Every item is
+//! produced by a pure function of its index alone, `collect` writes item
+//! `i` into slot `i`, and no terminal folds across items — so outputs are
+//! bit-for-bit identical for every thread count, including one.
+
+use std::ops::Range;
+
+use crate::pool;
+
+/// How many pieces each pool thread gets. More than one so an imbalanced
+/// piece (cold cache, page fault, noisy neighbor) can be compensated by
+/// idle threads stealing the rest.
+const PIECES_PER_THREAD: usize = 4;
+
+/// An exactly-sized, splittable parallel iterator.
+///
+/// `Self: Send` (the halves migrate to worker threads) and
+/// `Item: Send` (items are consumed on whichever thread runs the piece).
+pub trait ParallelIterator: Sized + Send {
+    /// Item produced for each index.
+    type Item: Send;
+    /// Sequential iterator a piece decays to once it stops splitting.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Exact number of remaining items.
+    fn len(&self) -> usize;
+    /// `true` when no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Split into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Decay into a sequential iterator over the remaining items.
+    fn into_seq(self) -> Self::Seq;
+
+    /// Map each item through `f`.
+    ///
+    /// `f` must be `Clone` (each split piece carries its own copy; closures
+    /// capturing only references and `Copy` data are `Clone` for free) and
+    /// `Sync + Send` (pieces run concurrently on pool threads).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Clone + Send + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair each item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self, offset: 0 }
+    }
+
+    /// Iterate two parallel iterators in lockstep, truncating to the
+    /// shorter (both sides split at the same indices, so pairs are stable
+    /// across thread counts).
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        B: ParallelIterator,
+    {
+        let n = self.len().min(other.len());
+        Zip { a: self.split_at(n).0, b: other.split_at(n).0 }
+    }
+
+    /// Consume every item on the current pool.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        drive(self, &f);
+    }
+
+    /// Collect into `C`, preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Split `iter` into up to `threads * PIECES_PER_THREAD` contiguous pieces
+/// and run them as scoped pool jobs (last piece inline on the caller).
+fn drive<I, F>(iter: I, f: &F)
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) + Send + Sync,
+{
+    let len = iter.len();
+    if len == 0 {
+        return;
+    }
+    pool::with_current(|shared| {
+        let threads = shared.num_threads();
+        if threads <= 1 || len == 1 {
+            // One-thread pools run inline: zero spawn overhead, and
+            // `DART_NUM_THREADS=1` degrades to plain sequential code.
+            iter.into_seq().for_each(f);
+            return;
+        }
+        let pieces = (threads * PIECES_PER_THREAD).min(len);
+        pool::scope_with(shared, |s| {
+            let mut rest = iter;
+            let mut remaining = len;
+            // Peel `pieces - 1` front pieces of balanced (±1) size.
+            for slots_left in (1..pieces).rev() {
+                let take = remaining - remaining * slots_left / (slots_left + 1);
+                let (head, tail) = rest.split_at(take);
+                s.spawn(move || head.into_seq().for_each(f));
+                rest = tail;
+                remaining -= take;
+            }
+            rest.into_seq().for_each(f);
+        });
+    });
+}
+
+/// Conversion from a parallel iterator (rayon's collect bound).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build `Self` from the iterator's items, in index order.
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(iter: I) -> Vec<T>
+    where
+        I: ParallelIterator<Item = T>,
+    {
+        let len = iter.len();
+        let mut out: Vec<T> = Vec::with_capacity(len);
+        {
+            let spare = &mut out.spare_capacity_mut()[..len];
+            // Zip items with their output slots: item `i` lands in slot `i`
+            // no matter which thread produced it.
+            iter.zip(spare.par_iter_mut()).for_each(|(item, slot)| {
+                slot.write(item);
+            });
+        }
+        // SAFETY: the zip above has exactly `len` pairs and wrote each slot
+        // once. A panicking producer unwinds out of `for_each` before this
+        // line, leaving a valid empty Vec (written items leak, safely).
+        unsafe { out.set_len(len) };
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct RangeParIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+    type Seq = Range<usize>;
+
+    fn len(&self) -> usize {
+        self.range.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.range.start + index.min(self.range.len());
+        (RangeParIter { range: self.range.start..mid }, RangeParIter { range: mid..self.range.end })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.range
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeParIter;
+    type Item = usize;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter { range: self }
+    }
+}
+
+/// Owning parallel iterator over a `Vec` (splits move the tail into a new
+/// allocation — fine for the coarse pieces the driver creates).
+pub struct VecParIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(index.min(self.vec.len()));
+        (self, VecParIter { vec: tail })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.vec.into_iter()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecParIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { vec: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index.min(self.slice.len()));
+        (SliceParIter { slice: a }, SliceParIter { slice: b })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = index.min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        (SliceParIterMut { slice: a }, SliceParIterMut { slice: b })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel iterator over immutable chunks of a slice.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(elems);
+        (ParChunks { slice: a, size: self.size }, ParChunks { slice: b, size: self.size })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Parallel iterator over mutable, disjoint chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(elems);
+        (ParChunksMut { slice: a, size: self.size }, ParChunksMut { slice: b, size: self.size })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over the elements.
+    fn par_iter(&self) -> SliceParIter<'_, T>;
+    /// Parallel iterator over `chunk_size`-element chunks (last may be
+    /// shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceParIter<'_, T> {
+        SliceParIter { slice: self }
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunks { slice: self, size: chunk_size }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices. Chunks are
+/// disjoint `&mut` borrows handed to different threads — the scoped pool
+/// makes that sound for borrowed (non-`'static`) slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable elements.
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T>;
+    /// Parallel iterator over disjoint mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T> {
+        SliceParIterMut { slice: self }
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut { slice: self, size: chunk_size }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Clone + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<I::Seq, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (Map { base: a, f: self.f.clone() }, Map { base: b, f: self.f })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I> ParallelIterator for Enumerate<I>
+where
+    I: ParallelIterator,
+{
+    type Item = (usize, I::Item);
+    type Seq = std::iter::Zip<Range<usize>, I::Seq>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Enumerate { base: a, offset: self.offset },
+            Enumerate { base: b, offset: self.offset + index },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        let end = self.offset + self.base.len();
+        (self.offset..end).zip(self.base.into_seq())
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn len(&self) -> usize {
+        self.a.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(index);
+        let (b1, b2) = self.b.split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_map_collect_is_ordered() {
+        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_assigns_global_indices() {
+        let mut buf = vec![0u32; 1001];
+        buf.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i as u32;
+            }
+        });
+        for (j, &v) in buf.iter().enumerate() {
+            assert_eq!(v, (j / 7) as u32);
+        }
+    }
+
+    #[test]
+    fn zip_of_chunks_copies_pairwise() {
+        let a: Vec<i64> = (0..503).collect();
+        let mut b = vec![0i64; 503];
+        b.par_chunks_mut(13).zip(a.par_chunks(13)).for_each(|(dst, src)| {
+            dst.copy_from_slice(src);
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slice_par_iter_maps() {
+        let v: Vec<u32> = (0..257).collect();
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, v.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_into_par_iter_consumes_in_order() {
+        let strings: Vec<String> = (0..64).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = strings.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, (0..64).map(|i| i.to_string().len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_sources_are_noops() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|&b| b).collect();
+        assert!(out.is_empty());
+        (0..0usize).into_par_iter().for_each(|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn zip_truncates_to_shorter_side() {
+        let long: Vec<usize> = (0..50).collect();
+        let pairs: Vec<(usize, usize)> =
+            (0..20usize).into_par_iter().zip(long.into_par_iter()).collect();
+        assert_eq!(pairs.len(), 20);
+        assert!(pairs.iter().all(|&(a, b)| a == b));
+    }
+}

@@ -1,82 +1,56 @@
-//! Vendored **sequential** shim of the rayon API surface this workspace uses.
+//! Vendored **parallel** implementation of the rayon API surface this
+//! workspace uses, backed by a real std-only work-stealing thread pool.
 //!
-//! The build environment has no registry access, so the real rayon cannot be
-//! fetched. The workspace only relies on rayon for data-parallel `for_each`
-//! / `map` / `collect` chains over slices and ranges; this shim maps each
-//! `par_*` entry point onto the equivalent `std` sequential iterator, which
-//! keeps every call site source-compatible and bit-identical in output.
+//! The build environment has no registry access, so the real rayon cannot
+//! be fetched. Earlier revisions shipped a sequential shim here; this crate
+//! now executes `par_*` calls on a genuine pool ([`pool`]): per-worker LIFO
+//! deques with FIFO stealing, a global injector, scoped execution (so
+//! `par_chunks_mut` can hand disjoint `&mut` chunks of a *borrowed* slice
+//! to different threads), helping waits (nested `par_*` calls cannot
+//! deadlock), and panic propagation from workers to the caller.
 //!
-//! Throughput-critical parallelism in this repo lives in `dart-serve`, which
-//! uses `std::thread` shard workers directly and does not depend on rayon.
+//! The iterator layer ([`iter`]) is indexed-only — exact lengths, splits at
+//! arbitrary indices — which is all the workspace's kernels use and what
+//! makes the determinism guarantee cheap to state:
+//!
+//! * **Outputs are bit-for-bit identical for every thread count.** No
+//!   terminal folds across items; each item depends only on its index.
+//!   `DART_NUM_THREADS=1` (or a one-thread [`ThreadPool`]) runs inline with
+//!   zero scheduling overhead.
+//!
+//! The global pool is created lazily on first use, sized by
+//! `DART_NUM_THREADS` (default: available parallelism; invalid values
+//! panic rather than silently falling back). Tests and servers can instead
+//! build an explicit [`ThreadPool`] and route a region of code through it
+//! with [`ThreadPool::install`].
+
+mod iter;
+mod pool;
+
+pub use iter::{
+    Enumerate, FromParallelIterator, IntoParallelIterator, Map, ParChunks, ParChunksMut,
+    ParallelIterator, ParallelSlice, ParallelSliceMut, RangeParIter, SliceParIter, SliceParIterMut,
+    VecParIter, Zip,
+};
+pub use pool::{
+    current_num_threads, global_pool, parse_thread_count, Scope, ThreadPool, MAX_THREADS,
+    THREADS_ENV,
+};
 
 /// Everything a `use rayon::prelude::*;` call site expects.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
-}
-
-/// Sequential stand-in for rayon's `IntoParallelIterator`.
-///
-/// Blanket-implemented for every `IntoIterator`, so ranges, vectors, and
-/// iterator adapters all gain `into_par_iter()`.
-pub trait IntoParallelIterator {
-    /// The (sequential) iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type.
-    type Item;
-    /// "Parallel" iteration — sequential in this shim.
-    fn into_par_iter(self) -> Self::Iter;
-}
-
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
-    type Item = I::Item;
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// Sequential stand-in for rayon's `ParallelSlice` (shared slices).
-pub trait ParallelSlice<T> {
-    /// Sequential `iter()` under rayon's name.
-    fn par_iter(&self) -> std::slice::Iter<'_, T>;
-    /// Sequential `chunks()` under rayon's name.
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
-    }
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(chunk_size)
-    }
-}
-
-/// Sequential stand-in for rayon's `ParallelSliceMut` (mutable slices).
-pub trait ParallelSliceMut<T> {
-    /// Sequential `iter_mut()` under rayon's name.
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-    /// Sequential `chunks_mut()` under rayon's name.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-        self.iter_mut()
-    }
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
-    }
-}
-
-/// Number of "worker threads" — 1 in this sequential shim.
-pub fn current_num_threads() -> usize {
-    1
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    // The original sequential-shim smoke tests, kept verbatim: the parallel
+    // backend must preserve their exact semantics.
 
     #[test]
     fn par_iter_matches_iter() {
@@ -110,5 +84,10 @@ mod tests {
             dst.copy_from_slice(src);
         });
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(crate::current_num_threads() >= 1);
     }
 }

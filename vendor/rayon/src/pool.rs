@@ -1,0 +1,467 @@
+//! Std-only work-stealing thread pool.
+//!
+//! Layout mirrors rayon-core at a smaller scale:
+//!
+//! * one **global injector** queue for jobs pushed from outside the pool,
+//! * one **per-worker deque** — the owning worker pushes and pops at the
+//!   back (LIFO, keeps nested work cache-hot), thieves take from the front
+//!   (FIFO, oldest job first, which is the biggest remaining split),
+//! * **scoped execution** ([`ThreadPool::scope`]) so jobs may borrow from
+//!   the caller's stack frame: the scope blocks until every spawned job has
+//!   run, which is what makes the internal lifetime erasure sound,
+//! * **panic propagation**: a panicking job is caught on the worker, the
+//!   payload is stashed in the scope, and the first one is re-thrown on the
+//!   scoping thread once all jobs finished. Workers survive job panics, so
+//!   the pool stays usable afterwards.
+//!
+//! Threads waiting for a scope **help**: they execute queued jobs instead
+//! of blocking, so nested `par_*` calls (a job that itself fans out) cannot
+//! deadlock even on a one-thread pool.
+//!
+//! The queues are `Mutex<VecDeque>`-based rather than lock-free Chase-Lev
+//! deques; jobs here are whole kernel tiles (microseconds each, a handful
+//! per call), so queue overhead is noise. Correctness over cleverness.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Environment variable sizing the lazily-created global pool.
+pub const THREADS_ENV: &str = "DART_NUM_THREADS";
+
+/// Hard cap on pool size (a typo like `DART_NUM_THREADS=10000` should fail
+/// loudly, not spawn ten thousand OS threads).
+pub const MAX_THREADS: usize = 1024;
+
+/// A type-erased unit of work. Scope jobs are transmuted from
+/// `Box<dyn FnOnce() + Send + 'scope>`; the scope's unconditional wait is
+/// what keeps the erased borrows alive for as long as the job can run.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct WorkerQueue {
+    deque: Mutex<VecDeque<Job>>,
+}
+
+pub(crate) struct Shared {
+    injector: Mutex<VecDeque<Job>>,
+    workers: Vec<WorkerQueue>,
+    /// Logical pool size as reported by `num_threads()`. A 1-thread pool
+    /// spawns zero OS workers (`workers` is empty): the iterator layer
+    /// runs inline below 2 threads, and direct `scope` jobs are drained by
+    /// the scoping thread's helping wait — so a worker would only ever
+    /// idle and tick.
+    logical_threads: usize,
+    /// Bumped under its own lock on every push. A worker snapshots the
+    /// epoch *before* scanning the queues and only parks if it is still
+    /// unchanged, so a push that lands between "scanned empty" and
+    /// "parked" is always observed.
+    sleep_epoch: Mutex<u64>,
+    wakeup: Condvar,
+    terminate: AtomicBool,
+}
+
+thread_local! {
+    /// `(Shared address, worker index)` when this thread is a pool worker.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+    /// Pool that `par_*` calls on this thread should run in (set by
+    /// [`ThreadPool::install`] and by worker threads); `None` = global
+    /// pool. An owned `Arc`, so no liveness reasoning is needed to use it.
+    static CURRENT: RefCell<Option<Arc<Shared>>> = const { RefCell::new(None) };
+}
+
+impl Shared {
+    /// One wakeup per pushed job: each push notifies one sleeper, and a
+    /// worker that is merely *about to* sleep re-checks the epoch under the
+    /// lock first, so no push is ever missed. `notify_all` here would
+    /// stampede every idle worker at one job.
+    fn notify(&self) {
+        *self.sleep_epoch.lock().unwrap() += 1;
+        self.wakeup.notify_one();
+    }
+
+    /// Wake everyone (termination).
+    fn notify_all(&self) {
+        *self.sleep_epoch.lock().unwrap() += 1;
+        self.wakeup.notify_all();
+    }
+
+    fn push_job(&self, job: Job) {
+        let me = WORKER.get();
+        match me {
+            Some((addr, index)) if addr == self as *const Shared as usize => {
+                self.workers[index].deque.lock().unwrap().push_back(job);
+            }
+            _ => self.injector.lock().unwrap().push_back(job),
+        }
+        self.notify();
+    }
+
+    /// Pop own deque (back), then the injector (front), then steal from the
+    /// other workers' fronts.
+    fn find_job(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(i) = me {
+            if let Some(job) = self.workers[i].deque.lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.workers.len();
+        let start = me.map_or(0, |i| i + 1);
+        for off in 0..n {
+            let victim = (start + off) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = self.workers[victim].deque.lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn worker_index(&self) -> Option<usize> {
+        WORKER
+            .get()
+            .filter(|&(addr, _)| addr == self as *const Shared as usize)
+            .map(|(_, index)| index)
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.logical_threads
+    }
+}
+
+fn worker_main(shared: Arc<Shared>, index: usize) {
+    WORKER.set(Some((Arc::as_ptr(&shared) as usize, index)));
+    // Nested `par_*` calls issued from jobs on this thread stay in this
+    // pool instead of spilling into the global one.
+    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&shared)));
+    loop {
+        let epoch = *shared.sleep_epoch.lock().unwrap();
+        if let Some(job) = shared.find_job(Some(index)) {
+            job();
+            continue;
+        }
+        if shared.terminate.load(Ordering::SeqCst) {
+            return;
+        }
+        let guard = shared.sleep_epoch.lock().unwrap();
+        if *guard == epoch {
+            // Every push bumps the epoch and notifies under this same
+            // lock, so wakeups cannot be lost and idle workers genuinely
+            // sleep. The seconds-scale timeout is belt-and-braces against
+            // unforeseen bugs only — cheap enough that an idle pool does
+            // not measurably tick.
+            let _ = shared.wakeup.wait_timeout(guard, Duration::from_secs(1)).unwrap();
+        }
+    }
+}
+
+/// A work-stealing thread pool. Most users never construct one: the
+/// `par_*` iterator entry points lazily use the process-global pool sized
+/// by `DART_NUM_THREADS`. Explicit pools exist for tests and for callers
+/// (like `dart-serve`) that want one shared, bounded kernel pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `num_threads` workers.
+    ///
+    /// # Panics
+    /// If `num_threads` is `0` or greater than [`MAX_THREADS`].
+    pub fn new(num_threads: usize) -> ThreadPool {
+        assert!(
+            (1..=MAX_THREADS).contains(&num_threads),
+            "thread pool size must be in 1..={MAX_THREADS}, got {num_threads}"
+        );
+        let worker_count = if num_threads == 1 { 0 } else { num_threads };
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            workers: (0..worker_count)
+                .map(|_| WorkerQueue { deque: Mutex::new(VecDeque::new()) })
+                .collect(),
+            logical_threads: num_threads,
+            sleep_epoch: Mutex::new(0),
+            wakeup: Condvar::new(),
+            terminate: AtomicBool::new(false),
+        });
+        let handles = (0..worker_count)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dart-rayon-{index}"))
+                    .spawn(move || worker_main(shared, index))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.shared.num_threads()
+    }
+
+    /// Run `f` on the calling thread with this pool as the target of every
+    /// `par_*` call `f` makes (restored on exit, panic-safe). Unlike real
+    /// rayon, `f` is not migrated onto a worker; the calling thread also
+    /// helps execute jobs while it waits on scopes, so an `install` onto a
+    /// busy pool still makes progress.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        with_pool_context(&self.shared, f)
+    }
+
+    /// Create a scope in which spawned jobs may borrow non-`'static` data
+    /// from the enclosing frame. Blocks until every job has finished —
+    /// helping execute queued work rather than sleeping — then re-throws
+    /// the first job panic, if any.
+    pub fn scope<'scope, R>(&self, f: impl FnOnce(&Scope<'scope>) -> R) -> R {
+        // Install for the duration so par_* calls made directly inside `f`
+        // (not just inside spawned jobs) target this pool.
+        self.install(|| scope_with(&self.shared, f))
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.terminate.store(true, Ordering::SeqCst);
+        self.shared.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct ScopeState {
+    pending: AtomicUsize,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+/// Handle for spawning borrowed jobs; see [`ThreadPool::scope`].
+pub struct Scope<'scope> {
+    shared: Arc<Shared>,
+    state: Arc<ScopeState>,
+    /// Invariant over `'scope`, like `std::thread::Scope`.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queue `f` to run on the pool. The closure may borrow anything that
+    /// outlives `'scope`; the owning scope will not return before it runs.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if state.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Taking the lock orders this notify after a waiter's
+                // "pending != 0, start waiting" check.
+                let _guard = state.done_lock.lock().unwrap();
+                state.done_cv.notify_all();
+            }
+        });
+        // SAFETY: only the lifetime is erased. `scope_with` waits for
+        // `pending == 0` before returning (even when the scope closure or a
+        // job panics), so the borrows inside `f` outlive every point where
+        // the job can still run.
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        self.shared.push_job(job);
+    }
+}
+
+pub(crate) fn scope_with<'scope, R>(
+    shared: &Arc<Shared>,
+    f: impl FnOnce(&Scope<'scope>) -> R,
+) -> R {
+    let scope = Scope {
+        shared: Arc::clone(shared),
+        state: Arc::new(ScopeState {
+            pending: AtomicUsize::new(0),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }),
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+
+    // Wait for every spawned job, executing queued work while we do: this
+    // is what lets a job itself open a scope (nested par_*) without
+    // deadlocking, even on a one-thread pool.
+    let me = shared.worker_index();
+    while scope.state.pending.load(Ordering::SeqCst) != 0 {
+        if let Some(job) = shared.find_job(me) {
+            with_pool_context(shared, job);
+            continue;
+        }
+        let guard = scope.state.done_lock.lock().unwrap();
+        if scope.state.pending.load(Ordering::SeqCst) != 0 {
+            // Short timeout: a job queued on another pool thread's deque
+            // after our scan is invisible until it finishes or we rescan.
+            let _ = scope.state.done_cv.wait_timeout(guard, Duration::from_micros(200)).unwrap();
+        }
+    }
+
+    let job_panic = scope.state.panic.lock().unwrap().take();
+    match (result, job_panic) {
+        (Err(payload), _) => resume_unwind(payload),
+        (_, Some(payload)) => resume_unwind(payload),
+        (Ok(value), None) => value,
+    }
+}
+
+/// Run `f` with `CURRENT` pointing at `shared`, restoring the previous
+/// value on exit (panic-safe). Backs both [`ThreadPool::install`] and
+/// helped-job execution in [`scope_with`]: a job stolen by a scope-waiting
+/// thread that never called `install` must still see its owning pool as
+/// current, or nested `par_*` inside it would silently fall back to the
+/// global pool (jobs found by `find_job` always belong to `shared`).
+fn with_pool_context<R>(shared: &Arc<Shared>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<Shared>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(Arc::clone(shared)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Run `f` against the thread's current pool: the innermost
+/// [`ThreadPool::install`], the owning pool on worker threads, or the
+/// lazily-created global pool otherwise.
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Shared>) -> R) -> R {
+    // Clone out of the thread-local (one refcount bump) so no RefCell
+    // borrow is held while `f` runs — `f` may itself install/spawn.
+    let current = CURRENT.with(|c| c.borrow().clone());
+    match current {
+        Some(arc) => f(&arc),
+        None => f(&global_pool().shared),
+    }
+}
+
+/// Parse a `DART_NUM_THREADS`-style override.
+pub fn parse_thread_count(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!("{THREADS_ENV} must be >= 1, got `{raw}`")),
+        Ok(n) if n > MAX_THREADS => {
+            Err(format!("{THREADS_ENV} must be <= {MAX_THREADS}, got `{raw}`"))
+        }
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("{THREADS_ENV} must be a positive integer, got `{raw}`")),
+    }
+}
+
+/// The global pool size: `DART_NUM_THREADS` if set (invalid values panic —
+/// a silently-wrong thread count would skew every benchmark derived from
+/// it), otherwise the machine's available parallelism.
+fn global_pool_threads() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(raw) => parse_thread_count(&raw).unwrap_or_else(|err| panic!("{err}")),
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The process-global pool, created on first use.
+pub fn global_pool() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(global_pool_threads()))
+}
+
+/// Worker-thread count of the current pool (the installed pool inside
+/// [`ThreadPool::install`], otherwise the global pool — creating it if
+/// this is the first `rayon` touch in the process).
+pub fn current_num_threads() -> usize {
+    with_current(|shared| shared.num_threads())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_thread_count_accepts_positive_integers() {
+        assert_eq!(parse_thread_count("1"), Ok(1));
+        assert_eq!(parse_thread_count(" 8 "), Ok(8));
+        assert_eq!(parse_thread_count("1024"), Ok(MAX_THREADS));
+    }
+
+    #[test]
+    fn parse_thread_count_rejects_garbage() {
+        for bad in ["0", "-2", "four", "", "2.5", "1e3", "99999999"] {
+            assert!(parse_thread_count(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn scope_runs_borrowed_jobs() {
+        let pool = ThreadPool::new(2);
+        let mut data = vec![0u64; 8];
+        pool.scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move || *slot = i as u64 + 1);
+            }
+        });
+        assert_eq!(data, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_thread_pool_spawns_no_workers_but_still_runs_scope_jobs() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.num_threads(), 1);
+        assert!(pool.handles.is_empty(), "1-thread pool must not spawn idle workers");
+        // Direct scope jobs are drained by the scoping thread's helping wait.
+        let mut data = vec![0u8; 4];
+        pool.scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move || *slot = i as u8 + 1);
+            }
+        });
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn install_overrides_current_pool() {
+        let pool = ThreadPool::new(3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+}
