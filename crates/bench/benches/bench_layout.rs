@@ -8,6 +8,12 @@
 //! separate sub-table allocations per row. Both paths produce bit-for-bit
 //! identical outputs (asserted at setup), so the benchmark isolates pure
 //! memory-layout and tiling effects at the serving batch size (64).
+//!
+//! Each group also carries a simd-vs-scalar pair: `flat_tiled` runs the
+//! dispatched kernels (AVX2/NEON under `--features simd`, scalar
+//! otherwise — the printed banner says which) and `flat_tiled_scalar`
+//! pins the same tiled kernels to the scalar primitives. Bit-equality of
+//! the two is asserted at setup, so the delta is pure vectorization.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dart_nn::init::InitRng;
@@ -67,6 +73,7 @@ fn bench_layout_linear(c: &mut Criterion) {
     // kernel thread count: the tiled kernels below run on that pool, so a
     // silently-defaulted value would mislabel every number printed.
     dart_bench::announce_threads();
+    println!("simd dispatch: {}", dart_pq::simd::active_level());
     // DART-sized linear kernel: D_I=32, D_O=128, K=128, C=2; batch = 64
     // pooled rows (one serve coalesced drain) and 512 rows (64 samples of
     // an 8-token sequence through one kernel).
@@ -82,16 +89,31 @@ fn bench_layout_linear(c: &mut Criterion) {
         let seed_shape = SeedShapeTable::from_flat(&table);
         for rows in [64usize, 512] {
             let x = rand_matrix(rows, di, 3 + rows as u64);
-            // The two layouts must agree bit for bit before being timed.
+            // The two layouts — and the simd-vs-scalar pair — must agree
+            // bit for bit before being timed.
             assert_eq!(
                 table.query(&x).as_slice(),
                 seed_shape.query(&x).as_slice(),
                 "layouts diverged"
             );
+            let mut scalar_out = Matrix::zeros(rows, dout);
+            table.query_batch_scalar_into(&x, &mut scalar_out);
+            assert_eq!(
+                table.query(&x).as_slice(),
+                scalar_out.as_slice(),
+                "simd and scalar tiles diverged"
+            );
             let mut group = c.benchmark_group(format!("layout_linear_{enc_name}_b{rows}"));
             group.sample_size(40);
             group.bench_function("flat_tiled", |bench| {
                 bench.iter(|| black_box(table.query(black_box(&x))))
+            });
+            group.bench_function("flat_tiled_scalar", |bench| {
+                let mut out = Matrix::zeros(rows, dout);
+                bench.iter(|| {
+                    table.query_batch_scalar_into(black_box(&x), &mut out);
+                    black_box(out.as_slice().last().copied())
+                })
             });
             group.bench_function("seed_nested", |bench| {
                 bench.iter(|| black_box(seed_shape.query(black_box(&x))))
@@ -114,10 +136,23 @@ fn bench_layout_encode(c: &mut Criterion) {
         let x = rand_matrix(512, dim, 17);
         let mut group = c.benchmark_group(format!("layout_encode_{enc_name}_b512"));
         group.sample_size(40);
+        // Dispatched and scalar-tile encodes must agree before timing.
+        let mut simd_codes = vec![0usize; x.rows() * cs];
+        let mut scalar_codes = vec![0usize; x.rows() * cs];
+        pq.encode_batch_into(&x, &mut simd_codes);
+        pq.encode_batch_scalar_into(&x, &mut scalar_codes);
+        assert_eq!(simd_codes, scalar_codes, "simd and scalar encodes diverged");
         group.bench_function("flat_tiled", |bench| {
             let mut codes = vec![0usize; x.rows() * cs];
             bench.iter(|| {
                 pq.encode_batch_into(black_box(&x), &mut codes);
+                black_box(codes.last().copied())
+            })
+        });
+        group.bench_function("flat_tiled_scalar", |bench| {
+            let mut codes = vec![0usize; x.rows() * cs];
+            bench.iter(|| {
+                pq.encode_batch_scalar_into(black_box(&x), &mut codes);
                 black_box(codes.last().copied())
             })
         });

@@ -12,6 +12,11 @@
 //! multicore hosts. On a single-CPU container the >1-thread rows
 //! time-slice one core and report parity; the bench still runs and prints
 //! every row so CI exercises the full path.
+//!
+//! Every pooled row has a `_scalar` twin pinned to the scalar kernel
+//! tiles; the default rows run the dispatched kernels (AVX2/NEON under
+//! `--features simd`). Bit-equality of the pair is asserted at setup, so
+//! the row delta isolates vectorization at each thread count.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dart_nn::init::InitRng;
@@ -35,6 +40,7 @@ fn bench_parallel_linear(c: &mut Criterion) {
     // explicit 1/2/4/8-thread pools only.
     dart_bench::env::validate_threads_env();
     println!("explicit pools of {THREAD_COUNTS:?} threads vs sequential scalar baseline");
+    println!("simd dispatch: {}", dart_pq::simd::active_level());
     let (di, dout) = (32usize, 128usize);
     let train = rand_matrix(2000, di, 1);
     let w = rand_matrix(dout, di, 2);
@@ -55,6 +61,13 @@ fn bench_parallel_linear(c: &mut Criterion) {
             sequential.as_slice(),
             "{threads}-thread query diverged from scalar"
         );
+        let mut scalar_tiles = Matrix::zeros(x.rows(), dout);
+        pool.install(|| table.query_batch_scalar_into(&x, &mut scalar_tiles));
+        assert_eq!(
+            scalar_tiles.as_slice(),
+            sequential.as_slice(),
+            "{threads}-thread scalar tiles diverged"
+        );
     }
 
     let mut group = c.benchmark_group("parallel_linear_query_b512");
@@ -72,6 +85,14 @@ fn bench_parallel_linear(c: &mut Criterion) {
         let pool = ThreadPool::new(threads);
         group.bench_function(format!("pool_{threads}_threads"), |bench| {
             bench.iter(|| pool.install(|| black_box(table.query(black_box(&x)))))
+        });
+        let pool = ThreadPool::new(threads);
+        group.bench_function(format!("pool_{threads}_threads_scalar"), |bench| {
+            let mut out = Matrix::zeros(x.rows(), dout);
+            bench.iter(|| {
+                pool.install(|| table.query_batch_scalar_into(black_box(&x), &mut out));
+                black_box(out.as_slice().last().copied())
+            })
         });
     }
     group.finish();
@@ -97,6 +118,9 @@ fn bench_parallel_encode(c: &mut Criterion) {
         let mut codes = vec![0usize; x.rows() * cs];
         pool.install(|| pq.encode_batch_into(&x, &mut codes));
         assert_eq!(codes, sequential, "{threads}-thread encode diverged from serial");
+        let mut scalar_codes = vec![0usize; x.rows() * cs];
+        pool.install(|| pq.encode_batch_scalar_into(&x, &mut scalar_codes));
+        assert_eq!(scalar_codes, sequential, "{threads}-thread scalar encode diverged");
     }
 
     let mut group = c.benchmark_group("parallel_encode_b512");
@@ -118,6 +142,14 @@ fn bench_parallel_encode(c: &mut Criterion) {
             let mut codes = vec![0usize; x.rows() * cs];
             bench.iter(|| {
                 pool.install(|| pq.encode_batch_into(black_box(&x), &mut codes));
+                black_box(codes.last().copied())
+            })
+        });
+        let pool = ThreadPool::new(threads);
+        group.bench_function(format!("pool_{threads}_threads_scalar"), |bench| {
+            let mut codes = vec![0usize; x.rows() * cs];
+            bench.iter(|| {
+                pool.install(|| pq.encode_batch_scalar_into(black_box(&x), &mut codes));
                 black_box(codes.last().copied())
             })
         });

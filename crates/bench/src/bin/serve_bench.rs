@@ -122,7 +122,7 @@ fn run_runtime(
     shards: usize,
     max_batch: usize,
 ) -> RunResult {
-    let cfg = ServeConfig { shards, max_batch, threshold: 0.5, max_degree: 4, pool_threads: None };
+    let cfg = ServeConfig { shards, max_batch, threshold: 0.5, ..ServeConfig::default() };
     let runtime = ServeRuntime::start(Arc::clone(model), *pre, cfg);
     // Open-loop load in per-round waves (one access per stream per round,
     // the generator's natural interleave) with back-pressure at a bounded

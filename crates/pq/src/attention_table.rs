@@ -27,6 +27,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::arena::TableArena;
 use crate::quantizer::{EncoderKind, ProductQuantizer};
+use crate::simd::{self, SimdOps};
 
 /// Samples per tile of the batched attention query: each tile reuses one
 /// set of encode/scratch buffers across its samples and tiles run
@@ -186,8 +187,28 @@ impl AttentionTable {
     /// set of encode/scratch buffers across its samples and tiles run
     /// rayon-parallel over disjoint output rows — the multi-sample
     /// counterpart of [`Self::query`], bit-for-bit equal to querying each
-    /// sample individually.
+    /// sample individually. The per-tile QK/QKV accumulations run through
+    /// the process-wide SIMD dispatch ([`simd::ops`]).
     pub fn query_batch(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+        self.query_batch_with(q, k, v, simd::ops())
+    }
+
+    /// [`Self::query_batch`] pinned to the scalar kernel tiles — the
+    /// reference path of the simd differential suites and benches.
+    pub fn query_batch_scalar(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+        self.query_batch_with(q, k, v, simd::scalar_ops())
+    }
+
+    /// Tile kernel shared by the dispatched and scalar entry points.
+    ///
+    /// K-row and V-column codes are staged **subspace-major** as `i32`
+    /// (`codes_t[ci * lanes + lane]`), so each `(t1, ci)` / `(t1, c)` pass
+    /// is one gather-accumulate over contiguous indices: lane `t2` (QK) or
+    /// lane `o` (QKV) reads `table_row[idx[lane]]` and accumulates in
+    /// subspace order — exactly the scalar `acc += table.get(..)` loop,
+    /// one output lane per vector lane, so results are bit-identical at
+    /// every dispatch level.
+    fn query_batch_with(&self, q: &Matrix, k: &Matrix, v: &Matrix, ops: &SimdOps) -> Matrix {
         let t = self.seq_len;
         assert_eq!(q.cols(), self.dk, "Q shape mismatch");
         assert_eq!(q.rows() % t, 0, "rows not divisible by seq_len");
@@ -196,6 +217,8 @@ impl AttentionTable {
         let ck = self.q_pq.num_subspaces();
         let ct = self.qkt_pq.num_subspaces();
         let dk = self.dk;
+        let qk_width = self.qk.width();
+        let qkv_width = self.qkv.width();
 
         let mut out = Matrix::zeros(q.rows(), dk);
         let sample_span = t * dk;
@@ -204,10 +227,15 @@ impl AttentionTable {
                 let n0 = tile * ATTN_TILE_SAMPLES;
                 let samples = ochunk.len() / sample_span;
                 let mut q_codes = vec![0usize; t * ck];
-                let mut k_codes = vec![0usize; t * ck];
+                // K-row codes, subspace-major i32: code of row t2 under
+                // subspace ci at `k_codes_t[ci * t + t2]`.
+                let mut k_codes_t = vec![0i32; ck * t];
                 let mut qkt = Matrix::zeros(t, t);
                 let mut row_codes = vec![0usize; ct];
-                let mut col_codes = vec![0usize; dk * ct];
+                // V-column codes, subspace-major i32: code of column o
+                // under subspace c at `col_codes_t[c * dk + o]`.
+                let mut col_codes_t = vec![0i32; ct * dk];
+                let mut code_tmp = vec![0usize; ck.max(ct)];
                 let mut vcol = vec![0.0f32; t];
 
                 for s in 0..samples {
@@ -215,20 +243,28 @@ impl AttentionTable {
 
                     // Stage 1: Q̂K^T via the QK table (Eq. 13).
                     for r in 0..t {
-                        self.q_pq
-                            .encode_row_into(q.row(base + r), &mut q_codes[r * ck..(r + 1) * ck]);
-                        self.k_pq
-                            .encode_row_into(k.row(base + r), &mut k_codes[r * ck..(r + 1) * ck]);
+                        self.q_pq.encode_row_into_with(
+                            q.row(base + r),
+                            &mut q_codes[r * ck..(r + 1) * ck],
+                            ops,
+                        );
+                        self.k_pq.encode_row_into_with(k.row(base + r), &mut code_tmp[..ck], ops);
+                        for ci in 0..ck {
+                            k_codes_t[ci * t + r] = code_tmp[ci] as i32;
+                        }
                     }
                     for t1 in 0..t {
-                        let row = qkt.row_mut(t1);
-                        for (t2, slot) in row.iter_mut().enumerate() {
-                            let mut acc = 0.0f32;
-                            for ci in 0..ck {
-                                acc +=
-                                    self.qk.get(ci, q_codes[t1 * ck + ci], k_codes[t2 * ck + ci]);
+                        let orow = qkt.row_mut(t1);
+                        for ci in 0..ck {
+                            let qcode = q_codes[t1 * ck + ci];
+                            let trow =
+                                &self.qk.subtable(ci)[qcode * qk_width..(qcode + 1) * qk_width];
+                            let idx = &k_codes_t[ci * t..(ci + 1) * t];
+                            if ci == 0 {
+                                ops.gather_init(orow, trow, idx);
+                            } else {
+                                ops.gather_add(orow, trow, idx);
                             }
-                            *slot = acc;
                         }
                     }
 
@@ -238,17 +274,24 @@ impl AttentionTable {
                         for (tt, slot) in vcol.iter_mut().enumerate() {
                             *slot = v.get(base + tt, o);
                         }
-                        self.v_pq.encode_row_into(&vcol, &mut col_codes[o * ct..(o + 1) * ct]);
+                        self.v_pq.encode_row_into_with(&vcol, &mut code_tmp[..ct], ops);
+                        for c in 0..ct {
+                            col_codes_t[c * dk + o] = code_tmp[c] as i32;
+                        }
                     }
                     for t1 in 0..t {
-                        self.qkt_pq.encode_row_into(qkt.row(t1), &mut row_codes);
+                        self.qkt_pq.encode_row_into_with(qkt.row(t1), &mut row_codes, ops);
                         let orow = &mut ochunk[s * sample_span + t1 * dk..][..dk];
-                        for (o, slot) in orow.iter_mut().enumerate() {
-                            let mut acc = 0.0f32;
-                            for c in 0..ct {
-                                acc += self.qkv.get(c, row_codes[c], col_codes[o * ct + c]);
+                        for c in 0..ct {
+                            let rcode = row_codes[c];
+                            let trow =
+                                &self.qkv.subtable(c)[rcode * qkv_width..(rcode + 1) * qkv_width];
+                            let idx = &col_codes_t[c * dk..(c + 1) * dk];
+                            if c == 0 {
+                                ops.gather_init(orow, trow, idx);
+                            } else {
+                                ops.gather_add(orow, trow, idx);
                             }
-                            *slot = acc;
                         }
                     }
                 }

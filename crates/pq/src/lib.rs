@@ -16,7 +16,10 @@
 //!   into the prototypes,
 //! * [`sigmoid_lut`] — fixed lookup-table sigmoid (paper ref. \[46\]),
 //! * [`complexity`] — the latency / storage / arithmetic-operation formulas
-//!   of Eq. 16–21 used by DART's table configurator.
+//!   of Eq. 16–21 used by DART's table configurator,
+//! * [`simd`] — runtime-dispatched AVX2/NEON kernels for the tiled arena
+//!   loops (behind the `simd` feature), bit-for-bit identical to the
+//!   scalar tiles that remain the mandatory fallback.
 
 pub mod arena;
 pub mod attention_table;
@@ -27,6 +30,7 @@ pub mod linear_table;
 pub mod quantized;
 pub mod quantizer;
 pub mod sigmoid_lut;
+pub mod simd;
 
 pub use arena::{CodebookArena, TableArena};
 pub use attention_table::{
@@ -37,3 +41,4 @@ pub use linear_table::{LinearTable, ProtoTransform, AGG_TILE_ROWS};
 pub use quantized::QuantizedLinearTable;
 pub use quantizer::{EncoderKind, ProductQuantizer, Quantizer, ENCODE_TILE_ROWS};
 pub use sigmoid_lut::SigmoidLut;
+pub use simd::{SimdLevel, SimdOps};

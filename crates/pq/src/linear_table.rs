@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::arena::TableArena;
 use crate::quantizer::{EncoderKind, ProductQuantizer};
+use crate::simd::{self, SimdOps};
 
 /// Rows per tile of the tiled batch aggregation: the loop runs
 /// subspace-outer over a tile of output rows, so one sub-table block of the
@@ -171,9 +172,19 @@ impl LinearTable {
     /// to [`Self::query_row_into`] — subspace 0, 1, … — so results are
     /// bit-for-bit equal to row-at-a-time queries.
     pub fn query_batch_into(&self, x: &Matrix, out: &mut Matrix) {
+        self.query_batch_into_with(x, out, simd::ops());
+    }
+
+    /// [`Self::query_batch_into`] pinned to the scalar kernel tiles — the
+    /// reference path of the simd differential suites and benches.
+    pub fn query_batch_scalar_into(&self, x: &Matrix, out: &mut Matrix) {
+        self.query_batch_into_with(x, out, simd::scalar_ops());
+    }
+
+    fn query_batch_into_with(&self, x: &Matrix, out: &mut Matrix, ops: &SimdOps) {
         assert_eq!(x.cols(), self.pq.dim(), "query dim mismatch");
         assert_eq!(out.shape(), (x.rows(), self.out_dim), "output shape mismatch");
-        aggregate_codes_batch(&self.pq, &self.table, x, out);
+        aggregate_codes_batch(&self.pq, &self.table, x, out, ops);
     }
 
     /// Single-row query into a caller buffer (the prefetcher's hot path).
@@ -208,16 +219,23 @@ impl LinearTable {
 /// next sub-table is touched. Per-`(row, output)` accumulation still runs
 /// in subspace order 0, 1, …, so results match the single-row query paths
 /// bit for bit; tiles write disjoint output rows and run rayon-parallel.
+///
+/// The row-accumulate inner loops run through `ops` — the SIMD kernels
+/// vectorize across the `D_O` output-column lanes only, so every output
+/// keeps the scalar accumulation sequence (first pass `0.0 + t`, then
+/// `+= t` in subspace order) and results are bit-identical at every
+/// dispatch level.
 pub(crate) fn aggregate_codes_batch(
     pq: &ProductQuantizer,
     table: &TableArena,
     x: &Matrix,
     out: &mut Matrix,
+    ops: &SimdOps,
 ) {
     let c = pq.num_subspaces();
     let out_dim = out.cols();
     let mut codes = vec![0usize; x.rows() * c];
-    pq.encode_batch_into(x, &mut codes);
+    pq.encode_batch_into_with(x, &mut codes, ops);
     let codes = &codes;
     out.as_mut_slice().par_chunks_mut(AGG_TILE_ROWS * out_dim).enumerate().for_each(
         |(tile, orows)| {
@@ -231,13 +249,9 @@ pub(crate) fn aggregate_codes_batch(
                         // First pass initializes the tile: `0.0 + t` (not a
                         // copy) keeps the accumulation bit-identical to the
                         // fill-then-add scalar path, including -0.0 entries.
-                        for (o, &t) in orow.iter_mut().zip(trow) {
-                            *o = 0.0 + t;
-                        }
+                        ops.init_row(orow, trow);
                     } else {
-                        for (o, &t) in orow.iter_mut().zip(trow) {
-                            *o += t;
-                        }
+                        ops.add_assign(orow, trow);
                     }
                 }
             }

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::arena::TableArena;
 use crate::linear_table::LinearTable;
 use crate::quantizer::ProductQuantizer;
+use crate::simd::{self, SimdOps};
 
 /// An int8 copy of a linear kernel's tables.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -50,29 +51,46 @@ impl QuantizedLinearTable {
         self.out_dim
     }
 
-    /// Approximate query over stacked rows (int8 tables, f32 result).
+    /// Approximate query over stacked rows (int8 tables, f32 result). The
+    /// dequantize-accumulate inner loop runs through the process-wide SIMD
+    /// dispatch ([`simd::ops`]); results are bit-identical to the scalar
+    /// [`Self::query_row_into`] at every dispatch level (int8-to-f32
+    /// conversion is exact, and each output lane keeps the scalar
+    /// multiply-then-add sequence).
     pub fn query(&self, x: &Matrix) -> Matrix {
+        self.query_with(x, simd::ops())
+    }
+
+    /// [`Self::query`] pinned to the scalar kernel tiles — the reference
+    /// path of the simd differential suites and benches.
+    pub fn query_scalar(&self, x: &Matrix) -> Matrix {
+        self.query_with(x, simd::scalar_ops())
+    }
+
+    fn query_with(&self, x: &Matrix, ops: &SimdOps) -> Matrix {
         assert_eq!(x.cols(), self.pq.dim(), "query dim mismatch");
         let mut out = Matrix::zeros(x.rows(), self.out_dim);
         out.as_mut_slice()
             .par_chunks_mut(self.out_dim)
             .enumerate()
-            .for_each(|(r, orow)| self.query_row_into(x.row(r), orow));
+            .for_each(|(r, orow)| self.query_row_with(x.row(r), orow, ops));
         out
     }
 
-    /// Single-row query.
+    /// Single-row query (the scalar reference path).
     pub fn query_row_into(&self, row: &[f32], out: &mut [f32]) {
+        self.query_row_with(row, out, simd::scalar_ops());
+    }
+
+    fn query_row_with(&self, row: &[f32], out: &mut [f32], ops: &SimdOps) {
         debug_assert_eq!(out.len(), self.out_dim);
         out.fill(0.0);
         let k = self.pq.num_protos();
         for (ci, &(lo, hi)) in self.pq.bounds().iter().enumerate() {
-            let code = self.pq.encode_sub(ci, &row[lo..hi]);
+            let code = self.pq.encode_sub_with(ci, &row[lo..hi], ops);
             let scale = self.scales[ci];
             let trow = &self.data[(ci * k + code) * self.out_dim..][..self.out_dim];
-            for (o, &t) in out.iter_mut().zip(trow) {
-                *o += t as f32 * scale;
-            }
+            ops.i8_scale_add(out, trow, scale);
         }
     }
 

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::arena::CodebookArena;
 use crate::kmeans::{kmeans, nearest_centroid, nearest_centroid_flat, KMeansConfig};
+use crate::simd::{self, SimdOps};
 
 /// Rows per tile of the tiled batch encoder: a tile of input rows stays
 /// L1-resident while the per-subspace codebooks (or hash trees) are swept
@@ -316,11 +317,27 @@ impl ProductQuantizer {
         self.codebook.proto(ci, k)
     }
 
-    /// Encode one subvector against subspace `ci`'s encoder.
+    /// Encode one subvector against subspace `ci`'s encoder (the scalar
+    /// reference path — the batch encoder's SIMD-dispatched codes must
+    /// always match this bit for bit).
     #[inline]
     pub fn encode_sub(&self, ci: usize, sub: &[f32]) -> usize {
         match &self.encoders[ci] {
             Encoder::Argmin => nearest_centroid_flat(sub, self.codebook.subspace(ci), sub.len()).0,
+            Encoder::HashTree(tree) => tree.encode(sub),
+        }
+    }
+
+    /// [`Self::encode_sub`] through a kernel table: the argmin distance
+    /// scan over the codebook arena runs vectorized when `ops` carries
+    /// SIMD kernels (the hash tree's `log2 K` comparisons have no width
+    /// dimension to vectorize and always run scalar). Codes are identical
+    /// to the scalar path for every table — SIMD distances are bit-exact,
+    /// so the strict-`<` argmin picks the same prototype.
+    #[inline]
+    pub(crate) fn encode_sub_with(&self, ci: usize, sub: &[f32], ops: &SimdOps) -> usize {
+        match &self.encoders[ci] {
+            Encoder::Argmin => ops.nearest_flat(sub, self.codebook.subspace(ci), sub.len()).0,
             Encoder::HashTree(tree) => tree.encode(sub),
         }
     }
@@ -338,9 +355,17 @@ impl ProductQuantizer {
     /// Encode into a caller-provided buffer (hot path, avoids allocation).
     #[inline]
     pub fn encode_row_into(&self, row: &[f32], out: &mut [usize]) {
+        self.encode_row_into_with(row, out, simd::scalar_ops());
+    }
+
+    /// [`Self::encode_row_into`] through a kernel table (the attention
+    /// batch kernel's per-row encodes; codes are identical at every
+    /// dispatch level, see [`Self::encode_sub_with`]).
+    #[inline]
+    pub(crate) fn encode_row_into_with(&self, row: &[f32], out: &mut [usize], ops: &SimdOps) {
         debug_assert_eq!(out.len(), self.bounds.len());
         for (ci, (slot, &(lo, hi))) in out.iter_mut().zip(&self.bounds).enumerate() {
-            *slot = self.encode_sub(ci, &row[lo..hi]);
+            *slot = self.encode_sub_with(ci, &row[lo..hi], ops);
         }
     }
 
@@ -351,8 +376,20 @@ impl ProductQuantizer {
     /// a tile the loop runs subspace-major so each subspace's codebook
     /// block (or hash tree) is swept across cache-resident input rows.
     /// Tiles are independent, so they run rayon-parallel; codes are
-    /// identical to calling [`Self::encode_row_into`] per row.
+    /// identical to calling [`Self::encode_row_into`] per row. The argmin
+    /// distance scans run through the process-wide SIMD dispatch
+    /// ([`simd::ops`]) without changing any code.
     pub fn encode_batch_into(&self, x: &Matrix, out: &mut [usize]) {
+        self.encode_batch_into_with(x, out, simd::ops());
+    }
+
+    /// [`Self::encode_batch_into`] pinned to the scalar kernel tiles — the
+    /// reference path of the simd differential suites and benches.
+    pub fn encode_batch_scalar_into(&self, x: &Matrix, out: &mut [usize]) {
+        self.encode_batch_into_with(x, out, simd::scalar_ops());
+    }
+
+    pub(crate) fn encode_batch_into_with(&self, x: &Matrix, out: &mut [usize], ops: &SimdOps) {
         let c = self.bounds.len();
         assert_eq!(x.cols(), self.dim, "encode dim mismatch");
         assert_eq!(out.len(), x.rows() * c, "code buffer size mismatch");
@@ -361,7 +398,7 @@ impl ProductQuantizer {
             let rows = chunk.len() / c;
             for (ci, &(lo, hi)) in self.bounds.iter().enumerate() {
                 for rr in 0..rows {
-                    chunk[rr * c + ci] = self.encode_sub(ci, &x.row(r0 + rr)[lo..hi]);
+                    chunk[rr * c + ci] = self.encode_sub_with(ci, &x.row(r0 + rr)[lo..hi], ops);
                 }
             }
         });

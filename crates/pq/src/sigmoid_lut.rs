@@ -1,7 +1,8 @@
 //! Fixed lookup-table sigmoid (paper Algorithm 1 line 16, ref. \[46\]).
 //!
 //! The output activation of the tabular predictor is approximated by a
-//! uniform LUT over `[-range, range]`; values outside saturate to 0/1.
+//! uniform LUT over `[-range, range]`; values outside (including `±Inf`)
+//! saturate to 0/1, and NaN propagates (see [`SigmoidLut::query`]).
 //! With `n` entries the worst-case absolute error is bounded by
 //! `0.25 * (2*range/n) / 2` (max sigmoid slope 1/4 times half a step) plus
 //! the tail error `sigmoid(-range)`.
@@ -48,8 +49,19 @@ impl SigmoidLut {
     }
 
     /// Approximate `sigmoid(x)` by nearest-entry lookup.
+    ///
+    /// `±Inf` saturate like any other out-of-range input. **NaN
+    /// propagates**: a poisoned activation must surface as a poisoned
+    /// probability, not launder itself into `entries[0]` ≈ `sigmoid(-range)`
+    /// — i.e. a confident "no prefetch" (which is what the pre-fix code
+    /// did: NaN fails both range comparisons and `NaN as usize` is 0).
+    /// Downstream threshold comparisons treat NaN as "emit nothing", so
+    /// behavior is conservative but now diagnosable.
     #[inline]
     pub fn query(&self, x: f32) -> f32 {
+        if x.is_nan() {
+            return x;
+        }
         if x <= -self.range {
             return self.entries[0];
         }
@@ -107,6 +119,30 @@ mod tests {
         let lut = SigmoidLut::new(64, 4.0);
         assert_eq!(lut.query(-100.0), lut.query(-4.0));
         assert_eq!(lut.query(100.0), lut.query(4.0));
+    }
+
+    #[test]
+    fn infinities_saturate_like_out_of_range_values() {
+        let lut = SigmoidLut::default_table();
+        assert_eq!(lut.query(f32::NEG_INFINITY), lut.query(-8.0));
+        assert_eq!(lut.query(f32::INFINITY), lut.query(8.0));
+        assert!(lut.query(f32::NEG_INFINITY) < 1e-3);
+        assert!(lut.query(f32::INFINITY) > 1.0 - 1e-3);
+    }
+
+    #[test]
+    fn nan_propagates_instead_of_saturating_low() {
+        // Regression: NaN used to fail both range checks, cast to index 0,
+        // and return sigmoid(-range) — a confident "no prefetch" from a
+        // poisoned activation.
+        let lut = SigmoidLut::default_table();
+        assert!(lut.query(f32::NAN).is_nan());
+        assert!(lut.query(-f32::NAN).is_nan());
+        let mut vals = vec![0.5f32, f32::NAN, -2.0];
+        lut.apply(&mut vals);
+        assert_eq!(vals[0], lut.query(0.5));
+        assert!(vals[1].is_nan(), "apply must propagate NaN");
+        assert_eq!(vals[2], lut.query(-2.0));
     }
 
     #[test]

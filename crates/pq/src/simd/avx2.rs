@@ -1,0 +1,185 @@
+//! AVX2 (8-lane f32) implementations of the kernel primitives.
+//!
+//! Every function mirrors its scalar twin in `super::scalar` lane by lane:
+//! vector lanes map 1:1 onto output columns, each lane executes the exact
+//! scalar operation sequence (separate `sub`/`mul`/`add`, never FMA), and
+//! ragged tails fall back to the scalar body. That makes the outputs
+//! bit-for-bit identical to scalar — the property the differential suites
+//! assert — while the contiguous width-dimension loops of the flat arenas
+//! run 8 lanes per instruction.
+//!
+//! Safety: the public wrappers are only reachable through the dispatch
+//! table, which installs them after `is_x86_feature_detected!("avx2")`
+//! succeeded (`super::detect`), and through tests that perform the same
+//! check.
+
+#![allow(unsafe_code)]
+
+use std::arch::x86_64::{
+    __m128i, __m256i, _mm256_add_ps, _mm256_cvtepi32_ps, _mm256_cvtepi8_epi32, _mm256_i32gather_ps,
+    _mm256_loadu_ps, _mm256_loadu_si256, _mm256_mul_ps, _mm256_set1_ps, _mm256_setr_epi32,
+    _mm256_setzero_ps, _mm256_storeu_ps, _mm256_sub_ps, _mm_loadl_epi64,
+};
+
+const LANES: usize = 8;
+
+pub fn init_row(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    unsafe { init_row_avx2(dst, src) }
+}
+
+pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    unsafe { add_assign_avx2(dst, src) }
+}
+
+pub fn gather_init(dst: &mut [f32], row: &[f32], idx: &[i32]) {
+    check_gather(dst, row, idx);
+    unsafe { gather_avx2::<true>(dst, row, idx) }
+}
+
+pub fn gather_add(dst: &mut [f32], row: &[f32], idx: &[i32]) {
+    check_gather(dst, row, idx);
+    unsafe { gather_avx2::<false>(dst, row, idx) }
+}
+
+pub fn nearest_flat(point: &[f32], centroids: &[f32], dim: usize) -> (usize, f32) {
+    assert!(dim > 0, "nearest_flat over zero-dim subspace");
+    debug_assert_eq!(point.len(), dim);
+    debug_assert_eq!(centroids.len() % dim, 0);
+    unsafe { nearest_flat_avx2(point, centroids, dim) }
+}
+
+pub fn i8_scale_add(dst: &mut [f32], src: &[i8], scale: f32) {
+    debug_assert_eq!(dst.len(), src.len());
+    unsafe { i8_scale_add_avx2(dst, src, scale) }
+}
+
+/// The hardware gather has no bounds checks; enforce the scalar twin's
+/// panic-on-out-of-range contract up front (codes are bounded by `K` at
+/// every call site, so this never fires in kernel use).
+#[inline]
+fn check_gather(dst: &[f32], row: &[f32], idx: &[i32]) {
+    assert_eq!(dst.len(), idx.len());
+    for &i in idx {
+        assert!((i as usize) < row.len(), "gather index {i} out of range {}", row.len());
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn init_row_avx2(dst: &mut [f32], src: &[f32]) {
+    let n = dst.len();
+    let zero = _mm256_setzero_ps();
+    let mut j = 0;
+    while j + LANES <= n {
+        let s = _mm256_loadu_ps(src.as_ptr().add(j));
+        // 0.0 + s, not a copy: normalizes -0.0 like the scalar reference.
+        _mm256_storeu_ps(dst.as_mut_ptr().add(j), _mm256_add_ps(zero, s));
+        j += LANES;
+    }
+    super::scalar::init_row(&mut dst[j..], &src[j..]);
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn add_assign_avx2(dst: &mut [f32], src: &[f32]) {
+    let n = dst.len();
+    let mut j = 0;
+    while j + LANES <= n {
+        let d = _mm256_loadu_ps(dst.as_ptr().add(j));
+        let s = _mm256_loadu_ps(src.as_ptr().add(j));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(j), _mm256_add_ps(d, s));
+        j += LANES;
+    }
+    super::scalar::add_assign(&mut dst[j..], &src[j..]);
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn gather_avx2<const INIT: bool>(dst: &mut [f32], row: &[f32], idx: &[i32]) {
+    let n = dst.len();
+    let mut j = 0;
+    while j + LANES <= n {
+        let iv = _mm256_loadu_si256(idx.as_ptr().add(j) as *const __m256i);
+        let g = _mm256_i32gather_ps::<4>(row.as_ptr(), iv);
+        let acc = if INIT {
+            _mm256_add_ps(_mm256_setzero_ps(), g)
+        } else {
+            _mm256_add_ps(_mm256_loadu_ps(dst.as_ptr().add(j)), g)
+        };
+        _mm256_storeu_ps(dst.as_mut_ptr().add(j), acc);
+        j += LANES;
+    }
+    if INIT {
+        super::scalar::gather_init(&mut dst[j..], row, &idx[j..]);
+    } else {
+        super::scalar::gather_add(&mut dst[j..], row, &idx[j..]);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn nearest_flat_avx2(point: &[f32], centroids: &[f32], dim: usize) -> (usize, f32) {
+    let k = centroids.len() / dim;
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    let mut c0 = 0usize;
+    if dim * (LANES - 1) <= i32::MAX as usize {
+        // Lane l scans centroid c0 + l: a stride-`dim` gather per input
+        // dimension, accumulating (p - c)^2 in dimension order — the
+        // per-centroid operation sequence of `sq_dist`, 8 rows at a time.
+        let stride = _mm256_setr_epi32(
+            0,
+            dim as i32,
+            2 * dim as i32,
+            3 * dim as i32,
+            4 * dim as i32,
+            5 * dim as i32,
+            6 * dim as i32,
+            7 * dim as i32,
+        );
+        while c0 + LANES <= k {
+            let base = centroids.as_ptr().add(c0 * dim);
+            let mut acc = _mm256_setzero_ps();
+            for d in 0..dim {
+                let p = _mm256_set1_ps(*point.get_unchecked(d));
+                let c = _mm256_i32gather_ps::<4>(base.add(d), stride);
+                let diff = _mm256_sub_ps(p, c);
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(diff, diff));
+            }
+            let mut lanes = [0.0f32; LANES];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+            // Strict `<` in ascending centroid order: first minimum wins,
+            // matching the scalar scan's tie-break exactly.
+            for (l, &d2) in lanes.iter().enumerate() {
+                if d2 < best_d {
+                    best_d = d2;
+                    best = c0 + l;
+                }
+            }
+            c0 += LANES;
+        }
+    }
+    for (c, row) in centroids[c0 * dim..].chunks_exact(dim).enumerate() {
+        let d2 = dart_nn::matrix::sq_dist(point, row);
+        if d2 < best_d {
+            best_d = d2;
+            best = c0 + c;
+        }
+    }
+    (best, best_d)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn i8_scale_add_avx2(dst: &mut [f32], src: &[i8], scale: f32) {
+    let n = dst.len();
+    let sv = _mm256_set1_ps(scale);
+    let mut j = 0;
+    while j + LANES <= n {
+        // Sign-extend 8 int8 entries to int32, convert to f32 (exact for
+        // all int8 values), then `t * scale` and accumulate per lane.
+        let bytes = _mm_loadl_epi64(src.as_ptr().add(j) as *const __m128i);
+        let vals = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+        let d = _mm256_loadu_ps(dst.as_ptr().add(j));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(j), _mm256_add_ps(d, _mm256_mul_ps(vals, sv)));
+        j += LANES;
+    }
+    super::scalar::i8_scale_add(&mut dst[j..], &src[j..], scale);
+}

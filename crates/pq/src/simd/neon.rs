@@ -1,0 +1,119 @@
+//! NEON (4-lane f32) implementations of the kernel primitives for
+//! `aarch64`.
+//!
+//! Same discipline as the AVX2 module: lanes map 1:1 onto output columns,
+//! each lane runs the scalar operation sequence (separate multiply and
+//! add, no `vfma`), ragged tails fall back to the scalar body, so outputs
+//! are bit-for-bit identical to `super::scalar`. AArch64 has no hardware
+//! gather; the gather primitives load lanes individually and only the
+//! accumulate runs vectorized (the argmin distance scan stays scalar — see
+//! `super::detect`).
+//!
+//! Safety: NEON is baseline on AArch64 and the dispatch table re-checks
+//! `is_aarch64_feature_detected!("neon")` before installing these.
+
+#![allow(unsafe_code)]
+
+use std::arch::aarch64::{
+    vaddq_f32, vcvtq_f32_s32, vdupq_n_f32, vld1q_f32, vld1q_s32, vmulq_f32, vst1q_f32,
+};
+
+const LANES: usize = 4;
+
+pub fn init_row(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    unsafe { init_row_neon(dst, src) }
+}
+
+pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    unsafe { add_assign_neon(dst, src) }
+}
+
+pub fn gather_init(dst: &mut [f32], row: &[f32], idx: &[i32]) {
+    assert_eq!(dst.len(), idx.len());
+    unsafe { gather_neon::<true>(dst, row, idx) }
+}
+
+pub fn gather_add(dst: &mut [f32], row: &[f32], idx: &[i32]) {
+    assert_eq!(dst.len(), idx.len());
+    unsafe { gather_neon::<false>(dst, row, idx) }
+}
+
+pub fn i8_scale_add(dst: &mut [f32], src: &[i8], scale: f32) {
+    debug_assert_eq!(dst.len(), src.len());
+    unsafe { i8_scale_add_neon(dst, src, scale) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn init_row_neon(dst: &mut [f32], src: &[f32]) {
+    let n = dst.len();
+    let zero = vdupq_n_f32(0.0);
+    let mut j = 0;
+    while j + LANES <= n {
+        let s = vld1q_f32(src.as_ptr().add(j));
+        // 0.0 + s, not a copy: normalizes -0.0 like the scalar reference.
+        vst1q_f32(dst.as_mut_ptr().add(j), vaddq_f32(zero, s));
+        j += LANES;
+    }
+    super::scalar::init_row(&mut dst[j..], &src[j..]);
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn add_assign_neon(dst: &mut [f32], src: &[f32]) {
+    let n = dst.len();
+    let mut j = 0;
+    while j + LANES <= n {
+        let d = vld1q_f32(dst.as_ptr().add(j));
+        let s = vld1q_f32(src.as_ptr().add(j));
+        vst1q_f32(dst.as_mut_ptr().add(j), vaddq_f32(d, s));
+        j += LANES;
+    }
+    super::scalar::add_assign(&mut dst[j..], &src[j..]);
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn gather_neon<const INIT: bool>(dst: &mut [f32], row: &[f32], idx: &[i32]) {
+    let n = dst.len();
+    let mut j = 0;
+    while j + LANES <= n {
+        // Software gather: bounds-checked lane loads (the scalar contract
+        // panics on out-of-range indices), then one vector accumulate.
+        let g = [
+            row[idx[j] as usize],
+            row[idx[j + 1] as usize],
+            row[idx[j + 2] as usize],
+            row[idx[j + 3] as usize],
+        ];
+        let gv = vld1q_f32(g.as_ptr());
+        let acc = if INIT {
+            vaddq_f32(vdupq_n_f32(0.0), gv)
+        } else {
+            vaddq_f32(vld1q_f32(dst.as_ptr().add(j)), gv)
+        };
+        vst1q_f32(dst.as_mut_ptr().add(j), acc);
+        j += LANES;
+    }
+    if INIT {
+        super::scalar::gather_init(&mut dst[j..], row, &idx[j..]);
+    } else {
+        super::scalar::gather_add(&mut dst[j..], row, &idx[j..]);
+    }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn i8_scale_add_neon(dst: &mut [f32], src: &[i8], scale: f32) {
+    let n = dst.len();
+    let sv = vdupq_n_f32(scale);
+    let mut j = 0;
+    while j + LANES <= n {
+        // Widen 4 int8 entries to i32 lanes, convert to f32 (exact for all
+        // int8 values), then `t * scale` and accumulate per lane.
+        let ints = [src[j] as i32, src[j + 1] as i32, src[j + 2] as i32, src[j + 3] as i32];
+        let vals = vcvtq_f32_s32(vld1q_s32(ints.as_ptr()));
+        let d = vld1q_f32(dst.as_ptr().add(j));
+        vst1q_f32(dst.as_mut_ptr().add(j), vaddq_f32(d, vmulq_f32(vals, sv)));
+        j += LANES;
+    }
+    super::scalar::i8_scale_add(&mut dst[j..], &src[j..], scale);
+}

@@ -1,0 +1,50 @@
+//! The scalar kernel primitives — the mandatory fallback on targets
+//! without SIMD support and the bit-exactness **reference** every SIMD
+//! implementation is tested against. These bodies define the semantics
+//! (operation order, `0.0 + x` initialization, strict-`<` first-wins
+//! argmin); see [`super::SimdOps`] for the contracts.
+
+use crate::kmeans::nearest_centroid_flat;
+
+/// `dst[j] = 0.0 + src[j]`. The explicit `0.0 +` is load-bearing: it
+/// normalizes `-0.0` to `+0.0` exactly as the accumulating loops do, so a
+/// first-pass "initialize" is bit-identical to "zero-fill then add".
+pub fn init_row(dst: &mut [f32], src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = 0.0 + s;
+    }
+}
+
+/// `dst[j] += src[j]`.
+pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// `dst[j] = 0.0 + row[idx[j]]`.
+pub fn gather_init(dst: &mut [f32], row: &[f32], idx: &[i32]) {
+    for (d, &i) in dst.iter_mut().zip(idx) {
+        *d = 0.0 + row[i as usize];
+    }
+}
+
+/// `dst[j] += row[idx[j]]`.
+pub fn gather_add(dst: &mut [f32], row: &[f32], idx: &[i32]) {
+    for (d, &i) in dst.iter_mut().zip(idx) {
+        *d += row[i as usize];
+    }
+}
+
+/// Nearest row of a flat `K x dim` centroid block: delegates to the
+/// canonical [`nearest_centroid_flat`] scan.
+pub fn nearest_flat(point: &[f32], centroids: &[f32], dim: usize) -> (usize, f32) {
+    nearest_centroid_flat(point, centroids, dim)
+}
+
+/// `dst[j] += src[j] as f32 * scale` (the int8 table dequantize-accumulate).
+pub fn i8_scale_add(dst: &mut [f32], src: &[i8], scale: f32) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s as f32 * scale;
+    }
+}

@@ -39,6 +39,14 @@ pub struct PrefetchResponse {
     pub prefetch_blocks: Vec<u64>,
     /// Queue + inference latency observed by the runtime, in nanoseconds.
     pub latency_ns: u64,
+    /// `None` for a normally served request. `Some(reason)` when the
+    /// runtime **failed** the request instead of predicting it: its shard
+    /// worker panicked while serving the batch, the request was still
+    /// queued when the worker died or the queue shut down, or it was
+    /// submitted to a shard that had already died. Failed responses carry
+    /// no prefetches and `seq == u64::MAX` (the per-stream sequence number
+    /// is assigned during serving, which never happened).
+    pub error: Option<String>,
 }
 
 #[cfg(test)]

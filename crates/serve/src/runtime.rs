@@ -1,6 +1,6 @@
 //! The serving runtime: shard lifecycle, submission, and statistics.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -33,20 +33,39 @@ pub struct ServeConfig {
     /// thread. `None` shares the process-global pool sized by
     /// `DART_NUM_THREADS`.
     pub pool_threads: Option<usize>,
+    /// Fault injection for tests and chaos drills: the owning shard worker
+    /// panics when it pops a batch containing this stream id, exercising
+    /// the worker-death path (batch failure, queue poisoning, panic
+    /// surfacing). `None` (the default) in production.
+    pub panic_on_stream: Option<u64>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
-        ServeConfig { shards, max_batch: 64, threshold: 0.5, max_degree: 4, pool_threads: None }
+        ServeConfig {
+            shards,
+            max_batch: 64,
+            threshold: 0.5,
+            max_degree: 4,
+            pool_threads: None,
+            panic_on_stream: None,
+        }
     }
 }
 
 /// Aggregate serving statistics returned by [`ServeRuntime::shutdown`].
 #[derive(Clone, Debug, Default)]
 pub struct ServeStats {
-    /// Requests answered (every submit produces exactly one response).
+    /// Requests answered by shard workers. Every submit produces exactly
+    /// one response; responses not counted here were **failure** responses
+    /// (see [`Self::failed`]).
     pub requests: u64,
+    /// Failure responses delivered (worker panicked mid-batch, request
+    /// queued behind a panic, or submitted to a dead/shut-down shard).
+    pub failed: u64,
+    /// `(shard_id, panic message)` of every shard worker that died.
+    pub worker_panics: Vec<(usize, String)>,
     /// Model predictions made (requests whose stream history was warm).
     pub predictions: u64,
     /// Batched `predict_batch` calls issued across all shards.
@@ -129,6 +148,7 @@ impl ServeRuntime {
                 pre,
                 max_batch: cfg.max_batch,
                 emit: EmitPolicy { threshold: cfg.threshold, max_degree: cfg.max_degree },
+                panic_on_stream: cfg.panic_on_stream,
             };
             let q = Arc::clone(&queue);
             let s = Arc::clone(&sink);
@@ -136,9 +156,48 @@ impl ServeRuntime {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("dart-serve-shard-{shard_id}"))
-                    .spawn(move || match p {
-                        Some(pool) => pool.install(|| worker.run(q, s)),
-                        None => worker.run(q, s),
+                    .spawn(move || {
+                        // The worker commits statistics into this shared
+                        // cell once per served batch, so a later panic
+                        // cannot discard what the shard already served.
+                        let report_cell = Arc::new(Mutex::new(ShardReport::default()));
+                        let run_cell = Arc::clone(&report_cell);
+                        // A panicking worker must not strand its queue: the
+                        // in-progress batch was already failed by the
+                        // worker's batch guard; here the panic is caught,
+                        // everything still queued is failed, the queue is
+                        // poisoned so later submits fail fast, and the
+                        // original panic message is surfaced instead of a
+                        // later `PoisonError` at some unrelated lock site.
+                        let run_q = Arc::clone(&q);
+                        let run_s = Arc::clone(&s);
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match p {
+                                Some(pool) => pool.install(|| worker.run(run_q, run_s, run_cell)),
+                                None => worker.run(run_q, run_s, run_cell),
+                            }));
+                        if let Err(payload) = result {
+                            let msg = panic_message(payload.as_ref());
+                            let reason = format!("shard {shard_id} worker panicked: {msg}");
+                            let leaked = q.poison(&reason);
+                            // Record the panic before releasing the
+                            // *queued* envelopes' slots below, so any
+                            // waiter those releases wake already sees the
+                            // cause in `worker_panics()`. (The in-progress
+                            // batch was failed during unwinding by the
+                            // batch guard, which necessarily precedes this
+                            // handler — a waiter woken by that alone may
+                            // observe the panic record slightly later.)
+                            s.record_worker_panic(shard_id, msg);
+                            let items = leaked
+                                .into_iter()
+                                .map(|env| (env.req.stream_id, env.enqueued))
+                                .collect();
+                            s.fail_requests(shard_id, items, &reason);
+                        }
+                        let mut cell =
+                            report_cell.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                        std::mem::take(&mut *cell)
                     })
                     .expect("spawn shard worker"),
             );
@@ -174,10 +233,18 @@ impl ServeRuntime {
     }
 
     /// Submit one access; the response arrives via [`Self::drain_completed`].
+    ///
+    /// If the target shard's worker has died, the request is answered
+    /// immediately with a failure response carrying the worker's panic
+    /// message — it is never silently dropped or left hanging.
     pub fn submit(&self, req: PrefetchRequest) {
-        self.sink.state.lock().unwrap().in_flight += 1;
+        self.sink.lock().in_flight += 1;
         let shard = self.router.shard_of(req.stream_id);
-        self.queues[shard].push(Envelope { req, enqueued: Instant::now() });
+        if let Err((rejected, reason)) =
+            self.queues[shard].push(Envelope { req, enqueued: Instant::now() })
+        {
+            self.fail_rejected(shard, rejected, &reason);
+        }
     }
 
     /// Submit many accesses in one go.
@@ -199,43 +266,66 @@ impl ServeRuntime {
         if total == 0 {
             return;
         }
-        self.sink.state.lock().unwrap().in_flight += total;
-        for (queue, batch) in self.queues.iter().zip(per_shard) {
+        self.sink.lock().in_flight += total;
+        for (shard, (queue, batch)) in self.queues.iter().zip(per_shard).enumerate() {
             if !batch.is_empty() {
-                queue.push_all(batch);
+                if let Err((rejected, reason)) = queue.push_all(batch) {
+                    self.fail_rejected(shard, rejected, &reason);
+                }
             }
         }
     }
 
+    /// Turn envelopes a dead/shut-down queue bounced back into immediate
+    /// failure responses (releasing their in-flight slots).
+    fn fail_rejected(&self, shard: usize, rejected: Vec<Envelope>, reason: &str) {
+        let items = rejected.into_iter().map(|env| (env.req.stream_id, env.enqueued)).collect();
+        self.sink.fail_requests(shard, items, reason);
+    }
+
     /// Requests submitted but not yet answered.
     pub fn outstanding(&self) -> u64 {
-        self.sink.state.lock().unwrap().in_flight
+        self.sink.lock().in_flight
+    }
+
+    /// Worker panics observed so far, as `(shard_id, panic message)`.
+    /// Non-empty means one or more shards are dead: their streams receive
+    /// immediate failure responses until the runtime is restarted.
+    pub fn worker_panics(&self) -> Vec<(usize, String)> {
+        self.sink.lock().worker_panics.clone()
     }
 
     /// Block until fewer than `limit` requests are outstanding (producer
-    /// back-pressure for open-loop load generators).
+    /// back-pressure for open-loop load generators). Never hangs on a
+    /// dead shard: panicked workers fail their requests, which releases
+    /// the in-flight slots this waits on.
     pub fn wait_below(&self, limit: u64) {
-        let mut state = self.sink.state.lock().unwrap();
+        let mut state = self.sink.lock();
         while state.in_flight >= limit.max(1) {
-            state = self.sink.cv.wait(state).unwrap();
+            state = self.sink.cv.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
-    /// Take every response completed so far.
+    /// Take every response completed so far (normal and failure responses;
+    /// see [`PrefetchResponse::error`]).
     pub fn drain_completed(&self) -> Vec<PrefetchResponse> {
-        std::mem::take(&mut self.sink.state.lock().unwrap().completed)
+        std::mem::take(&mut self.sink.lock().completed)
     }
 
-    /// Block until every submitted request has been answered.
+    /// Block until every submitted request has been answered. Never hangs
+    /// on a dead shard (see [`Self::wait_below`]).
     pub fn wait_idle(&self) {
-        let mut state = self.sink.state.lock().unwrap();
+        let mut state = self.sink.lock();
         while state.in_flight > 0 {
-            state = self.sink.cv.wait(state).unwrap();
+            state = self.sink.cv.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Stop the workers (after finishing all queued work) and return
-    /// aggregate statistics.
+    /// aggregate statistics. Safe to call after a worker panic: the panic
+    /// was already caught and converted into failure responses, so the
+    /// join cannot fail and the message is surfaced in
+    /// [`ServeStats::worker_panics`].
     pub fn shutdown(self) -> ServeStats {
         for q in &self.queues {
             q.shutdown();
@@ -243,7 +333,10 @@ impl ServeRuntime {
         let mut stats = ServeStats::default();
         let mut latency = crate::shard::LatencyHistogram::default();
         for handle in self.workers {
-            let report = handle.join().expect("shard worker panicked");
+            // Worker panics are caught inside the thread; a join error
+            // would mean the recovery handler itself died — report that
+            // shard as empty rather than tearing down the caller.
+            let report = handle.join().unwrap_or_default();
             stats.requests += report.requests;
             stats.predictions += report.predictions;
             stats.batches += report.batches;
@@ -251,11 +344,27 @@ impl ServeRuntime {
             stats.per_shard_requests.push(report.requests);
             latency.merge(&report.latency);
         }
+        let sink_state = self.sink.lock();
+        stats.failed = sink_state.failed;
+        stats.worker_panics = sink_state.worker_panics.clone();
+        drop(sink_state);
         stats.p50_latency_ns = latency.percentile(0.50);
         stats.p99_latency_ns = latency.percentile(0.99);
         stats.mean_latency_ns = latency.mean();
         let _ = self.started;
         stats
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (the two payload
+/// types `panic!` produces, with a fallback for exotic ones).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

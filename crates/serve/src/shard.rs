@@ -1,7 +1,7 @@
 //! Shard worker: queue, batch coalescing, and batched prediction.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use dart_core::TabularModel;
@@ -26,44 +26,81 @@ pub(crate) struct ShardQueue {
 struct QueueInner {
     pending: VecDeque<Envelope>,
     shutdown: bool,
+    /// Set when the shard worker died (panicked): the queue will never be
+    /// drained again, so pushes must be rejected back to the caller.
+    dead: Option<Arc<str>>,
+}
+
+impl QueueInner {
+    /// Why a push must be rejected right now, if it must be.
+    fn reject_reason(&self) -> Option<Arc<str>> {
+        if let Some(reason) = &self.dead {
+            return Some(Arc::clone(reason));
+        }
+        if self.shutdown {
+            return Some(Arc::from("shard queue already shut down"));
+        }
+        None
+    }
 }
 
 impl ShardQueue {
     pub fn new() -> ShardQueue {
         ShardQueue {
-            inner: Mutex::new(QueueInner { pending: VecDeque::new(), shutdown: false }),
+            inner: Mutex::new(QueueInner { pending: VecDeque::new(), shutdown: false, dead: None }),
             cv: Condvar::new(),
         }
     }
 
-    /// Enqueue one request.
-    pub fn push(&self, env: Envelope) {
-        let mut inner = self.inner.lock().unwrap();
+    /// Lock the queue, recovering from mutex poisoning: a panicking worker
+    /// must not turn every later producer into a confusing `PoisonError`
+    /// unwrap — the queue state is a plain FIFO and stays consistent.
+    fn lock(&self) -> MutexGuard<'_, QueueInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueue one request. After [`Self::shutdown`] or [`Self::poison`]
+    /// the envelope is handed back with the reason instead: a request
+    /// pushed into a queue no worker will drain again must be failed by
+    /// the caller, never silently dropped.
+    pub fn push(&self, env: Envelope) -> Result<(), (Vec<Envelope>, Arc<str>)> {
+        let mut inner = self.lock();
+        if let Some(reason) = inner.reject_reason() {
+            return Err((vec![env], reason));
+        }
         let was_empty = inner.pending.is_empty();
         inner.pending.push_back(env);
         drop(inner);
         if was_empty {
             self.cv.notify_one();
         }
+        Ok(())
     }
 
-    /// Enqueue many requests with a single lock acquisition.
-    pub fn push_all(&self, envs: Vec<Envelope>) {
-        let mut inner = self.inner.lock().unwrap();
+    /// Enqueue many requests with a single lock acquisition; same
+    /// rejection contract as [`Self::push`].
+    pub fn push_all(&self, envs: Vec<Envelope>) -> Result<(), (Vec<Envelope>, Arc<str>)> {
+        let mut inner = self.lock();
+        if let Some(reason) = inner.reject_reason() {
+            return Err((envs, reason));
+        }
         let was_empty = inner.pending.is_empty();
         inner.pending.extend(envs);
         drop(inner);
         if was_empty {
             self.cv.notify_one();
         }
+        Ok(())
     }
 
     /// Block until work or shutdown; drain up to `max_batch` requests.
-    /// Returns `None` when shut down with an empty queue.
+    /// Returns `None` when shut down with an empty queue — envelopes that
+    /// were already queued when `shutdown()` landed keep draining until
+    /// the queue is empty, so they are always answered.
     pub fn pop_batch(&self, max_batch: usize) -> Option<Vec<Envelope>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         while inner.pending.is_empty() && !inner.shutdown {
-            inner = self.cv.wait(inner).unwrap();
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
         if inner.pending.is_empty() {
             return None; // shutdown
@@ -74,8 +111,21 @@ impl ShardQueue {
 
     /// Mark the queue shut down and wake the worker.
     pub fn shutdown(&self) {
-        self.inner.lock().unwrap().shutdown = true;
+        self.lock().shutdown = true;
         self.cv.notify_all();
+    }
+
+    /// Mark the queue dead (its worker panicked): refuse all future
+    /// pushes with `reason` and hand back everything still queued so the
+    /// caller can fail those envelopes.
+    pub fn poison(&self, reason: &str) -> Vec<Envelope> {
+        let mut inner = self.lock();
+        inner.shutdown = true;
+        inner.dead = Some(Arc::from(reason));
+        let drained: Vec<Envelope> = inner.pending.drain(..).collect();
+        drop(inner);
+        self.cv.notify_all();
+        drained
     }
 }
 
@@ -89,13 +139,99 @@ pub(crate) struct CompletionSink {
 pub(crate) struct SinkState {
     pub completed: Vec<PrefetchResponse>,
     pub in_flight: u64,
+    /// Failure responses delivered so far (worker panics, dead-shard
+    /// submissions).
+    pub failed: u64,
+    /// `(shard_id, panic message)` of every shard worker that died.
+    pub worker_panics: Vec<(usize, String)>,
 }
 
 impl CompletionSink {
     pub fn new() -> CompletionSink {
         CompletionSink {
-            state: Mutex::new(SinkState { completed: Vec::new(), in_flight: 0 }),
+            state: Mutex::new(SinkState {
+                completed: Vec::new(),
+                in_flight: 0,
+                failed: 0,
+                worker_panics: Vec::new(),
+            }),
             cv: Condvar::new(),
+        }
+    }
+
+    /// Lock the sink state, recovering from mutex poisoning. A shard
+    /// worker that panics while holding this lock must not cascade into
+    /// `PoisonError` panics at every later lock site — the state is plain
+    /// counters plus a response list and stays consistent.
+    pub fn lock(&self) -> MutexGuard<'_, SinkState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Deliver a **failure** response for each `(stream_id, enqueued)`
+    /// request and release its in-flight slot, so `wait_idle`/`wait_below`
+    /// callers can never hang on a request no worker will ever serve.
+    pub fn fail_requests(&self, shard: usize, items: Vec<(u64, Instant)>, reason: &str) {
+        if items.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let n = items.len() as u64;
+        let mut state = self.lock();
+        for (stream_id, enqueued) in items {
+            state.completed.push(PrefetchResponse {
+                stream_id,
+                seq: u64::MAX,
+                shard,
+                prefetch_blocks: Vec::new(),
+                latency_ns: now.duration_since(enqueued).as_nanos() as u64,
+                error: Some(reason.to_string()),
+            });
+        }
+        debug_assert!(state.in_flight >= n, "in-flight accounting underflow");
+        state.in_flight -= n;
+        state.failed += n;
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    /// Record a dead worker's panic message (surfaced by
+    /// `ServeRuntime::worker_panics` and `ServeStats::worker_panics`).
+    pub fn record_worker_panic(&self, shard: usize, message: String) {
+        self.lock().worker_panics.push((shard, message));
+        self.cv.notify_all();
+    }
+}
+
+/// Unwind guard armed around one popped batch: if the worker panics
+/// before delivering the batch's responses, the guard fails every
+/// envelope of the batch (error response + in-flight release) instead of
+/// leaking its `in_flight` slots and hanging `wait_idle` forever.
+struct BatchGuard<'a> {
+    sink: &'a CompletionSink,
+    shard: usize,
+    items: Vec<(u64, Instant)>,
+    armed: bool,
+}
+
+impl<'a> BatchGuard<'a> {
+    fn arm(sink: &'a CompletionSink, shard: usize, batch: &[Envelope]) -> BatchGuard<'a> {
+        BatchGuard {
+            sink,
+            shard,
+            items: batch.iter().map(|e| (e.req.stream_id, e.enqueued)).collect(),
+            armed: true,
+        }
+    }
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.sink.fail_requests(
+                self.shard,
+                std::mem::take(&mut self.items),
+                "shard worker panicked while serving this batch",
+            );
         }
     }
 }
@@ -184,22 +320,34 @@ pub(crate) struct ShardWorker {
     pub pre: PreprocessConfig,
     pub max_batch: usize,
     pub emit: EmitPolicy,
+    /// Fault injection (`ServeConfig::panic_on_stream`): panic while
+    /// serving the batch that contains this stream id.
+    pub panic_on_stream: Option<u64>,
 }
 
 impl ShardWorker {
     /// Worker loop: drain → coalesce → `predict_batch` → respond, until the
     /// queue shuts down.
     ///
+    /// Statistics land in the shared `report` cell once per batch (after
+    /// that batch's responses are final), so a worker that panics later
+    /// loses at most the dying batch's numbers — everything it served
+    /// before the panic stays counted in `ServeStats`.
+    ///
     /// The per-batch feature matrix and the stacked warm-row matrix are
     /// built from two scratch buffers owned by the worker and recycled via
     /// `Matrix::from_vec` / `Matrix::into_vec`, so a long-running shard
     /// performs no steady-state allocation for feature staging regardless
     /// of how many batches it drains.
-    pub fn run(self, queue: Arc<ShardQueue>, sink: Arc<CompletionSink>) -> ShardReport {
+    pub fn run(
+        self,
+        queue: Arc<ShardQueue>,
+        sink: Arc<CompletionSink>,
+        report: Arc<Mutex<ShardReport>>,
+    ) {
         let t = self.pre.seq_len;
         let di = self.pre.input_dim();
         let mut streams: HashMap<u64, StreamState> = HashMap::new();
-        let mut report = ShardReport::default();
         // (request index in batch, anchor block) of each warm request, in
         // feature-matrix order.
         let mut warm: Vec<(usize, u64)> = Vec::new();
@@ -212,9 +360,9 @@ impl ShardWorker {
         let mut stack_buf: Vec<f32> = Vec::new();
 
         while let Some(batch) = queue.pop_batch(self.max_batch) {
-            report.batches += 1;
-            report.max_batch = report.max_batch.max(batch.len());
-            report.requests += batch.len() as u64;
+            // If anything below unwinds, the guard converts this batch
+            // into failure responses so its in-flight slots are released.
+            let mut batch_guard = BatchGuard::arm(&sink, self.shard_id, &batch);
             warm.clear();
 
             // Phase 1: update stream state in arrival order. Features are
@@ -226,6 +374,12 @@ impl ShardWorker {
             let mut feats = Matrix::from_vec(batch.len() * t, di, std::mem::take(&mut feat_buf));
             let mut responses: Vec<PrefetchResponse> = Vec::with_capacity(batch.len());
             for (i, env) in batch.iter().enumerate() {
+                if Some(env.req.stream_id) == self.panic_on_stream {
+                    panic!(
+                        "fault injection: shard worker told to die on stream {}",
+                        env.req.stream_id
+                    );
+                }
                 let state = streams.entry(env.req.stream_id).or_insert_with(|| StreamState::new(t));
                 let seq = state.push(env.req.block(), env.req.pc);
                 responses.push(PrefetchResponse {
@@ -234,6 +388,7 @@ impl ShardWorker {
                     shard: self.shard_id,
                     prefetch_blocks: Vec::new(),
                     latency_ns: 0,
+                    error: None,
                 });
                 if state.warm() {
                     state.write_features_into(&self.pre, &mut feats, warm.len() * t);
@@ -248,7 +403,6 @@ impl ShardWorker {
                 let stacked = Matrix::from_vec(warm.len() * t, di, std::mem::take(&mut stack_buf));
                 let probs = self.model.predict_batch(&stacked);
                 stack_buf = stacked.into_vec();
-                report.predictions += warm.len() as u64;
                 for (w, &(i, anchor)) in warm.iter().enumerate() {
                     responses[i].prefetch_blocks =
                         decode_bitmap(probs.row(w), &self.pre, anchor, self.emit, &mut candidates);
@@ -256,19 +410,32 @@ impl ShardWorker {
             }
             feat_buf = feats.into_vec();
 
-            // Phase 3: deliver, stamping observed latency.
+            // Phase 3: stamp latencies, then deliver. All fallible work is
+            // done; disarm before taking any lock so the guard's Drop can
+            // never re-lock the sink from this thread. Commit this batch's
+            // statistics only now that its responses are final: a panic
+            // earlier in the batch loses at most the dying batch's numbers.
             let now = Instant::now();
             for (env, resp) in batch.iter().zip(&mut responses) {
                 resp.latency_ns = now.duration_since(env.enqueued).as_nanos() as u64;
-                report.latency.record(resp.latency_ns);
             }
-            let mut sink_state = sink.state.lock().unwrap();
+            batch_guard.armed = false;
+            {
+                let mut r = report.lock().unwrap_or_else(PoisonError::into_inner);
+                r.batches += 1;
+                r.max_batch = r.max_batch.max(batch.len());
+                r.requests += batch.len() as u64;
+                r.predictions += warm.len() as u64;
+                for resp in &responses {
+                    r.latency.record(resp.latency_ns);
+                }
+            }
+            let mut sink_state = sink.lock();
             sink_state.completed.append(&mut responses);
             sink_state.in_flight -= batch.len() as u64;
             drop(sink_state);
             sink.cv.notify_all();
         }
-        report
     }
 }
 
@@ -289,14 +456,18 @@ pub(crate) fn decode_bitmap(
 mod tests {
     use super::*;
 
+    fn env_for(stream_id: u64) -> Envelope {
+        Envelope {
+            req: crate::request::PrefetchRequest { stream_id, pc: 0, addr: stream_id << 6 },
+            enqueued: Instant::now(),
+        }
+    }
+
     #[test]
     fn queue_drains_in_order_and_respects_max_batch() {
         let q = ShardQueue::new();
         for i in 0..5u64 {
-            q.push(Envelope {
-                req: crate::request::PrefetchRequest { stream_id: i, pc: 0, addr: i << 6 },
-                enqueued: Instant::now(),
-            });
+            assert!(q.push(env_for(i)).is_ok());
         }
         let batch = q.pop_batch(3).unwrap();
         assert_eq!(batch.len(), 3);
@@ -306,6 +477,71 @@ mod tests {
         assert_eq!(rest.len(), 2);
         q.shutdown();
         assert!(q.pop_batch(16).is_none());
+    }
+
+    #[test]
+    fn envelopes_queued_at_shutdown_still_drain() {
+        // Regression (shutdown-path audit): requests that were already
+        // queued when `shutdown()` landed must keep draining — the worker
+        // answers them before `pop_batch` reports `None`.
+        let q = ShardQueue::new();
+        for i in 0..7u64 {
+            assert!(q.push(env_for(i)).is_ok());
+        }
+        q.shutdown();
+        let first = q.pop_batch(4).expect("queued work must survive shutdown");
+        assert_eq!(first.len(), 4);
+        let rest = q.pop_batch(4).expect("tail must survive shutdown too");
+        assert_eq!(rest.len(), 3);
+        assert_eq!(rest[2].req.stream_id, 6, "drain order broken across shutdown");
+        assert!(q.pop_batch(4).is_none());
+    }
+
+    #[test]
+    fn push_after_shutdown_is_rejected_not_dropped() {
+        // Regression: a push after shutdown used to enqueue silently even
+        // though no worker would ever drain it again — the envelope (and
+        // its in-flight slot) just vanished.
+        let q = ShardQueue::new();
+        q.shutdown();
+        let (rejected, reason) = q.push(env_for(9)).expect_err("push must be rejected");
+        assert_eq!(rejected.len(), 1);
+        assert_eq!(rejected[0].req.stream_id, 9);
+        assert!(reason.contains("shut down"), "unhelpful reason: {reason}");
+        let (batch_rejected, _) =
+            q.push_all(vec![env_for(1), env_for(2)]).expect_err("push_all must be rejected");
+        assert_eq!(batch_rejected.len(), 2);
+        assert!(q.pop_batch(8).is_none(), "rejected envelopes must not linger in the queue");
+    }
+
+    #[test]
+    fn poison_drains_pending_and_rejects_future_pushes() {
+        let q = ShardQueue::new();
+        assert!(q.push(env_for(1)).is_ok());
+        assert!(q.push(env_for(2)).is_ok());
+        let leaked = q.poison("shard 0 worker panicked: boom");
+        assert_eq!(leaked.len(), 2, "poison must hand queued envelopes back");
+        let (_, reason) = q.push(env_for(3)).expect_err("dead queue must reject");
+        assert!(reason.contains("boom"), "original panic lost: {reason}");
+        assert!(q.pop_batch(8).is_none());
+    }
+
+    #[test]
+    fn fail_requests_releases_in_flight_and_delivers_errors() {
+        let sink = CompletionSink::new();
+        sink.lock().in_flight = 3;
+        let now = Instant::now();
+        sink.fail_requests(1, vec![(7, now), (8, now)], "worker died");
+        let state = sink.lock();
+        assert_eq!(state.in_flight, 1);
+        assert_eq!(state.failed, 2);
+        assert_eq!(state.completed.len(), 2);
+        for resp in &state.completed {
+            assert_eq!(resp.shard, 1);
+            assert_eq!(resp.seq, u64::MAX);
+            assert!(resp.prefetch_blocks.is_empty());
+            assert_eq!(resp.error.as_deref(), Some("worker died"));
+        }
     }
 
     #[test]

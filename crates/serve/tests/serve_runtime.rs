@@ -43,7 +43,7 @@ fn tiny_setup() -> (Arc<TabularModel>, PreprocessConfig) {
 }
 
 fn serve_cfg(shards: usize) -> ServeConfig {
-    ServeConfig { shards, max_batch: 16, threshold: 0.0, max_degree: 4, pool_threads: None }
+    ServeConfig { shards, max_batch: 16, threshold: 0.0, ..ServeConfig::default() }
 }
 
 #[test]
@@ -195,7 +195,7 @@ fn coalesced_and_single_drain_produce_identical_responses() {
         let runtime = ServeRuntime::start(
             Arc::clone(&model),
             pre,
-            ServeConfig { shards: 2, max_batch, threshold: 0.0, max_degree: 4, pool_threads: None },
+            ServeConfig { shards: 2, max_batch, threshold: 0.0, ..ServeConfig::default() },
         );
         runtime.submit_all(reqs.iter().copied());
         runtime.wait_idle();
@@ -304,4 +304,135 @@ fn hammer_with_config(cfg: ServeConfig) {
     assert_eq!(stats.requests as usize, total);
     assert_eq!(stats.per_shard_requests.iter().sum::<u64>() as usize, total);
     assert!(stats.p99_latency_ns >= stats.p50_latency_ns);
+}
+
+/// Regression (worker-death accounting): a shard worker that panics
+/// mid-batch used to leak its batch's `in_flight` slots, hanging
+/// `wait_idle`/`wait_below` forever and poisoning the sink mutex for every
+/// later lock site. Now the batch and everything still queued are failed
+/// with the panic surfaced, waiters wake, and later submits to the dead
+/// shard fail fast.
+#[test]
+fn worker_panic_mid_batch_fails_requests_and_unblocks_waiters() {
+    let (model, pre) = tiny_setup();
+    let mut cfg = serve_cfg(1);
+    cfg.panic_on_stream = Some(3);
+    let runtime = ServeRuntime::start(model, pre, cfg);
+
+    // Interleaved streams 0..5 so the poison stream lands mid-batch; one
+    // atomic submit_all keeps everything queued behind the first batch.
+    let mut reqs = Vec::new();
+    for k in 0..20u64 {
+        for s in 0..5u64 {
+            reqs.push(PrefetchRequest { stream_id: s, pc: 0x40, addr: (500 + s * 1000 + k) << 6 });
+        }
+    }
+    let total = reqs.len();
+    runtime.submit_all(reqs);
+
+    // The killer assertion: this must return instead of hanging forever.
+    runtime.wait_idle();
+
+    let responses = runtime.drain_completed();
+    assert_eq!(responses.len(), total, "every submit still gets exactly one response");
+    let failed: Vec<_> = responses.iter().filter(|r| r.error.is_some()).collect();
+    assert_eq!(failed.len(), total, "the whole backlog dies with the only shard");
+    for resp in &responses {
+        assert!(resp.prefetch_blocks.is_empty(), "failed responses must not carry prefetches");
+        assert_eq!(resp.seq, u64::MAX, "failed responses carry the sentinel seq");
+        let err = resp.error.as_deref().unwrap();
+        assert!(err.contains("panicked"), "unhelpful error: {err}");
+    }
+
+    // The original panic message is surfaced, not a PoisonError.
+    let panics = runtime.worker_panics();
+    assert_eq!(panics.len(), 1);
+    assert_eq!(panics[0].0, 0);
+    assert!(panics[0].1.contains("fault injection"), "panic message lost: {}", panics[0].1);
+
+    // Submitting to the dead shard answers immediately with the reason.
+    runtime.submit(PrefetchRequest { stream_id: 77, pc: 0x44, addr: 900 << 6 });
+    runtime.wait_idle();
+    let late = runtime.drain_completed();
+    assert_eq!(late.len(), 1);
+    let err = late[0].error.as_deref().expect("dead-shard submit must fail, not hang");
+    assert!(err.contains("fault injection"), "panic reason lost on late submit: {err}");
+
+    // Shutdown after a worker death must not panic on the join.
+    let stats = runtime.shutdown();
+    assert_eq!(stats.failed as usize, total + 1);
+    assert_eq!(stats.worker_panics.len(), 1);
+    assert_eq!(stats.requests, 0, "no request was served normally");
+}
+
+/// A panic on one shard must not take down the others: surviving shards
+/// keep serving their streams normally.
+#[test]
+fn surviving_shards_keep_serving_after_one_dies() {
+    let (model, pre) = tiny_setup();
+    let mut cfg = serve_cfg(2);
+    cfg.panic_on_stream = Some(0);
+    let runtime = ServeRuntime::start(model, pre, cfg);
+    let router = *runtime.router();
+    let dead_shard = router.shard_of(0);
+    // A healthy stream routed to the *other* shard.
+    let healthy = (1..100u64).find(|s| router.shard_of(*s) != dead_shard).unwrap();
+
+    runtime.submit(PrefetchRequest { stream_id: 0, pc: 0, addr: 64 << 6 });
+    for k in 0..10u64 {
+        runtime.submit(PrefetchRequest { stream_id: healthy, pc: 0x4, addr: (200 + k) << 6 });
+    }
+    runtime.wait_idle();
+    let responses = runtime.drain_completed();
+    assert_eq!(responses.len(), 11);
+    let healthy_ok = responses.iter().filter(|r| r.stream_id == healthy && r.error.is_none());
+    assert_eq!(healthy_ok.count(), 10, "healthy shard must be unaffected");
+    assert!(responses.iter().any(|r| r.stream_id == 0 && r.error.is_some()));
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.requests, 10);
+    assert_eq!(stats.failed, 1);
+}
+
+/// Regression (shutdown-path audit): requests still queued when
+/// `shutdown()` lands must be drained and answered — shutdown joins the
+/// workers only after their queues run dry, so `stats.requests` accounts
+/// for every submit.
+#[test]
+fn shutdown_answers_everything_still_queued() {
+    let (model, pre) = tiny_setup();
+    let runtime = ServeRuntime::start(model, pre, serve_cfg(2));
+    let reqs = generate_requests(&LoadGenConfig { streams: 10, accesses_per_stream: 30, seed: 11 });
+    let total = reqs.len();
+    runtime.submit_all(reqs);
+    // No wait_idle: shut down with work still in the queues.
+    let stats = runtime.shutdown();
+    assert_eq!(stats.requests as usize, total, "queued requests dropped at shutdown");
+    assert_eq!(stats.failed, 0);
+    assert!(stats.worker_panics.is_empty());
+}
+
+/// Statistics served before a panic must survive it: the report is
+/// committed per batch, so only the dying batch's numbers are lost.
+#[test]
+fn stats_served_before_a_panic_are_not_discarded() {
+    let (model, pre) = tiny_setup();
+    let mut cfg = serve_cfg(1);
+    cfg.panic_on_stream = Some(3);
+    let runtime = ServeRuntime::start(model, pre, cfg);
+
+    // Healthy traffic first; wait until it is fully served.
+    for k in 0..10u64 {
+        runtime.submit(PrefetchRequest { stream_id: 1, pc: 0x10, addr: (300 + k) << 6 });
+    }
+    runtime.wait_idle();
+    // Now the poison request kills the worker.
+    runtime.submit(PrefetchRequest { stream_id: 3, pc: 0x10, addr: 77 << 6 });
+    runtime.wait_idle();
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.requests, 10, "pre-panic served requests lost from stats");
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.worker_panics.len(), 1);
+    assert!(stats.p50_latency_ns > 0, "pre-panic latency samples lost");
 }

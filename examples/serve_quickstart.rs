@@ -47,7 +47,7 @@ fn main() {
     let runtime = ServeRuntime::start(
         Arc::new(model),
         pre,
-        ServeConfig { shards: 4, max_batch: 64, threshold: 0.4, max_degree: 4, pool_threads: None },
+        ServeConfig { shards: 4, max_batch: 64, threshold: 0.4, ..ServeConfig::default() },
     );
     println!(
         "runtime up: {} shards sharing a {}-thread kernel pool",

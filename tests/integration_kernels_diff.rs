@@ -10,6 +10,14 @@
 //! subspace order, so no ULP tolerance is needed — every assertion below is
 //! exact. Batch sizes deliberately straddle the tile boundaries (empty, 1,
 //! tile - 1, tile, tile + 1, several tiles, non-multiples).
+//!
+//! With the `simd` cargo feature enabled, the batch kernels dispatch to
+//! AVX2/NEON tiles; the row-at-a-time references and the `*_scalar` batch
+//! twins stay pinned to the scalar kernels, so **the same assertions become
+//! the simd-vs-scalar differential** (CI runs this suite with the feature
+//! on and off, debug and release). Output widths straddle the 8-lane AVX2
+//! and 4-lane NEON vectors, so both the vector body and the ragged tail of
+//! every SIMD loop are covered.
 
 use dart::core::config::TabularConfig;
 use dart::core::tabularize::tabularize;
@@ -19,7 +27,7 @@ use dart::nn::matrix::Matrix;
 use dart::nn::model::{AccessPredictor, ModelConfig};
 use dart::pq::{
     AttentionTable, AttentionTableConfig, EncoderKind, FusedFfnTable, LinearTable,
-    ProductQuantizer, AGG_TILE_ROWS, ATTN_TILE_SAMPLES, ENCODE_TILE_ROWS,
+    ProductQuantizer, QuantizedLinearTable, AGG_TILE_ROWS, ATTN_TILE_SAMPLES, ENCODE_TILE_ROWS,
 };
 use dart::trace::PreprocessConfig;
 use proptest::prelude::*;
@@ -53,6 +61,12 @@ fn encoder_of(tree: bool) -> EncoderKind {
     }
 }
 
+/// Bit-exact view of a Matrix (`f32 ==` would hide -0.0 vs 0.0 and NaN;
+/// the simd-vs-scalar contract is on the bits).
+fn bits_of(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|f| f.to_bits()).collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -80,6 +94,11 @@ proptest! {
                 "row {} codes diverged (rows {})", r, rows
             );
         }
+        // The dispatched batch encode (SIMD argmin under --features simd)
+        // must equal the scalar-tile batch encode exactly.
+        let mut scalar_codes = vec![0usize; rows * pq.num_subspaces()];
+        pq.encode_batch_scalar_into(&x, &mut scalar_codes);
+        prop_assert_eq!(codes, scalar_codes, "simd vs scalar encode diverged");
     }
 
     /// Tiled linear-table batch query equals the scalar single-row query
@@ -89,11 +108,14 @@ proptest! {
         seed in 0u64..5_000,
         k in 2usize..32,
         c in 1usize..4,
+        // 1..20 output columns: straddles the 4-lane NEON and 8-lane AVX2
+        // widths (sub-lane, exact multiples, and ragged tails).
+        dout in 1usize..20,
         size_idx in 0usize..9,
         tree in proptest::bool::ANY,
     ) {
         let rows = boundary_batches()[size_idx];
-        let (din, dout) = (6usize, 5usize);
+        let din = 6usize;
         let train = rand_matrix(80, din, seed);
         let w = rand_matrix(dout, din, seed ^ 0x11);
         let b: Vec<f32> = (0..dout).map(|o| o as f32 * 0.25 - 0.5).collect();
@@ -112,6 +134,15 @@ proptest! {
         let mut out = Matrix::zeros(rows, dout);
         table.query_batch_into(&x, &mut out);
         prop_assert_eq!(out.as_slice(), batch.as_slice());
+
+        // The dispatched aggregation (SIMD under --features simd) must
+        // equal the scalar-tile aggregation bit for bit.
+        let mut scalar_out = Matrix::zeros(rows, dout);
+        table.query_batch_scalar_into(&x, &mut scalar_out);
+        prop_assert_eq!(
+            bits_of(&scalar_out), bits_of(&batch),
+            "simd vs scalar aggregation diverged (dout {})", dout
+        );
     }
 
     /// Tiled fused-FFN batch query equals its scalar single-row query.
@@ -141,6 +172,10 @@ proptest! {
             fused.query_row_into(x.row(r), &mut single);
             prop_assert_eq!(&single[..], batch.row(r), "row {} of {}", r, rows);
         }
+
+        let mut scalar_out = Matrix::zeros(rows, dout);
+        fused.query_batch_scalar_into(&x, &mut scalar_out);
+        prop_assert_eq!(bits_of(&scalar_out), bits_of(&batch), "fused simd vs scalar diverged");
     }
 
     /// Sample-tiled batched attention equals querying each sample alone.
@@ -187,6 +222,66 @@ proptest! {
                 );
             }
         }
+
+        let scalar = table.query_batch_scalar(&qs, &ks, &vs);
+        prop_assert_eq!(
+            bits_of(&scalar), bits_of(&batch), "attention simd vs scalar diverged"
+        );
+    }
+
+    /// The int8 table's dispatched batch query (SIMD dequantize-accumulate
+    /// under --features simd) equals its scalar batch twin and the scalar
+    /// row-at-a-time path, across output widths straddling the vector
+    /// lanes.
+    #[test]
+    fn int8_query_matches_scalar_paths(
+        seed in 0u64..5_000,
+        k in 2usize..32,
+        c in 1usize..4,
+        dout in 1usize..20,
+        size_idx in 0usize..9,
+    ) {
+        let rows = boundary_batches()[size_idx];
+        let din = 6usize;
+        let train = rand_matrix(80, din, seed);
+        let w = rand_matrix(dout, din, seed ^ 0x11);
+        let b: Vec<f32> = (0..dout).map(|o| o as f32 * 0.125 - 0.25).collect();
+        let table = LinearTable::fit(&train, &w, &b, c, k, EncoderKind::Argmin, seed);
+        let q8 = QuantizedLinearTable::from_table(&table);
+        let x = rand_matrix(rows, din, seed ^ 0x22);
+
+        let batch = q8.query(&x);
+        prop_assert_eq!(batch.shape(), (rows, dout));
+        prop_assert_eq!(
+            bits_of(&q8.query_scalar(&x)), bits_of(&batch), "int8 simd vs scalar diverged"
+        );
+        let mut single = vec![0.0f32; dout];
+        for r in 0..rows {
+            q8.query_row_into(x.row(r), &mut single);
+            prop_assert_eq!(&single[..], batch.row(r), "int8 row {} of {}", r, rows);
+        }
+    }
+}
+
+/// Attention shapes wide enough to fill whole 8-lane vectors in BOTH
+/// gather stages (QK lanes = seq_len = 12, QKV lanes = head dim = 16) plus
+/// ragged tails — the proptest above keeps t/dk small for fit speed, so
+/// this pins the full-vector path deterministically.
+#[test]
+fn attention_simd_paths_agree_at_vector_filling_shapes() {
+    let (t, dk) = (12usize, 16usize);
+    let q = rand_matrix(20 * t, dk, 0x1001);
+    let kk = rand_matrix(20 * t, dk, 0x1002);
+    let v = rand_matrix(20 * t, dk, 0x1003);
+    for encoder in [EncoderKind::Argmin, EncoderKind::HashTree] {
+        let cfg = AttentionTableConfig { k: 8, ck: 3, ct: 3, encoder, ..Default::default() };
+        let table = AttentionTable::fit(&q, &kk, &v, t, &cfg);
+        let qs = rand_matrix(5 * t, dk, 0x2001);
+        let ks = rand_matrix(5 * t, dk, 0x2002);
+        let vs = rand_matrix(5 * t, dk, 0x2003);
+        let batch = table.query_batch(&qs, &ks, &vs);
+        let scalar = table.query_batch_scalar(&qs, &ks, &vs);
+        assert_eq!(bits_of(&batch), bits_of(&scalar), "encoder {encoder:?}");
     }
 }
 

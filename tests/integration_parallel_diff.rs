@@ -12,6 +12,12 @@
 //!
 //! Batch sizes straddle every tile boundary (empty, 1, tile ± 1,
 //! non-multiples), same discipline as the scalar diff suite.
+//!
+//! Under `--features simd` the same assertions also pin the SIMD kernels:
+//! the pooled batch queries dispatch to AVX2/NEON tiles while the
+//! `*_scalar` twins and row-at-a-time references stay scalar, so
+//! thread-count invariance and simd-vs-scalar equality are proven
+//! together (CI runs this suite in both feature modes).
 
 use dart::core::config::TabularConfig;
 use dart::core::tabularize::tabularize;
@@ -141,6 +147,19 @@ proptest! {
             "aggregate_codes_batch",
         );
 
+        // The scalar-tile twin is thread-count invariant too, and equal to
+        // the dispatched kernel (the simd-vs-scalar differential when the
+        // `simd` feature is on).
+        let scalar_bits = invariant_across_pools(
+            || {
+                let mut out = Matrix::zeros(rows, dout);
+                linear.query_batch_scalar_into(&x, &mut out);
+                bits(&out)
+            },
+            "aggregate_codes_batch (scalar tiles)",
+        );
+        prop_assert_eq!(&scalar_bits, &lin_bits, "simd vs scalar aggregation diverged");
+
         let lin_batch = linear.query(&x);
         prop_assert_eq!(bits(&lin_batch), lin_bits);
         let mut single = vec![0.0f32; dout];
@@ -189,6 +208,11 @@ proptest! {
             || bits(&table.query_batch(&qs, &ks, &vs)),
             "attention query_batch",
         );
+        let scalar_bits = invariant_across_pools(
+            || bits(&table.query_batch_scalar(&qs, &ks, &vs)),
+            "attention query_batch (scalar tiles)",
+        );
+        prop_assert_eq!(&scalar_bits, &batch_bits, "attention simd vs scalar diverged");
 
         let batch = table.query_batch(&qs, &ks, &vs);
         prop_assert_eq!(bits(&batch), batch_bits);
@@ -267,6 +291,30 @@ fn blocked_matmul_is_thread_count_invariant() {
     // that is not part of this contract — only self-consistency is.
     assert_eq!(product_bits.len(), 96 * 96);
     assert_eq!(transb_bits.len(), 96 * 96);
+}
+
+/// The int8 table's dispatched batch query is thread-count invariant and
+/// equal to its scalar twin and the scalar row path (the int8 simd
+/// differential under `--features simd`).
+#[test]
+fn int8_query_is_thread_count_invariant_and_matches_scalar() {
+    let (din, dout) = (8usize, 13usize); // 13 lanes: one AVX2 vector + tail
+    let train = rand_matrix(300, din, 0xB1);
+    let w = rand_matrix(dout, din, 0xB2);
+    let b = vec![0.25f32; dout];
+    let table = LinearTable::fit(&train, &w, &b, 2, 16, EncoderKind::Argmin, 0xB3);
+    let q8 = dart::pq::QuantizedLinearTable::from_table(&table);
+    let x = rand_matrix(67, din, 0xB4);
+
+    let batch_bits = invariant_across_pools(|| bits(&q8.query(&x)), "int8 query");
+    let scalar_bits = invariant_across_pools(|| bits(&q8.query_scalar(&x)), "int8 query scalar");
+    assert_eq!(batch_bits, scalar_bits, "int8 simd vs scalar diverged");
+    let batch = q8.query(&x);
+    let mut single = vec![0.0f32; dout];
+    for r in 0..x.rows() {
+        q8.query_row_into(x.row(r), &mut single);
+        assert_eq!(&single[..], batch.row(r), "int8 row {r} vs scalar");
+    }
 }
 
 /// Tabularization itself (k-means fitting with parallel assignment steps)
