@@ -6,7 +6,14 @@
 //! 1. **naive** — the pre-`dart-serve` deployment model: one thread, one
 //!    stream history map, one `forward_probs` call per access (batch 1),
 //! 2. **runtime, S shards** — the sharded, batched runtime at 1/2/4/8
-//!    shards with request coalescing.
+//!    shards with request coalescing,
+//! 3. **runtime + NUMA placement** — the max shard count again with
+//!    `ShardPlacement::NumaRoundRobin`: workers pinned round-robin across
+//!    the detected NUMA nodes, each node serving from its own first-touch
+//!    local model replica. Prints the detected topology and the per-shard
+//!    node placement. On a single-node host this run is behavior-identical
+//!    to the unplaced one (that equivalence is CI-enforced); on
+//!    multi-socket hardware it removes the cross-socket arena traffic.
 //!
 //! Reports predictions/sec, p50/p99 request latency, and mean coalesced
 //! batch size. Scale with `DART_SERVE_STREAMS` / `DART_SERVE_ACCESSES`
@@ -28,7 +35,10 @@ use dart_core::tabularize::tabularize;
 use dart_core::TabularModel;
 use dart_nn::matrix::Matrix;
 use dart_nn::model::{AccessPredictor, ModelConfig};
-use dart_serve::{generate_requests, LoadGenConfig, PrefetchRequest, ServeConfig, ServeRuntime};
+use dart_numa::{format_cpu_list, NumaTopology};
+use dart_serve::{
+    generate_requests, LoadGenConfig, PrefetchRequest, ServeConfig, ServeRuntime, ShardPlacement,
+};
 use dart_trace::{build_dataset, workload_by_name, PreprocessConfig};
 
 /// Fit a small DART table model on a real synthetic trace (no NN training:
@@ -114,6 +124,7 @@ fn run_naive(model: &TabularModel, pre: &PreprocessConfig, reqs: &[PrefetchReque
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_runtime(
     model: &Arc<TabularModel>,
     pre: &PreprocessConfig,
@@ -121,9 +132,24 @@ fn run_runtime(
     streams: usize,
     shards: usize,
     max_batch: usize,
+    placement: ShardPlacement,
+    announce_placement: bool,
 ) -> RunResult {
-    let cfg = ServeConfig { shards, max_batch, threshold: 0.5, ..ServeConfig::default() };
+    let cfg =
+        ServeConfig { shards, max_batch, threshold: 0.5, placement, ..ServeConfig::default() };
     let runtime = ServeRuntime::start(Arc::clone(model), *pre, cfg);
+    if announce_placement && placement != ShardPlacement::Disabled {
+        let nodes: Vec<String> = runtime
+            .per_shard_node()
+            .iter()
+            .enumerate()
+            .map(|(shard, node)| match node {
+                Some(id) => format!("shard {shard} -> node {id}"),
+                None => format!("shard {shard} -> unplaced"),
+            })
+            .collect();
+        println!("placement: {}", nodes.join(", "));
+    }
     // Open-loop load in per-round waves (one access per stream per round,
     // the generator's natural interleave) with back-pressure at a bounded
     // backlog, so reported latency reflects queue + service time instead of
@@ -141,8 +167,12 @@ fn run_runtime(
     let responses = runtime.drain_completed();
     assert_eq!(responses.len(), reqs.len(), "runtime dropped responses");
     let stats = runtime.shutdown();
+    let suffix = match placement {
+        ShardPlacement::Disabled => "",
+        ShardPlacement::NumaRoundRobin => " numa-rr",
+    };
     RunResult {
-        label: format!("dart-serve {shards} shard{}", if shards == 1 { "" } else { "s" }),
+        label: format!("dart-serve {shards} shard{}{suffix}", if shards == 1 { "" } else { "s" }),
         elapsed_s,
         predictions: stats.predictions,
         p50_us: stats.p50_latency_ns as f64 / 1_000.0,
@@ -153,6 +183,7 @@ fn run_runtime(
 
 /// Best of two runs: the runtime shares cores with the OS scheduler, so a
 /// single short run is noisy (especially on few-core hosts).
+#[allow(clippy::too_many_arguments)]
 fn run_runtime_best_of2(
     model: &Arc<TabularModel>,
     pre: &PreprocessConfig,
@@ -160,9 +191,10 @@ fn run_runtime_best_of2(
     streams: usize,
     shards: usize,
     max_batch: usize,
+    placement: ShardPlacement,
 ) -> RunResult {
-    let a = run_runtime(model, pre, reqs, streams, shards, max_batch);
-    let b = run_runtime(model, pre, reqs, streams, shards, max_batch);
+    let a = run_runtime(model, pre, reqs, streams, shards, max_batch, placement, true);
+    let b = run_runtime(model, pre, reqs, streams, shards, max_batch, placement, false);
     if a.throughput() >= b.throughput() {
         a
     } else {
@@ -182,6 +214,19 @@ fn main() {
         "serve_bench: {streams} streams x {accesses} accesses, max_batch {max_batch} \
          ({cores} CPU core(s), shards share one {pool_threads}-thread kernel pool)"
     );
+    let topology = NumaTopology::detect();
+    println!("topology: {}", topology.summary());
+    println!(
+        "affinity syscalls: {}",
+        if dart_numa::affinity_supported() {
+            "enabled (numa feature)"
+        } else {
+            "no-op (build without --features numa, or unsupported OS/arch)"
+        }
+    );
+    for node in topology.nodes() {
+        println!("  node{}: cpus {}", node.id, format_cpu_list(&node.cpus));
+    }
     if cores == 1 {
         println!(
             "note: single-core host — shard workers time-slice one core, so the \
@@ -203,8 +248,28 @@ fn main() {
 
     let mut results = vec![run_naive(&model, &pre, &reqs)];
     for shards in [1usize, 2, 4, 8] {
-        results.push(run_runtime_best_of2(&model, &pre, &reqs, streams, shards, max_batch));
+        results.push(run_runtime_best_of2(
+            &model,
+            &pre,
+            &reqs,
+            streams,
+            shards,
+            max_batch,
+            ShardPlacement::Disabled,
+        ));
     }
+    // NUMA-aware placement at the max shard count: node-pinned workers,
+    // node-local replicas. Identical behavior on one node; less remote
+    // arena traffic on several.
+    results.push(run_runtime_best_of2(
+        &model,
+        &pre,
+        &reqs,
+        streams,
+        8,
+        max_batch,
+        ShardPlacement::NumaRoundRobin,
+    ));
 
     let mut table =
         Table::new(&["configuration", "pred/s", "speedup", "p50 (us)", "p99 (us)", "mean batch"]);

@@ -1,0 +1,341 @@
+//! NUMA topology discovery from `/sys/devices/system/node`.
+
+use std::fs;
+use std::path::Path;
+
+/// One NUMA node: its id, the CPUs whose local memory it is, and (when
+/// sysfs reports it) the node's total memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NumaNode {
+    /// Kernel node id (the `N` in `/sys/devices/system/node/nodeN`).
+    pub id: usize,
+    /// Logical CPU ids local to this node (parsed from `cpulist`). May be
+    /// empty for memory-only nodes (e.g. CXL expanders); placement skips
+    /// those.
+    pub cpus: Vec<usize>,
+    /// `MemTotal` of the node in bytes (from `meminfo`), when available.
+    pub mem_total_bytes: Option<u64>,
+}
+
+/// Where a topology came from — real sysfs discovery or the portable
+/// fallback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologySource {
+    /// Parsed from `/sys/devices/system/node` (or a caller-supplied root).
+    Sysfs,
+    /// Synthesized: one node holding every CPU. Used on macOS, in
+    /// containers that mask sysfs, on kernels without NUMA, or when
+    /// parsing fails — placement degrades to exactly the unplaced
+    /// behavior.
+    SingleNodeFallback,
+    /// Built by [`NumaTopology::from_nodes`] (tests and tools).
+    Synthetic,
+}
+
+/// The machine's NUMA layout: every node with its CPU set.
+#[derive(Clone, Debug)]
+pub struct NumaTopology {
+    nodes: Vec<NumaNode>,
+    source: TopologySource,
+}
+
+impl NumaTopology {
+    /// Discover the topology from `/sys/devices/system/node`, falling back
+    /// to a single synthetic node holding every CPU when the directory is
+    /// missing or unparseable (macOS, containers, non-NUMA kernels).
+    /// Never fails: the fallback is always a valid, usable topology.
+    pub fn detect() -> NumaTopology {
+        Self::from_sysfs(Path::new("/sys/devices/system/node"))
+            .unwrap_or_else(Self::single_node_fallback)
+    }
+
+    /// Parse a sysfs-style node directory (`root/node0/cpulist`,
+    /// `root/node0/meminfo`, ...). Returns `None` when the directory does
+    /// not exist, contains no `nodeN` entries, or any node's `cpulist` is
+    /// missing/malformed — callers fall back rather than trusting a
+    /// half-parsed topology. Takes the root as a parameter so tests can
+    /// feed fixture directories.
+    pub fn from_sysfs(root: &Path) -> Option<NumaTopology> {
+        let entries = fs::read_dir(root).ok()?;
+        let mut nodes = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_str()?;
+            let Some(id) = name.strip_prefix("node").and_then(|n| n.parse::<usize>().ok()) else {
+                continue; // cpulist, possible, online, ... — not node dirs
+            };
+            let cpulist = fs::read_to_string(entry.path().join("cpulist")).ok()?;
+            let cpus = parse_cpu_list(&cpulist)?;
+            let mem_total_bytes = fs::read_to_string(entry.path().join("meminfo"))
+                .ok()
+                .and_then(|s| parse_meminfo_total(&s));
+            nodes.push(NumaNode { id, cpus, mem_total_bytes });
+        }
+        if nodes.is_empty() {
+            return None;
+        }
+        nodes.sort_by_key(|n| n.id);
+        Some(NumaTopology { nodes, source: TopologySource::Sysfs })
+    }
+
+    /// The portable fallback: one node 0 holding CPUs
+    /// `0..available_parallelism`.
+    pub fn single_node_fallback() -> NumaTopology {
+        let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        NumaTopology {
+            nodes: vec![NumaNode { id: 0, cpus: (0..cpus).collect(), mem_total_bytes: None }],
+            source: TopologySource::SingleNodeFallback,
+        }
+    }
+
+    /// A synthetic topology from explicit nodes (placement-policy tests,
+    /// tools). Panics on an empty node list — a topology always has at
+    /// least one node.
+    pub fn from_nodes(mut nodes: Vec<NumaNode>) -> NumaTopology {
+        assert!(!nodes.is_empty(), "a topology needs at least one node");
+        nodes.sort_by_key(|n| n.id);
+        NumaTopology { nodes, source: TopologySource::Synthetic }
+    }
+
+    /// All nodes, ordered by id.
+    pub fn nodes(&self) -> &[NumaNode] {
+        &self.nodes
+    }
+
+    /// The node with kernel id `id`, if present.
+    pub fn node(&self, id: usize) -> Option<&NumaNode> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// Index of node `id` within [`Self::nodes`] (node ids need not be
+    /// dense: offlined nodes leave gaps).
+    pub fn node_index(&self, id: usize) -> Option<usize> {
+        self.nodes.iter().position(|n| n.id == id)
+    }
+
+    /// True when the machine really has more than one NUMA node — the only
+    /// case where placement changes anything.
+    pub fn is_multi_node(&self) -> bool {
+        self.nodes.len() > 1
+    }
+
+    /// How this topology was obtained.
+    pub fn source(&self) -> TopologySource {
+        self.source
+    }
+
+    /// Total CPUs across all nodes.
+    pub fn total_cpus(&self) -> usize {
+        self.nodes.iter().map(|n| n.cpus.len()).sum()
+    }
+
+    /// One-line human summary, e.g.
+    /// `2 NUMA nodes (sysfs): node0 cpus 0-15 (64.0 GiB), node1 cpus 16-31 (64.0 GiB)`.
+    pub fn summary(&self) -> String {
+        let source = match self.source {
+            TopologySource::Sysfs => "sysfs",
+            TopologySource::SingleNodeFallback => "single-node fallback",
+            TopologySource::Synthetic => "synthetic",
+        };
+        let nodes: Vec<String> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let mem = match n.mem_total_bytes {
+                    Some(b) => format!(" ({:.1} GiB)", b as f64 / (1u64 << 30) as f64),
+                    None => String::new(),
+                };
+                format!("node{} cpus {}{}", n.id, format_cpu_list(&n.cpus), mem)
+            })
+            .collect();
+        format!(
+            "{} NUMA node{} ({}): {}",
+            self.nodes.len(),
+            if self.nodes.len() == 1 { "" } else { "s" },
+            source,
+            nodes.join(", ")
+        )
+    }
+}
+
+/// Parse a kernel cpulist (`"0-3,8,10-11"`) into sorted CPU ids. Returns
+/// `None` on malformed input; an empty/whitespace list parses to an empty
+/// vec (memory-only nodes report exactly that).
+pub fn parse_cpu_list(s: &str) -> Option<Vec<usize>> {
+    let s = s.trim();
+    let mut cpus = Vec::new();
+    if s.is_empty() {
+        return Some(cpus);
+    }
+    for part in s.split(',') {
+        let part = part.trim();
+        match part.split_once('-') {
+            Some((lo, hi)) => {
+                let lo: usize = lo.trim().parse().ok()?;
+                let hi: usize = hi.trim().parse().ok()?;
+                if hi < lo {
+                    return None;
+                }
+                cpus.extend(lo..=hi);
+            }
+            None => cpus.push(part.parse().ok()?),
+        }
+    }
+    cpus.sort_unstable();
+    cpus.dedup();
+    Some(cpus)
+}
+
+/// Format CPU ids back into compact kernel cpulist form (`[0,1,2,8]` →
+/// `"0-2,8"`). Inverse of [`parse_cpu_list`] for sorted deduplicated
+/// input.
+pub fn format_cpu_list(cpus: &[usize]) -> String {
+    if cpus.is_empty() {
+        return "-".to_string();
+    }
+    let mut parts: Vec<String> = Vec::new();
+    let mut run_start = cpus[0];
+    let mut prev = cpus[0];
+    for &c in &cpus[1..] {
+        if c != prev + 1 {
+            parts.push(range_str(run_start, prev));
+            run_start = c;
+        }
+        prev = c;
+    }
+    parts.push(range_str(run_start, prev));
+    parts.join(",")
+}
+
+fn range_str(lo: usize, hi: usize) -> String {
+    if lo == hi {
+        lo.to_string()
+    } else {
+        format!("{lo}-{hi}")
+    }
+}
+
+/// Extract `MemTotal` (in bytes) from a node `meminfo` blob
+/// (`"Node 0 MemTotal:       131764756 kB"`).
+fn parse_meminfo_total(s: &str) -> Option<u64> {
+    for line in s.lines() {
+        if let Some(rest) = line.split("MemTotal:").nth(1) {
+            let kb: u64 = rest.split_whitespace().next()?.parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpulist_parses_ranges_singles_and_mixes() {
+        assert_eq!(parse_cpu_list("0-3").unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(parse_cpu_list("5").unwrap(), vec![5]);
+        assert_eq!(parse_cpu_list("0-2,8,10-11\n").unwrap(), vec![0, 1, 2, 8, 10, 11]);
+        assert_eq!(parse_cpu_list(" 1 , 3 ").unwrap(), vec![1, 3]);
+        // Empty cpulist = memory-only node, not an error.
+        assert_eq!(parse_cpu_list("\n").unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn cpulist_rejects_garbage() {
+        assert!(parse_cpu_list("0-").is_none());
+        assert!(parse_cpu_list("a-b").is_none());
+        assert!(parse_cpu_list("3-1").is_none());
+        assert!(parse_cpu_list("1,,2").is_none());
+    }
+
+    #[test]
+    fn cpulist_roundtrips_through_format() {
+        for s in ["0-3", "0", "0-2,8,10-11", "1,3,5"] {
+            let cpus = parse_cpu_list(s).unwrap();
+            assert_eq!(format_cpu_list(&cpus), s);
+        }
+        assert_eq!(format_cpu_list(&[]), "-");
+    }
+
+    #[test]
+    fn meminfo_total_is_found_and_scaled() {
+        let blob = "Node 0 MemTotal:       131764756 kB\nNode 0 MemFree:        1234 kB\n";
+        assert_eq!(parse_meminfo_total(blob), Some(131_764_756 * 1024));
+        assert_eq!(parse_meminfo_total("nothing here"), None);
+    }
+
+    #[test]
+    fn sysfs_fixture_parses_two_nodes() {
+        let root = fixture_dir("two_nodes");
+        write_node(&root, 0, "0-1", Some("Node 0 MemTotal: 1000 kB\n"));
+        write_node(&root, 1, "2-3", Some("Node 1 MemTotal: 2000 kB\n"));
+        // Distractor files the kernel also puts here.
+        std::fs::write(root.join("possible"), "0-1\n").unwrap();
+        std::fs::write(root.join("online"), "0-1\n").unwrap();
+
+        let topo = NumaTopology::from_sysfs(&root).expect("fixture must parse");
+        assert_eq!(topo.source(), TopologySource::Sysfs);
+        assert!(topo.is_multi_node());
+        assert_eq!(topo.nodes().len(), 2);
+        assert_eq!(topo.node(0).unwrap().cpus, vec![0, 1]);
+        assert_eq!(topo.node(1).unwrap().cpus, vec![2, 3]);
+        assert_eq!(topo.node(1).unwrap().mem_total_bytes, Some(2000 * 1024));
+        assert_eq!(topo.node_index(1), Some(1));
+        assert_eq!(topo.total_cpus(), 4);
+        assert!(topo.summary().contains("node1 cpus 2-3"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn sysfs_missing_or_malformed_falls_back() {
+        assert!(NumaTopology::from_sysfs(Path::new("/definitely/not/here")).is_none());
+        // A node dir without cpulist poisons the whole parse (half-parsed
+        // topologies are worse than the fallback).
+        let root = fixture_dir("broken_node");
+        std::fs::create_dir_all(root.join("node0")).unwrap();
+        assert!(NumaTopology::from_sysfs(&root).is_none());
+        std::fs::remove_dir_all(&root).ok();
+
+        let fallback = NumaTopology::single_node_fallback();
+        assert_eq!(fallback.source(), TopologySource::SingleNodeFallback);
+        assert!(!fallback.is_multi_node());
+        assert!(!fallback.nodes()[0].cpus.is_empty());
+    }
+
+    #[test]
+    fn detect_never_fails() {
+        // Whatever this host is — NUMA server, container, CI runner — the
+        // result is usable: at least one node, at least one CPU total.
+        let topo = NumaTopology::detect();
+        assert!(!topo.nodes().is_empty());
+        assert!(topo.total_cpus() >= 1);
+    }
+
+    #[test]
+    fn synthetic_topology_sorts_nodes() {
+        let topo = NumaTopology::from_nodes(vec![
+            NumaNode { id: 1, cpus: vec![2, 3], mem_total_bytes: None },
+            NumaNode { id: 0, cpus: vec![0, 1], mem_total_bytes: None },
+        ]);
+        assert_eq!(topo.source(), TopologySource::Synthetic);
+        assert_eq!(topo.nodes()[0].id, 0);
+        assert_eq!(topo.node_index(1), Some(1));
+    }
+
+    fn fixture_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dart_numa_{}_{}", name, std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_node(root: &Path, id: usize, cpulist: &str, meminfo: Option<&str>) {
+        let dir = root.join(format!("node{id}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("cpulist"), format!("{cpulist}\n")).unwrap();
+        if let Some(m) = meminfo {
+            std::fs::write(dir.join("meminfo"), m).unwrap();
+        }
+    }
+}

@@ -30,7 +30,14 @@
 //!
 //! * **Sharded state** — a stream's history lives on exactly one shard
 //!   (chosen by [`StreamRouter`]), so no cross-thread locking on the hot
-//!   path and per-stream request order is preserved.
+//!   path and per-stream request order is preserved. Each shard's map is
+//!   **bounded** (`ServeConfig::max_streams_per_shard`, LRU eviction), so
+//!   stream-id churn cannot grow shard memory without limit.
+//! * **NUMA-aware placement** (`ServeConfig::placement`) — shard workers
+//!   are assigned round-robin across NUMA nodes, pinned to their node's
+//!   cpuset, and serve from a node-local model replica deep-copied by a
+//!   pinned thread (first-touch pages). Degrades to exactly the unplaced
+//!   behavior on single-node hosts or without the `numa` feature.
 //! * **Batch coalescing** — each worker drains its queue (up to
 //!   `max_batch` requests) and issues one `predict_batch` call for every
 //!   warm stream in the drain, amortizing table-lookup locality.
@@ -43,6 +50,8 @@
 //! throughput/latency scaling study.
 
 pub mod loadgen;
+pub mod lru;
+pub mod placement;
 pub mod request;
 pub mod router;
 pub mod runtime;
@@ -50,6 +59,8 @@ pub mod shard;
 pub mod stream;
 
 pub use loadgen::{generate_requests, LoadGenConfig};
+pub use lru::StreamLru;
+pub use placement::ShardPlacement;
 pub use request::{PrefetchRequest, PrefetchResponse};
 pub use router::StreamRouter;
 pub use runtime::{ServeConfig, ServeRuntime, ServeStats};

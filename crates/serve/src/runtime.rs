@@ -1,12 +1,15 @@
-//! The serving runtime: shard lifecycle, submission, and statistics.
+//! The serving runtime: shard lifecycle, placement, submission, and
+//! statistics.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use dart_core::TabularModel;
+use dart_numa::NumaTopology;
 use dart_trace::PreprocessConfig;
 
+use crate::placement::{plan_placement, ShardPlacement};
 use crate::request::{PrefetchRequest, PrefetchResponse};
 use crate::router::StreamRouter;
 use crate::shard::{CompletionSink, EmitPolicy, Envelope, ShardQueue, ShardReport, ShardWorker};
@@ -21,7 +24,24 @@ pub struct ServeConfig {
     /// Bitmap probability threshold for emitting a prefetch.
     pub threshold: f32,
     /// Maximum prefetches emitted per prediction (variable degree cap).
+    /// Clamped to at least 1 at [`ServeRuntime::start`], matching
+    /// `DartPrefetcher` — `max_degree: 0` used to silently disable all
+    /// serving-path prefetching while the sim path emitted 1.
     pub max_degree: usize,
+    /// Resident-stream cap **per shard**: each shard's stream-state map
+    /// holds at most this many streams, evicting the least-recently-seen
+    /// beyond it (clamped to at least 1). Bounds shard memory under
+    /// stream-id churn — the map used to grow with every stream id ever
+    /// routed to the shard. An evicted stream that returns re-warms from
+    /// scratch (cold responses for its first `seq_len - 1` accesses, seq
+    /// restarting at 0) rather than predicting on a stale window.
+    pub max_streams_per_shard: usize,
+    /// NUMA-aware shard placement policy (see [`ShardPlacement`]). The
+    /// default `Disabled` is today's exact behavior; `NumaRoundRobin`
+    /// pins workers round-robin across nodes and serves each node from
+    /// its own first-touch-local model replica. Behavior-neutral for
+    /// predictions either way (replicas are bit-identical copies).
+    pub placement: ShardPlacement,
     /// Kernel thread-pool size. `Some(n)` builds one `n`-thread
     /// work-stealing pool shared by **all** shard workers — the shards ×
     /// pool-threads knob: `n` bounds the *extra* kernel threads, instead
@@ -38,6 +58,13 @@ pub struct ServeConfig {
     /// the worker-death path (batch failure, queue poisoning, panic
     /// surfacing). `None` (the default) in production.
     pub panic_on_stream: Option<u64>,
+    /// Fault injection: after a worker panic is caught, the recovery
+    /// handler itself panics (while holding the shard's report-cell lock,
+    /// so the cell is left poisoned). Exercises the join-error path in
+    /// [`ServeRuntime::shutdown`] — the shard's served statistics and the
+    /// second panic must both survive. `false` (the default) in
+    /// production.
+    pub panic_in_recovery: bool,
 }
 
 impl Default for ServeConfig {
@@ -48,8 +75,11 @@ impl Default for ServeConfig {
             max_batch: 64,
             threshold: 0.5,
             max_degree: 4,
+            max_streams_per_shard: 4096,
+            placement: ShardPlacement::default(),
             pool_threads: None,
             panic_on_stream: None,
+            panic_in_recovery: false,
         }
     }
 }
@@ -74,6 +104,22 @@ pub struct ServeStats {
     pub max_batch: usize,
     /// Requests handled per shard (routing balance diagnostic).
     pub per_shard_requests: Vec<u64>,
+    /// NUMA node each shard was assigned to by [`ServeConfig::placement`]
+    /// (`None` = unplaced, scheduler's choice). All `None` when placement
+    /// is disabled.
+    pub per_shard_node: Vec<Option<usize>>,
+    /// Whether each shard's worker actually pinned itself to its assigned
+    /// node's cpuset. `false` when unplaced, when the `numa` feature is
+    /// off (pinning is a reported no-op), or when the kernel rejected the
+    /// mask (e.g. a cgroup cpuset) — in those cases the shard also serves
+    /// from the shared model, never from a node replica, since without
+    /// the pin there is no first-touch locality to gain.
+    pub per_shard_pinned: Vec<bool>,
+    /// Streams resident in each shard's bounded LRU map at shutdown
+    /// (each entry `<= ServeConfig::max_streams_per_shard`).
+    pub per_shard_streams: Vec<usize>,
+    /// Streams evicted by the per-shard LRU cap, across all shards.
+    pub stream_evictions: u64,
     /// Median request latency (queue + inference), nanoseconds.
     /// Percentiles come from a log2-bucketed histogram (O(1) memory per
     /// shard), so they are exact to within ~1.5x.
@@ -101,17 +147,34 @@ pub struct ServeRuntime {
     router: StreamRouter,
     queues: Vec<Arc<ShardQueue>>,
     sink: Arc<CompletionSink>,
-    workers: Vec<JoinHandle<ShardReport>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Per-shard statistics cells. Workers commit into these once per
+    /// served batch; shutdown reads them directly, so a shard's served
+    /// numbers survive even a worker thread that dies outside its own
+    /// panic handler (the cell may be poisoned — its data is still
+    /// consistent, committed whole batches only).
+    reports: Vec<Arc<Mutex<ShardReport>>>,
     /// Dedicated kernel pool when `cfg.pool_threads` was set; `None` means
     /// the shard workers use the process-global pool. Kept here so the pool
     /// outlives every worker thread that installed it.
     pool: Option<Arc<rayon::ThreadPool>>,
+    /// The machine's NUMA layout as discovered at startup (single-node
+    /// fallback on hosts without sysfs topology).
+    topology: Arc<NumaTopology>,
+    /// Node id each shard was assigned to (`None` = unplaced).
+    plan: Vec<Option<usize>>,
     started: Instant,
 }
 
 impl ServeRuntime {
-    /// Spawn `cfg.shards` worker threads, each holding a clone of the
-    /// model handle and its own per-stream state.
+    /// Spawn `cfg.shards` worker threads, each holding a handle to the
+    /// model (or, under NUMA placement, to its node's replica) and its own
+    /// bounded per-stream state.
+    ///
+    /// Validates the emission rule here, once, for the whole runtime:
+    /// `max_degree` is clamped to at least 1, the same rule
+    /// `DartPrefetcher` applies — `max_degree: 0` used to silently
+    /// disable all serving-path prefetching while the sim path emitted 1.
     ///
     /// Panics if the model and preprocessing dimensions disagree (same
     /// contract as `DartPrefetcher`).
@@ -124,6 +187,20 @@ impl ServeRuntime {
         assert_eq!(model.config.seq_len, pre.seq_len, "seq_len mismatch");
         assert_eq!(model.config.input_dim, pre.input_dim(), "input dim mismatch");
         assert_eq!(model.config.output_dim, pre.output_dim(), "output dim mismatch");
+        // Unified emission rule (shared with `DartPrefetcher`): a degree
+        // cap of 0 means "the minimum useful degree", never "silently off".
+        let emit = EmitPolicy { threshold: cfg.threshold, max_degree: cfg.max_degree.max(1) };
+
+        // NUMA placement: discover the topology (cheap sysfs read; exact
+        // single-node fallback elsewhere) and plan shard -> node
+        // assignments. Each node lazily gets one model replica, deep-copied
+        // by the FIRST worker pinned there — first-touch puts the replica's
+        // arena pages on that node. On a single-node topology no replica is
+        // made: the original model already is node-local.
+        let topology = Arc::new(NumaTopology::detect());
+        let plan = plan_placement(&topology, cfg.shards, cfg.placement);
+        let replicas: Arc<Vec<OnceLock<Arc<TabularModel>>>> =
+            Arc::new(topology.nodes().iter().map(|_| OnceLock::new()).collect());
 
         let sink = Arc::new(CompletionSink::new());
         // One kernel pool for the whole runtime: every shard's batched
@@ -140,16 +217,21 @@ impl ServeRuntime {
         }
         let mut queues = Vec::with_capacity(cfg.shards);
         let mut workers = Vec::with_capacity(cfg.shards);
-        for shard_id in 0..cfg.shards {
+        let mut reports = Vec::with_capacity(cfg.shards);
+        for (shard_id, &node_id) in plan.iter().enumerate() {
             let queue = Arc::new(ShardQueue::new());
-            let worker = ShardWorker {
-                shard_id,
-                model: Arc::clone(&model),
-                pre,
-                max_batch: cfg.max_batch,
-                emit: EmitPolicy { threshold: cfg.threshold, max_degree: cfg.max_degree },
-                panic_on_stream: cfg.panic_on_stream,
-            };
+            // The worker commits statistics into this shared cell once per
+            // served batch; the runtime holds the other reference, so what
+            // a shard served survives any way its thread can die.
+            let report_cell = Arc::new(Mutex::new(ShardReport::default()));
+            reports.push(Arc::clone(&report_cell));
+            let base_model = Arc::clone(&model);
+            let topo = Arc::clone(&topology);
+            let reps = Arc::clone(&replicas);
+            let max_batch = cfg.max_batch;
+            let max_streams = cfg.max_streams_per_shard;
+            let panic_on_stream = cfg.panic_on_stream;
+            let panic_in_recovery = cfg.panic_in_recovery;
             let q = Arc::clone(&queue);
             let s = Arc::clone(&sink);
             let p = pool.clone();
@@ -157,10 +239,59 @@ impl ServeRuntime {
                 std::thread::Builder::new()
                     .name(format!("dart-serve-shard-{shard_id}"))
                     .spawn(move || {
-                        // The worker commits statistics into this shared
-                        // cell once per served batch, so a later panic
-                        // cannot discard what the shard already served.
-                        let report_cell = Arc::new(Mutex::new(ShardReport::default()));
+                        // Placement order matters: pin FIRST, so the model
+                        // replica (first-touch pages) and everything the
+                        // worker allocates afterwards — stream-state map,
+                        // feature scratch — land on the assigned node.
+                        // Pinning is best-effort: a reported no-op (feature
+                        // off, non-Linux) or a cpuset-restricted failure
+                        // degrades to unpinned, never to a dead shard —
+                        // and an unpinned worker does NOT create or use a
+                        // node replica: without the pin there is no
+                        // first-touch guarantee, so a copy would spend
+                        // memory for zero locality. The outcome is
+                        // recorded (`ServeStats::per_shard_pinned`) so
+                        // operators can see placement silently degrading.
+                        let model = match node_id {
+                            Some(id) => {
+                                let node =
+                                    topo.node(id).expect("placement plan references unknown node");
+                                // `within`: intersect with the thread's
+                                // allowed CPUs, so placement can never
+                                // widen a taskset/cgroup restriction and
+                                // a disjoint (e.g. fallback-synthesized)
+                                // cpuset is a clean no-pin, not EINVAL.
+                                let pinned = dart_numa::pin_current_thread_within(&node.cpus)
+                                    .unwrap_or(false);
+                                report_cell.lock().unwrap_or_else(PoisonError::into_inner).pinned =
+                                    pinned;
+                                if pinned && topo.is_multi_node() {
+                                    let idx = topo
+                                        .node_index(id)
+                                        .expect("plan node must exist in topology");
+                                    Arc::clone(reps[idx].get_or_init(|| {
+                                        // First worker pinned to this node:
+                                        // deep-copy the arenas node-locally.
+                                        Arc::new(base_model.deep_clone())
+                                    }))
+                                } else {
+                                    // One node (the original already lives
+                                    // there — a copy would only waste
+                                    // memory), or the pin didn't take.
+                                    base_model
+                                }
+                            }
+                            None => base_model,
+                        };
+                        let worker = ShardWorker {
+                            shard_id,
+                            model,
+                            pre,
+                            max_batch,
+                            emit,
+                            max_streams,
+                            panic_on_stream,
+                        };
                         let run_cell = Arc::clone(&report_cell);
                         // A panicking worker must not strand its queue: the
                         // in-progress batch was already failed by the
@@ -177,6 +308,15 @@ impl ServeRuntime {
                                 None => worker.run(run_q, run_s, run_cell),
                             }));
                         if let Err(payload) = result {
+                            if panic_in_recovery {
+                                // Fault injection: die inside the recovery
+                                // handler while holding the report cell, so
+                                // shutdown must survive a poisoned cell AND
+                                // a join error.
+                                let _poisoner =
+                                    report_cell.lock().unwrap_or_else(PoisonError::into_inner);
+                                panic!("fault injection: recovery handler told to die");
+                            }
                             let msg = panic_message(payload.as_ref());
                             let reason = format!("shard {shard_id} worker panicked: {msg}");
                             let leaked = q.poison(&reason);
@@ -195,9 +335,6 @@ impl ServeRuntime {
                                 .collect();
                             s.fail_requests(shard_id, items, &reason);
                         }
-                        let mut cell =
-                            report_cell.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                        std::mem::take(&mut *cell)
                     })
                     .expect("spawn shard worker"),
             );
@@ -208,7 +345,10 @@ impl ServeRuntime {
             queues,
             sink,
             workers,
+            reports,
             pool,
+            topology,
+            plan,
             started: Instant::now(),
         }
     }
@@ -225,6 +365,19 @@ impl ServeRuntime {
     /// The stream-to-shard router in use.
     pub fn router(&self) -> &StreamRouter {
         &self.router
+    }
+
+    /// The NUMA topology discovered at startup (the single-node fallback
+    /// on hosts without sysfs topology) — observability for operators and
+    /// benches.
+    pub fn topology(&self) -> &NumaTopology {
+        &self.topology
+    }
+
+    /// Node id each shard worker was assigned to (`None` = unplaced).
+    /// All `None` when [`ServeConfig::placement`] is `Disabled`.
+    pub fn per_shard_node(&self) -> &[Option<usize>] {
+        &self.plan
     }
 
     /// Number of shard workers.
@@ -323,31 +476,49 @@ impl ServeRuntime {
 
     /// Stop the workers (after finishing all queued work) and return
     /// aggregate statistics. Safe to call after a worker panic: the panic
-    /// was already caught and converted into failure responses, so the
-    /// join cannot fail and the message is surfaced in
-    /// [`ServeStats::worker_panics`].
+    /// was already caught and converted into failure responses, and the
+    /// message is surfaced in [`ServeStats::worker_panics`]. Even a join
+    /// error — the recovery handler *itself* died — is recorded there
+    /// instead of being discarded, and the shard's served statistics still
+    /// come through: workers commit them per batch into a cell the runtime
+    /// holds, so neither the second panic nor the (possibly poisoned) cell
+    /// lock loses them.
     pub fn shutdown(self) -> ServeStats {
         for q in &self.queues {
             q.shutdown();
         }
         let mut stats = ServeStats::default();
         let mut latency = crate::shard::LatencyHistogram::default();
-        for handle in self.workers {
-            // Worker panics are caught inside the thread; a join error
-            // would mean the recovery handler itself died — report that
-            // shard as empty rather than tearing down the caller.
-            let report = handle.join().unwrap_or_default();
+        let mut join_panics: Vec<(usize, String)> = Vec::new();
+        for (shard_id, (handle, cell)) in self.workers.into_iter().zip(&self.reports).enumerate() {
+            if let Err(payload) = handle.join() {
+                // The worker's own panic handler died (its panic was
+                // caught; this one escaped). The shard's stats below are
+                // intact — committed per batch — but the panic itself must
+                // not vanish with the thread.
+                let msg = panic_message(payload.as_ref());
+                join_panics
+                    .push((shard_id, format!("shard worker died in its panic handler: {msg}")));
+            }
+            // A poisoned cell (thread died while holding it) still holds
+            // consistent data: stats are committed in whole batches.
+            let report = std::mem::take(&mut *cell.lock().unwrap_or_else(PoisonError::into_inner));
             stats.requests += report.requests;
             stats.predictions += report.predictions;
             stats.batches += report.batches;
             stats.max_batch = stats.max_batch.max(report.max_batch);
             stats.per_shard_requests.push(report.requests);
+            stats.per_shard_pinned.push(report.pinned);
+            stats.per_shard_streams.push(report.resident_streams);
+            stats.stream_evictions += report.stream_evictions;
             latency.merge(&report.latency);
         }
         let sink_state = self.sink.lock();
         stats.failed = sink_state.failed;
         stats.worker_panics = sink_state.worker_panics.clone();
         drop(sink_state);
+        stats.worker_panics.extend(join_panics);
+        stats.per_shard_node = self.plan;
         stats.p50_latency_ns = latency.percentile(0.50);
         stats.p99_latency_ns = latency.percentile(0.99);
         stats.mean_latency_ns = latency.mean();

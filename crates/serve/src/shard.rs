@@ -1,6 +1,6 @@
 //! Shard worker: queue, batch coalescing, and batched prediction.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
@@ -8,8 +8,8 @@ use dart_core::TabularModel;
 use dart_nn::matrix::Matrix;
 use dart_trace::PreprocessConfig;
 
+use crate::lru::StreamLru;
 use crate::request::PrefetchResponse;
-use crate::stream::StreamState;
 
 /// A request plus its enqueue timestamp (for latency accounting).
 pub(crate) struct Envelope {
@@ -273,10 +273,16 @@ impl LatencyHistogram {
     }
 
     /// Nearest-rank percentile (bucket midpoint); 0 when empty.
+    ///
+    /// `q` is clamped to `[0, 1]`: `q <= 0` is the minimum sample's
+    /// bucket, `q >= 1` the maximum's, and NaN is treated as 0 — out of
+    /// range quantiles used to fall through to bogus ranks (or the mean
+    /// fallback) instead of an answer on the distribution.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let rank = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut cumulative = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -302,6 +308,15 @@ pub(crate) struct ShardReport {
     pub predictions: u64,
     pub batches: u64,
     pub max_batch: usize,
+    /// Streams resident in the shard's LRU map as of the last served
+    /// batch (always `<= ServeConfig::max_streams_per_shard`).
+    pub resident_streams: usize,
+    /// Streams evicted by the LRU cap so far.
+    pub stream_evictions: u64,
+    /// Whether this shard's worker successfully pinned itself to its
+    /// assigned node's cpuset (always `false` when unplaced, when the
+    /// `numa` feature is off, or when the kernel rejected the mask).
+    pub pinned: bool,
     pub latency: LatencyHistogram,
 }
 
@@ -320,6 +335,9 @@ pub(crate) struct ShardWorker {
     pub pre: PreprocessConfig,
     pub max_batch: usize,
     pub emit: EmitPolicy,
+    /// Resident-stream cap of this shard's LRU state map
+    /// (`ServeConfig::max_streams_per_shard`).
+    pub max_streams: usize,
     /// Fault injection (`ServeConfig::panic_on_stream`): panic while
     /// serving the batch that contains this stream id.
     pub panic_on_stream: Option<u64>,
@@ -347,7 +365,11 @@ impl ShardWorker {
     ) {
         let t = self.pre.seq_len;
         let di = self.pre.input_dim();
-        let mut streams: HashMap<u64, StreamState> = HashMap::new();
+        // Bounded per-stream state: at most `max_streams` resident, LRU
+        // eviction beyond that (see `crate::lru` for why an evicted stream
+        // re-warms from scratch). Allocated here, on the worker thread,
+        // *after* any NUMA pinning — first touch keeps it node-local.
+        let mut streams = StreamLru::new(self.max_streams);
         // (request index in batch, anchor block) of each warm request, in
         // feature-matrix order.
         let mut warm: Vec<(usize, u64)> = Vec::new();
@@ -380,7 +402,7 @@ impl ShardWorker {
                         env.req.stream_id
                     );
                 }
-                let state = streams.entry(env.req.stream_id).or_insert_with(|| StreamState::new(t));
+                let state = streams.entry(env.req.stream_id, t);
                 let seq = state.push(env.req.block(), env.req.pc);
                 responses.push(PrefetchResponse {
                     stream_id: env.req.stream_id,
@@ -426,6 +448,8 @@ impl ShardWorker {
                 r.max_batch = r.max_batch.max(batch.len());
                 r.requests += batch.len() as u64;
                 r.predictions += warm.len() as u64;
+                r.resident_streams = streams.len();
+                r.stream_evictions = streams.evictions();
                 for resp in &responses {
                     r.latency.record(resp.latency_ns);
                 }
@@ -580,6 +604,32 @@ mod tests {
         let mut top = LatencyHistogram::default();
         top.record(u64::MAX);
         assert_eq!(top.percentile(0.99), (1u64 << 63) + (1 << 62));
+    }
+
+    #[test]
+    fn percentile_clamps_quantile_to_unit_interval() {
+        // Regression: `percentile(1.5)` used to compute rank > count and
+        // fall through every bucket to the mean fallback; negative/NaN `q`
+        // produced bogus rank-1-ish answers by accident of float `max`.
+        let mut h = LatencyHistogram::default();
+        for ns in [10u64, 1_000, 100_000] {
+            h.record(ns);
+        }
+        let lo = h.percentile(0.0); // minimum sample's bucket midpoint
+        let hi = h.percentile(1.0); // maximum sample's bucket midpoint
+        assert!((8..16).contains(&lo), "p0 must land in the 10 ns bucket, got {lo}");
+        assert!((65_536..131_072).contains(&hi), "p100 must land in the 100 µs bucket, got {hi}");
+        // Out-of-range and NaN quantiles clamp instead of misbehaving.
+        assert_eq!(h.percentile(1.5), hi);
+        assert_eq!(h.percentile(f64::INFINITY), hi);
+        assert_eq!(h.percentile(-3.0), lo);
+        assert_eq!(h.percentile(f64::NAN), lo);
+        // Clamping does not disturb interior quantiles: rank 2 of 3 is the
+        // 1000 ns sample, bucket [512, 1024) with midpoint 768.
+        assert_eq!(h.percentile(0.5), 768);
+        // Empty histograms still report 0 for any q.
+        assert_eq!(LatencyHistogram::default().percentile(f64::NAN), 0);
+        assert_eq!(LatencyHistogram::default().percentile(1.5), 0);
     }
 
     #[test]

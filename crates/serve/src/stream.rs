@@ -32,6 +32,16 @@ impl StreamState {
         seq
     }
 
+    /// Forget everything: clear the history window and restart the
+    /// per-stream sequence counter, keeping the history buffer's
+    /// allocation. Used by the shard LRU to recycle an evicted stream's
+    /// slot — the next occupant starts exactly as cold as a brand-new
+    /// stream.
+    pub fn reset(&mut self) {
+        self.history.clear();
+        self.next_seq = 0;
+    }
+
     /// True once the history holds a full model window.
     pub fn warm(&self) -> bool {
         self.history.len() == self.seq_len

@@ -306,6 +306,108 @@ fn hammer_with_config(cfg: ServeConfig) {
     assert!(stats.p99_latency_ns >= stats.p50_latency_ns);
 }
 
+/// Regression (memory leak): the per-shard stream map used to grow with
+/// every stream id ever routed to the shard, so stream-id churn leaked
+/// memory without bound. Churn 10x the cap through one shard and verify
+/// (a) residency stays at the cap, (b) the overflow was evicted, and
+/// (c) an evicted stream that returns re-warms from scratch — cold
+/// responses for its first `seq_len - 1` accesses with `seq` restarting
+/// at 0 — instead of predicting on a stale pre-eviction window.
+#[test]
+fn stream_map_is_bounded_under_churn_and_evictees_rewarm() {
+    let (model, pre) = tiny_setup();
+    let cap = 32usize;
+    let seq_len = pre.seq_len as u64;
+    let mut cfg = serve_cfg(1);
+    cfg.max_streams_per_shard = cap;
+    let runtime = ServeRuntime::start(model, pre, cfg);
+
+    // Phase 1: warm stream 7 fully (it will emit on its last access —
+    // threshold 0.0 guarantees emission once warm).
+    for i in 0..seq_len {
+        runtime.submit(PrefetchRequest { stream_id: 7, pc: 0x400, addr: (100 + i) << 6 });
+    }
+    runtime.wait_idle();
+    let warm = runtime.drain_completed();
+    assert_eq!(warm.len(), seq_len as usize);
+    assert!(warm.iter().any(|r| !r.prefetch_blocks.is_empty()), "stream 7 must predict once warm");
+
+    // Phase 2: churn 10x the cap in distinct one-shot stream ids through
+    // the single shard. Stream 7 must fall out of the LRU.
+    let churn = 10 * cap as u64;
+    runtime.submit_all((0..churn).map(|s| PrefetchRequest {
+        stream_id: 1_000 + s,
+        pc: 0x10,
+        addr: (50_000 + s) << 6,
+    }));
+    runtime.wait_idle();
+    runtime.drain_completed();
+
+    // Phase 3: stream 7 returns. Re-warm from scratch: its first
+    // `seq_len - 1` responses carry no prefetches and seq restarts at 0.
+    for i in 0..seq_len {
+        runtime.submit(PrefetchRequest { stream_id: 7, pc: 0x400, addr: (100 + i) << 6 });
+    }
+    runtime.wait_idle();
+    let mut readmitted = runtime.drain_completed();
+    readmitted.sort_by_key(|r| r.seq);
+    assert_eq!(readmitted.len(), seq_len as usize);
+    assert_eq!(readmitted[0].seq, 0, "evicted stream's seq must restart, not resume");
+    for resp in &readmitted[..(seq_len - 1) as usize] {
+        assert!(
+            resp.prefetch_blocks.is_empty(),
+            "seq {} predicted on a stale pre-eviction window",
+            resp.seq
+        );
+    }
+    assert!(
+        !readmitted[(seq_len - 1) as usize].prefetch_blocks.is_empty(),
+        "re-admitted stream must predict again once re-warmed"
+    );
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.per_shard_streams.len(), 1);
+    assert!(
+        stats.per_shard_streams[0] <= cap,
+        "resident streams {} exceed the cap {cap}",
+        stats.per_shard_streams[0]
+    );
+    // 1 (stream 7) + 320 churn ids into a 32-slot map: at least the
+    // overflow must have been evicted.
+    assert!(
+        stats.stream_evictions >= churn + 1 - cap as u64,
+        "evictions {} too low for {churn} churned streams",
+        stats.stream_evictions
+    );
+}
+
+/// Regression (emission-rule drift): `DartPrefetcher` clamps
+/// `max_degree.max(1)` but serve's emit policy did not, so
+/// `max_degree: 0` silently disabled all serving-path prefetching while
+/// the sim path emitted 1 per prediction. The rule is now unified at
+/// `ServeRuntime::start`. (Cross-path agreement with `DartPrefetcher`
+/// itself is pinned in `tests/integration_serve.rs`.)
+#[test]
+fn zero_max_degree_clamps_to_one_instead_of_disabling() {
+    let (model, pre) = tiny_setup();
+    let mut cfg = serve_cfg(1);
+    cfg.max_degree = 0;
+    let runtime = ServeRuntime::start(model, pre, cfg);
+    for i in 0..10u64 {
+        runtime.submit(PrefetchRequest { stream_id: 5, pc: 0x400, addr: (700 + i) << 6 });
+    }
+    runtime.wait_idle();
+    let responses = runtime.drain_completed();
+    let emitted: Vec<_> = responses.iter().filter(|r| !r.prefetch_blocks.is_empty()).collect();
+    // threshold 0.0: every warm request must emit exactly one prefetch
+    // (degree clamped 0 -> 1), same as the sim path.
+    assert_eq!(emitted.len(), 10 - (pre.seq_len - 1), "warm requests must emit");
+    for resp in &emitted {
+        assert_eq!(resp.prefetch_blocks.len(), 1, "clamped degree must cap emissions at 1");
+    }
+    runtime.shutdown();
+}
+
 /// Regression (worker-death accounting): a shard worker that panics
 /// mid-batch used to leak its batch's `in_flight` slots, hanging
 /// `wait_idle`/`wait_below` forever and poisoning the sink mutex for every
@@ -435,4 +537,50 @@ fn stats_served_before_a_panic_are_not_discarded() {
     assert_eq!(stats.failed, 1);
     assert_eq!(stats.worker_panics.len(), 1);
     assert!(stats.p50_latency_ns > 0, "pre-panic latency samples lost");
+}
+
+/// Regression (shutdown join): when the worker's *recovery handler* itself
+/// dies, `shutdown` used `join().unwrap_or_default()` — the second panic
+/// AND everything the shard had served vanished. Now the join error is
+/// recorded into `ServeStats::worker_panics` and the shard's statistics
+/// survive (committed per batch into a cell the runtime holds — here left
+/// poisoned by the dying handler, which shutdown must also tolerate).
+#[test]
+fn recovery_handler_death_is_recorded_not_discarded() {
+    let (model, pre) = tiny_setup();
+    let mut cfg = serve_cfg(1);
+    cfg.panic_on_stream = Some(3);
+    cfg.panic_in_recovery = true;
+    let runtime = ServeRuntime::start(model, pre, cfg);
+
+    // Healthy traffic first, fully served, so the report cell holds real
+    // numbers before the worker dies.
+    for k in 0..10u64 {
+        runtime.submit(PrefetchRequest { stream_id: 1, pc: 0x10, addr: (300 + k) << 6 });
+    }
+    runtime.wait_idle();
+
+    // The poison request kills the worker; the injected second panic then
+    // kills the recovery handler while it holds the report-cell lock. The
+    // batch guard already failed the in-flight request during unwinding,
+    // so this wait cannot hang.
+    runtime.submit(PrefetchRequest { stream_id: 3, pc: 0x10, addr: 77 << 6 });
+    runtime.wait_idle();
+    let responses = runtime.drain_completed();
+    assert_eq!(responses.len(), 11);
+    assert_eq!(responses.iter().filter(|r| r.error.is_some()).count(), 1);
+
+    let stats = runtime.shutdown();
+    // The shard's served stats survive the poisoned cell and dead handler.
+    assert_eq!(stats.requests, 10, "served requests vanished with the recovery handler");
+    assert!(stats.p50_latency_ns > 0, "latency samples vanished with the recovery handler");
+    assert_eq!(stats.failed, 1);
+    // The second panic is surfaced, attributed to the shard.
+    assert_eq!(stats.worker_panics.len(), 1, "recovery-handler panic was discarded");
+    assert_eq!(stats.worker_panics[0].0, 0);
+    assert!(
+        stats.worker_panics[0].1.contains("recovery handler told to die"),
+        "join-error panic message lost: {}",
+        stats.worker_panics[0].1
+    );
 }

@@ -8,6 +8,7 @@
 //! * [`sim`] — trace-driven cache/CPU simulator,
 //! * [`prefetch`] — prefetcher zoo (BO, ISB, DART, NN baselines),
 //! * [`core`] — the DART pipeline: configurator, distillation, tabularization,
+//! * [`numa`] — NUMA topology discovery + raw-syscall thread affinity,
 //! * [`serve`] — the sharded, batched prefetch-serving runtime.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and
@@ -15,6 +16,7 @@
 
 pub use dart_core as core;
 pub use dart_nn as nn;
+pub use dart_numa as numa;
 pub use dart_pq as pq;
 pub use dart_prefetch as prefetch;
 pub use dart_serve as serve;

@@ -88,3 +88,86 @@ fn predict_batch_rejects_ragged_input() {
     let x = Matrix::zeros(pre.seq_len + 1, pre.input_dim());
     let _ = model.predict_batch(&x);
 }
+
+/// Regression (emission-rule drift between the sim and serve paths):
+/// `DartPrefetcher` clamps `max_degree.max(1)` but serve's emit policy
+/// used to take 0 literally — `max_degree: 0` silently disabled all
+/// serving-path prefetching while the sim path emitted 1 per prediction.
+/// Replay one access stream through both paths at `max_degree: 0` (and 3,
+/// for the non-degenerate rule) and require identical per-access
+/// emissions.
+#[test]
+fn serve_and_sim_paths_agree_on_max_degree_clamp() {
+    use dart::prefetch::dart::DartPrefetcher;
+    use dart::serve::{PrefetchRequest, ServeConfig, ServeRuntime};
+    use dart::sim::{LlcAccess, Prefetcher};
+    use std::sync::Arc;
+
+    let (model, pre) = tiny_model(4, EncoderKind::Argmin);
+    let accesses: Vec<(u64, u64)> =
+        (0..20u64).map(|i| (0x400 + i * 4, (900 + i * 3) << 6)).collect();
+
+    for max_degree in [0usize, 3] {
+        // Sim path: DartPrefetcher replays the stream one access at a time.
+        let mut dart = DartPrefetcher::with_latency(
+            "diff",
+            model.clone(),
+            pre,
+            0,
+            0.0, // threshold 0: every warm window emits up to the degree cap
+            max_degree,
+        );
+        let sim_emissions: Vec<Vec<u64>> = accesses
+            .iter()
+            .enumerate()
+            .map(|(seq, &(pc, addr))| {
+                dart.on_access(&LlcAccess {
+                    seq,
+                    instr_id: seq as u64,
+                    pc,
+                    addr,
+                    block: addr >> 6,
+                    hit: false,
+                })
+            })
+            .collect();
+
+        // Serve path: the same accesses as one stream through the runtime.
+        let runtime = ServeRuntime::start(
+            Arc::new(model.clone()),
+            pre,
+            ServeConfig {
+                shards: 1,
+                max_batch: 4,
+                threshold: 0.0,
+                max_degree,
+                ..ServeConfig::default()
+            },
+        );
+        runtime.submit_all(accesses.iter().map(|&(pc, addr)| PrefetchRequest {
+            stream_id: 1,
+            pc,
+            addr,
+        }));
+        runtime.wait_idle();
+        let mut responses = runtime.drain_completed();
+        responses.sort_by_key(|r| r.seq);
+        runtime.shutdown();
+
+        assert_eq!(responses.len(), sim_emissions.len());
+        for (resp, sim) in responses.iter().zip(&sim_emissions) {
+            assert_eq!(
+                &resp.prefetch_blocks, sim,
+                "serve and sim paths diverged at seq {} with max_degree {}",
+                resp.seq, max_degree
+            );
+        }
+        if max_degree == 0 {
+            // The clamp must make degree-0 behave as degree-1, not as off.
+            assert!(
+                responses.iter().any(|r| r.prefetch_blocks.len() == 1),
+                "max_degree 0 must emit exactly one prefetch per warm access"
+            );
+        }
+    }
+}
