@@ -1,0 +1,108 @@
+//! `loadgen` — drive the `dart-serve` runtime with synthetic multi-stream
+//! load and report a pass/fail verdict.
+//!
+//! Unlike `serve_bench` (a comparative scaling study), this binary is a
+//! smoke/soak driver: it runs one configuration, prints a `LoadReport`
+//! (throughput, p50/p99 from the runtime's shared latency histogram,
+//! failure counts) plus the full metrics exposition, and **exits
+//! non-zero** if any response carried an error or any response was lost —
+//! suitable as a CI gate or a quick manual health check.
+//!
+//! Environment knobs:
+//!
+//! * `DART_LOADGEN_STREAMS` (default 64) — concurrent client streams,
+//! * `DART_LOADGEN_ACCESSES` (default 200) — accesses per stream,
+//! * `DART_LOADGEN_SHARDS` (default 4) — shard workers,
+//! * `DART_LOADGEN_MAX_BATCH` (default 32) — coalescing cap per drain,
+//! * `DART_LOADGEN_PANIC_STREAM` (unset by default) — fault injection:
+//!   kill the shard serving this stream id mid-batch, to demonstrate the
+//!   non-zero exit path and the failure accounting.
+//!
+//! ```sh
+//! cargo run --release -p dart-bench --bin loadgen
+//! ```
+
+use std::sync::Arc;
+
+use dart_bench::{announce_threads, env_usize_strict};
+use dart_core::config::TabularConfig;
+use dart_core::tabularize::tabularize;
+use dart_core::TabularModel;
+use dart_nn::model::{AccessPredictor, ModelConfig};
+use dart_serve::{generate_requests, run_load, LoadGenConfig, ServeConfig, ServeRuntime};
+use dart_trace::{build_dataset, workload_by_name, PreprocessConfig};
+
+/// Fit a small DART table model on a synthetic trace (same recipe as
+/// `serve_bench`: serving cost does not depend on predictive quality).
+fn build_model() -> (Arc<TabularModel>, PreprocessConfig) {
+    let pre = PreprocessConfig {
+        seq_len: 8,
+        addr_segments: 4,
+        seg_bits: 6,
+        pc_segments: 2,
+        delta_range: 16,
+        lookforward: 8,
+    };
+    let cfg = ModelConfig {
+        input_dim: pre.input_dim(),
+        dim: 16,
+        heads: 2,
+        layers: 1,
+        ffn_dim: 32,
+        output_dim: pre.output_dim(),
+        seq_len: pre.seq_len,
+    };
+    let student = AccessPredictor::new(cfg, 0x5EED).expect("valid model config");
+    let trace = workload_by_name("bwaves").expect("workload").generate(4_000, 7);
+    let data = build_dataset(&trace, &pre, 2);
+    let tab_cfg = TabularConfig { k: 16, c: 2, fine_tune_epochs: 0, ..Default::default() };
+    let (model, _) = tabularize(&student, &data.inputs, &tab_cfg);
+    (Arc::new(model), pre)
+}
+
+fn main() {
+    let streams = env_usize_strict("DART_LOADGEN_STREAMS", 64);
+    let accesses = env_usize_strict("DART_LOADGEN_ACCESSES", 200);
+    let shards = env_usize_strict("DART_LOADGEN_SHARDS", 4);
+    let max_batch = env_usize_strict("DART_LOADGEN_MAX_BATCH", 32);
+    let panic_stream = std::env::var("DART_LOADGEN_PANIC_STREAM")
+        .ok()
+        .map(|v| v.parse::<u64>().expect("DART_LOADGEN_PANIC_STREAM must be a stream id"));
+    announce_threads();
+    println!(
+        "loadgen: {streams} streams x {accesses} accesses, {shards} shard(s), \
+         max_batch {max_batch}{}",
+        match panic_stream {
+            Some(id) => format!(", fault injection on stream {id}"),
+            None => String::new(),
+        }
+    );
+
+    let (model, pre) = build_model();
+    let reqs =
+        generate_requests(&LoadGenConfig { streams, accesses_per_stream: accesses, seed: 0xBEEF });
+
+    let cfg = ServeConfig {
+        shards,
+        max_batch,
+        threshold: 0.5,
+        panic_on_stream: panic_stream,
+        ..ServeConfig::default()
+    };
+    let runtime = ServeRuntime::start(model, pre, cfg);
+    let report = run_load(&runtime, &reqs, streams);
+
+    println!("{}", report.summary());
+    println!("\n--- metrics exposition ---");
+    print!("{}", runtime.render_metrics());
+    runtime.shutdown();
+
+    if !report.is_ok() {
+        eprintln!(
+            "loadgen: FAILED ({} failure(s), {}/{} responses)",
+            report.failures, report.responses, report.submitted
+        );
+        std::process::exit(1);
+    }
+    println!("loadgen: OK");
+}

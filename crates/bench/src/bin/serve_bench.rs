@@ -37,7 +37,8 @@ use dart_nn::matrix::Matrix;
 use dart_nn::model::{AccessPredictor, ModelConfig};
 use dart_numa::{format_cpu_list, NumaTopology};
 use dart_serve::{
-    generate_requests, LoadGenConfig, PrefetchRequest, ServeConfig, ServeRuntime, ShardPlacement,
+    generate_requests, run_load, LoadGenConfig, PrefetchRequest, ServeConfig, ServeRuntime,
+    ShardPlacement,
 };
 use dart_trace::{build_dataset, workload_by_name, PreprocessConfig};
 
@@ -301,6 +302,25 @@ fn main() {
         })
         .collect();
     record_json("serve_bench", &serde_json::Value::Array(records));
+
+    // One short instrumented run whose metrics exposition is printed in
+    // full — CI archives this block, and it is the quickest way to see
+    // the live observability surface (stage histograms populate under
+    // `--features telemetry`; without it they read 0 by design).
+    {
+        let cfg = ServeConfig { shards: 2, max_batch, threshold: 0.5, ..ServeConfig::default() };
+        let runtime = ServeRuntime::start(Arc::clone(&model), pre, cfg);
+        let sample = generate_requests(&LoadGenConfig {
+            streams: streams.min(32),
+            accesses_per_stream: accesses.min(64),
+            seed: 0xBEEF,
+        });
+        let report = run_load(&runtime, &sample, streams.min(32));
+        println!("\n--- metrics exposition (sample run: {}) ---", report.summary());
+        print!("{}", runtime.render_metrics());
+        println!("--- end exposition ---\n");
+        runtime.shutdown();
+    }
 
     // Acceptance gate: sharded+batched serving must beat the naive loop at
     // every shard count >= 2. Degenerate workloads (every stream shorter

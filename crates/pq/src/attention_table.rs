@@ -214,6 +214,7 @@ impl AttentionTable {
         assert_eq!(q.rows() % t, 0, "rows not divisible by seq_len");
         assert_eq!(k.shape(), q.shape());
         assert_eq!(v.shape(), q.shape());
+        crate::profile::profile_kernel("attention_query", q.rows() as u64);
         let ck = self.q_pq.num_subspaces();
         let ct = self.qkt_pq.num_subspaces();
         let dk = self.dk;

@@ -27,6 +27,7 @@ pub mod complexity;
 pub mod fused;
 pub mod kmeans;
 pub mod linear_table;
+pub mod profile;
 pub mod quantized;
 pub mod quantizer;
 pub mod sigmoid_lut;
@@ -38,6 +39,7 @@ pub use attention_table::{
 };
 pub use fused::FusedFfnTable;
 pub use linear_table::{LinearTable, ProtoTransform, AGG_TILE_ROWS};
+pub use profile::profile_kernel;
 pub use quantized::QuantizedLinearTable;
 pub use quantizer::{EncoderKind, ProductQuantizer, Quantizer, ENCODE_TILE_ROWS};
 pub use sigmoid_lut::SigmoidLut;

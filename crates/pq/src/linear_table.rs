@@ -234,6 +234,7 @@ pub(crate) fn aggregate_codes_batch(
 ) {
     let c = pq.num_subspaces();
     let out_dim = out.cols();
+    crate::profile::profile_kernel("aggregate_codes", x.rows() as u64);
     let mut codes = vec![0usize; x.rows() * c];
     pq.encode_batch_into_with(x, &mut codes, ops);
     let codes = &codes;

@@ -69,6 +69,7 @@ impl QuantizedLinearTable {
 
     fn query_with(&self, x: &Matrix, ops: &SimdOps) -> Matrix {
         assert_eq!(x.cols(), self.pq.dim(), "query dim mismatch");
+        crate::profile::profile_kernel("int8_query", x.rows() as u64);
         let mut out = Matrix::zeros(x.rows(), self.out_dim);
         out.as_mut_slice()
             .par_chunks_mut(self.out_dim)

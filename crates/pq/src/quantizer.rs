@@ -393,6 +393,7 @@ impl ProductQuantizer {
         let c = self.bounds.len();
         assert_eq!(x.cols(), self.dim, "encode dim mismatch");
         assert_eq!(out.len(), x.rows() * c, "code buffer size mismatch");
+        crate::profile::profile_kernel("encode_batch", x.rows() as u64);
         out.par_chunks_mut(ENCODE_TILE_ROWS * c).enumerate().for_each(|(tile, chunk)| {
             let r0 = tile * ENCODE_TILE_ROWS;
             let rows = chunk.len() / c;

@@ -51,6 +51,7 @@
 
 pub mod loadgen;
 pub mod lru;
+pub mod metrics;
 pub mod placement;
 pub mod request;
 pub mod router;
@@ -58,8 +59,9 @@ pub mod runtime;
 pub mod shard;
 pub mod stream;
 
-pub use loadgen::{generate_requests, LoadGenConfig};
+pub use loadgen::{generate_requests, run_load, LoadGenConfig, LoadReport};
 pub use lru::StreamLru;
+pub use metrics::render_exposition;
 pub use placement::ShardPlacement;
 pub use request::{PrefetchRequest, PrefetchResponse};
 pub use router::StreamRouter;

@@ -2,10 +2,19 @@
 //! synthetic SPEC-like workload patterns: stream `i` replays workload
 //! `i % 8` with its own seed, and streams are interleaved round-robin so
 //! every shard sees concurrent traffic.
+//!
+//! [`run_load`] drives a started [`ServeRuntime`] with a request sequence
+//! under bounded back-pressure and reports throughput, latency
+//! percentiles from the runtime's shared latency histogram, and failure
+//! accounting — the one verdict function behind the `loadgen` binary's
+//! exit code.
+
+use std::time::Instant;
 
 use dart_trace::spec_workloads;
 
 use crate::request::PrefetchRequest;
+use crate::runtime::ServeRuntime;
 
 /// Load-generator settings.
 #[derive(Clone, Copy, Debug)]
@@ -48,6 +57,118 @@ pub fn generate_requests(cfg: &LoadGenConfig) -> Vec<PrefetchRequest> {
         }
     }
     out
+}
+
+/// Outcome of one [`run_load`] drive: delivery accounting plus the
+/// latency/batching numbers of the runtime's live stats snapshot.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Requests submitted to the runtime.
+    pub submitted: usize,
+    /// Responses drained back (delivery accounting says this equals
+    /// `submitted` unless a worker died).
+    pub responses: usize,
+    /// Responses that carried `error: Some(_)`.
+    pub failures: usize,
+    /// Up to 8 distinct failure reasons, in first-seen order.
+    pub failure_reasons: Vec<String>,
+    /// Warm-stream predictions made (from the stats snapshot).
+    pub predictions: u64,
+    /// Wall-clock seconds from first submit to idle.
+    pub elapsed_s: f64,
+    /// p50 request latency in nanoseconds, from the shared histogram.
+    pub p50_latency_ns: u64,
+    /// p99 request latency in nanoseconds, from the shared histogram.
+    pub p99_latency_ns: u64,
+    /// Mean coalesced batch size.
+    pub mean_batch: f64,
+}
+
+impl LoadReport {
+    /// Responses delivered per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.responses as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+
+    /// True when every submitted request came back and none failed — the
+    /// `loadgen` binary exits non-zero when this is false.
+    pub fn is_ok(&self) -> bool {
+        self.failures == 0 && self.responses == self.submitted
+    }
+
+    /// One-paragraph human summary (used by the `loadgen` binary).
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{} requests in {:.3}s ({:.0} resp/s), {} predictions, \
+             p50 {:.1}us p99 {:.1}us, mean batch {:.1}, {} failure(s)",
+            self.submitted,
+            self.elapsed_s,
+            self.throughput_rps(),
+            self.predictions,
+            self.p50_latency_ns as f64 / 1_000.0,
+            self.p99_latency_ns as f64 / 1_000.0,
+            self.mean_batch,
+            self.failures,
+        );
+        if self.responses != self.submitted {
+            s.push_str(&format!(" [LOST {} response(s)]", self.submitted - self.responses));
+        }
+        for reason in &self.failure_reasons {
+            s.push_str(&format!("\n  failure: {reason}"));
+        }
+        s
+    }
+}
+
+/// Drive `runtime` with `reqs` in per-round waves (one access per stream
+/// per round — the generator's natural interleave) under bounded
+/// back-pressure, wait for it to go idle, then drain every response and
+/// report.
+///
+/// Latency percentiles, prediction counts and batch sizes come from
+/// [`ServeRuntime::stats_snapshot`] — the same shared histogram the
+/// metrics exposition renders, not a loadgen-private measurement.
+pub fn run_load(runtime: &ServeRuntime, reqs: &[PrefetchRequest], streams: usize) -> LoadReport {
+    let streams = streams.max(1);
+    let high_watermark = (streams * 4).max(1024) as u64;
+    let started = Instant::now();
+    for round in reqs.chunks(streams) {
+        runtime.submit_all(round.iter().copied());
+        if runtime.outstanding() > high_watermark {
+            runtime.wait_below(high_watermark / 2);
+        }
+    }
+    runtime.wait_idle();
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let responses = runtime.drain_completed();
+    let mut failures = 0usize;
+    let mut failure_reasons: Vec<String> = Vec::new();
+    for resp in &responses {
+        if let Some(err) = &resp.error {
+            failures += 1;
+            if failure_reasons.len() < 8 && !failure_reasons.iter().any(|r| r == err) {
+                failure_reasons.push(err.clone());
+            }
+        }
+    }
+
+    let stats = runtime.stats_snapshot();
+    LoadReport {
+        submitted: reqs.len(),
+        responses: responses.len(),
+        failures,
+        failure_reasons,
+        predictions: stats.predictions,
+        elapsed_s,
+        p50_latency_ns: stats.p50_latency_ns,
+        p99_latency_ns: stats.p99_latency_ns,
+        mean_batch: stats.mean_batch(),
+    }
 }
 
 #[cfg(test)]

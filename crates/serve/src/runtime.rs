@@ -7,12 +7,15 @@ use std::time::Instant;
 
 use dart_core::TabularModel;
 use dart_numa::NumaTopology;
+use dart_telemetry::{Histogram, SpanRecord, SpanRing};
 use dart_trace::PreprocessConfig;
 
 use crate::placement::{plan_placement, ShardPlacement};
 use crate::request::{PrefetchRequest, PrefetchResponse};
 use crate::router::StreamRouter;
-use crate::shard::{CompletionSink, EmitPolicy, Envelope, ShardQueue, ShardReport, ShardWorker};
+use crate::shard::{
+    CompletionSink, EmitPolicy, Envelope, ShardQueue, ShardReport, ShardTelemetry, ShardWorker,
+};
 
 /// Runtime configuration.
 #[derive(Clone, Copy, Debug)]
@@ -65,6 +68,13 @@ pub struct ServeConfig {
     /// second panic must both survive. `false` (the default) in
     /// production.
     pub panic_in_recovery: bool,
+    /// Capacity of the recent-request span ring
+    /// ([`ServeRuntime::recent_spans`]): the last N served requests keep
+    /// their per-stage lifecycle breakdown for debugging. `0` disables
+    /// the ring entirely; spans are only recorded when the crate is built
+    /// with the `telemetry` feature (the stage timestamps otherwise
+    /// compile to no-ops).
+    pub span_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -80,11 +90,20 @@ impl Default for ServeConfig {
             pool_threads: None,
             panic_on_stream: None,
             panic_in_recovery: false,
+            span_capacity: 256,
         }
     }
 }
 
-/// Aggregate serving statistics returned by [`ServeRuntime::shutdown`].
+/// Aggregate serving statistics, live or final.
+///
+/// Both [`ServeRuntime::stats_snapshot`] (while serving) and
+/// [`ServeRuntime::shutdown`] (final) produce this through the **same**
+/// aggregation path, so the two can never drift: a snapshot is simply the
+/// aggregation run before the workers have stopped. Counters come from
+/// per-shard report cells committed whole-batch, so every snapshot is
+/// internally consistent (`latency.count() == requests`,
+/// `predictions <= requests`) and counters are monotone across snapshots.
 #[derive(Clone, Debug, Default)]
 pub struct ServeStats {
     /// Requests answered by shard workers. Every submit produces exactly
@@ -128,6 +147,30 @@ pub struct ServeStats {
     pub p99_latency_ns: u64,
     /// Mean request latency, nanoseconds.
     pub mean_latency_ns: u64,
+    /// Requests submitted but not yet answered at aggregation time
+    /// (always 0 after `shutdown`, which drains every queue).
+    pub in_flight: u64,
+    /// Requests sitting in shard queues at aggregation time.
+    pub queue_depth: u64,
+    /// Nanoseconds since `ServeRuntime::start`.
+    pub uptime_ns: u64,
+    /// The full request-latency histogram the percentiles above are read
+    /// from (merged across shards) — callers can take their own quantiles.
+    pub latency: Histogram,
+    /// Coalesced batch-size distribution (one sample per served batch).
+    pub batch_sizes: Histogram,
+    /// Lifecycle stage: enqueue → drained by the worker, per request.
+    /// Populated only in `telemetry` builds (otherwise empty).
+    pub stage_queue_wait: Histogram,
+    /// Lifecycle stage: drain → feature matrix formed, per batch.
+    /// Populated only in `telemetry` builds.
+    pub stage_coalesce: Histogram,
+    /// Lifecycle stage: features → predictions decoded, per batch.
+    /// Populated only in `telemetry` builds.
+    pub stage_kernel: Histogram,
+    /// Lifecycle stage: predictions → responses in the sink, per batch.
+    /// Populated only in `telemetry` builds.
+    pub stage_sink: Histogram,
 }
 
 impl ServeStats {
@@ -154,6 +197,11 @@ pub struct ServeRuntime {
     /// panic handler (the cell may be poisoned — its data is still
     /// consistent, committed whole batches only).
     reports: Vec<Arc<Mutex<ShardReport>>>,
+    /// Per-shard lock-free lifecycle cells (stage histograms, batch-size
+    /// distribution), snapshot live without stopping the workers.
+    telemetry: Vec<Arc<ShardTelemetry>>,
+    /// Bounded ring of the most recently served requests' lifecycle spans.
+    spans: Arc<SpanRing>,
     /// Dedicated kernel pool when `cfg.pool_threads` was set; `None` means
     /// the shard workers use the process-global pool. Kept here so the pool
     /// outlives every worker thread that installed it.
@@ -215,11 +263,15 @@ impl ServeRuntime {
             // `wait_idle` callers hung).
             let _ = rayon::global_pool();
         }
+        let spans = Arc::new(SpanRing::new(cfg.span_capacity));
         let mut queues = Vec::with_capacity(cfg.shards);
         let mut workers = Vec::with_capacity(cfg.shards);
         let mut reports = Vec::with_capacity(cfg.shards);
+        let mut telemetry = Vec::with_capacity(cfg.shards);
         for (shard_id, &node_id) in plan.iter().enumerate() {
             let queue = Arc::new(ShardQueue::new());
+            let shard_telemetry = Arc::new(ShardTelemetry::default());
+            telemetry.push(Arc::clone(&shard_telemetry));
             // The worker commits statistics into this shared cell once per
             // served batch; the runtime holds the other reference, so what
             // a shard served survives any way its thread can die.
@@ -235,6 +287,7 @@ impl ServeRuntime {
             let q = Arc::clone(&queue);
             let s = Arc::clone(&sink);
             let p = pool.clone();
+            let span_ring = Arc::clone(&spans);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("dart-serve-shard-{shard_id}"))
@@ -291,6 +344,8 @@ impl ServeRuntime {
                             emit,
                             max_streams,
                             panic_on_stream,
+                            telemetry: shard_telemetry,
+                            spans: span_ring,
                         };
                         let run_cell = Arc::clone(&report_cell);
                         // A panicking worker must not strand its queue: the
@@ -346,6 +401,8 @@ impl ServeRuntime {
             sink,
             workers,
             reports,
+            telemetry,
+            spans,
             pool,
             topology,
             plan,
@@ -474,35 +531,49 @@ impl ServeRuntime {
         }
     }
 
-    /// Stop the workers (after finishing all queued work) and return
-    /// aggregate statistics. Safe to call after a worker panic: the panic
-    /// was already caught and converted into failure responses, and the
-    /// message is surfaced in [`ServeStats::worker_panics`]. Even a join
-    /// error — the recovery handler *itself* died — is recorded there
-    /// instead of being discarded, and the shard's served statistics still
-    /// come through: workers commit them per batch into a cell the runtime
-    /// holds, so neither the second panic nor the (possibly poisoned) cell
-    /// lock loses them.
-    pub fn shutdown(self) -> ServeStats {
-        for q in &self.queues {
-            q.shutdown();
-        }
+    /// A consistent statistics snapshot of the **running** runtime — no
+    /// shutdown required. This is the same aggregation that backs
+    /// [`Self::shutdown`] (one function, two call sites), so live and
+    /// final numbers can never drift apart.
+    ///
+    /// Consistency guarantees, even under full submission load and across
+    /// worker deaths:
+    /// * counters (`requests`, `predictions`, `batches`, `failed`,
+    ///   `stream_evictions`) are monotone from one snapshot to the next;
+    /// * `predictions <= requests` and `latency.count() == requests` hold
+    ///   in every snapshot — per-shard numbers are committed whole-batch
+    ///   under the report cell's lock, never mid-batch.
+    pub fn stats_snapshot(&self) -> ServeStats {
+        self.collect_stats()
+    }
+
+    /// The most recently served requests' per-stage lifecycle spans,
+    /// oldest first (bounded by [`ServeConfig::span_capacity`]). Empty
+    /// unless the crate is built with the `telemetry` feature.
+    pub fn recent_spans(&self) -> Vec<SpanRecord> {
+        self.spans.recent()
+    }
+
+    /// Render the live Prometheus-style plaintext exposition: the
+    /// runtime's own metrics ([`crate::metrics::render_exposition`] over
+    /// [`Self::stats_snapshot`]) followed by the process-global registry
+    /// (e.g. `dart-pq` kernel profiling counters in `telemetry` builds).
+    pub fn render_metrics(&self) -> String {
+        let mut out = crate::metrics::render_exposition(&self.stats_snapshot());
+        out.push_str(&dart_telemetry::global().render());
+        out
+    }
+
+    /// The single aggregation path behind both [`Self::stats_snapshot`]
+    /// and [`Self::shutdown`]: fold every shard's report cell (committed
+    /// whole-batch, so each clone is internally consistent — a poisoned
+    /// cell still holds consistent data), the lock-free lifecycle cells,
+    /// and the sink state into one [`ServeStats`].
+    fn collect_stats(&self) -> ServeStats {
         let mut stats = ServeStats::default();
-        let mut latency = crate::shard::LatencyHistogram::default();
-        let mut join_panics: Vec<(usize, String)> = Vec::new();
-        for (shard_id, (handle, cell)) in self.workers.into_iter().zip(&self.reports).enumerate() {
-            if let Err(payload) = handle.join() {
-                // The worker's own panic handler died (its panic was
-                // caught; this one escaped). The shard's stats below are
-                // intact — committed per batch — but the panic itself must
-                // not vanish with the thread.
-                let msg = panic_message(payload.as_ref());
-                join_panics
-                    .push((shard_id, format!("shard worker died in its panic handler: {msg}")));
-            }
-            // A poisoned cell (thread died while holding it) still holds
-            // consistent data: stats are committed in whole batches.
-            let report = std::mem::take(&mut *cell.lock().unwrap_or_else(PoisonError::into_inner));
+        let mut latency = Histogram::new();
+        for (cell, telem) in self.reports.iter().zip(&self.telemetry) {
+            let report = cell.lock().unwrap_or_else(PoisonError::into_inner).clone();
             stats.requests += report.requests;
             stats.predictions += report.predictions;
             stats.batches += report.batches;
@@ -512,17 +583,57 @@ impl ServeRuntime {
             stats.per_shard_streams.push(report.resident_streams);
             stats.stream_evictions += report.stream_evictions;
             latency.merge(&report.latency);
+            stats.batch_sizes.merge(&telem.batch_size.snapshot());
+            stats.stage_queue_wait.merge(&telem.queue_wait.snapshot());
+            stats.stage_coalesce.merge(&telem.coalesce.snapshot());
+            stats.stage_kernel.merge(&telem.kernel.snapshot());
+            stats.stage_sink.merge(&telem.sink.snapshot());
+        }
+        for q in &self.queues {
+            stats.queue_depth += q.depth();
         }
         let sink_state = self.sink.lock();
         stats.failed = sink_state.failed;
+        stats.in_flight = sink_state.in_flight;
         stats.worker_panics = sink_state.worker_panics.clone();
         drop(sink_state);
-        stats.worker_panics.extend(join_panics);
-        stats.per_shard_node = self.plan;
+        stats.per_shard_node = self.plan.clone();
         stats.p50_latency_ns = latency.percentile(0.50);
         stats.p99_latency_ns = latency.percentile(0.99);
         stats.mean_latency_ns = latency.mean();
-        let _ = self.started;
+        stats.latency = latency;
+        stats.uptime_ns = self.started.elapsed().as_nanos() as u64;
+        stats
+    }
+
+    /// Stop the workers (after finishing all queued work) and return
+    /// aggregate statistics — the same aggregation `stats_snapshot`
+    /// serves live. Safe to call after a worker panic: the panic was
+    /// already caught and converted into failure responses, and the
+    /// message is surfaced in [`ServeStats::worker_panics`]. Even a join
+    /// error — the recovery handler *itself* died — is recorded there
+    /// instead of being discarded, and the shard's served statistics still
+    /// come through: workers commit them per batch into a cell the runtime
+    /// holds, so neither the second panic nor the (possibly poisoned) cell
+    /// lock loses them.
+    pub fn shutdown(mut self) -> ServeStats {
+        for q in &self.queues {
+            q.shutdown();
+        }
+        let mut join_panics: Vec<(usize, String)> = Vec::new();
+        for (shard_id, handle) in std::mem::take(&mut self.workers).into_iter().enumerate() {
+            if let Err(payload) = handle.join() {
+                // The worker's own panic handler died (its panic was
+                // caught; this one escaped). The shard's stats below are
+                // intact — committed per batch — but the panic itself must
+                // not vanish with the thread.
+                let msg = panic_message(payload.as_ref());
+                join_panics
+                    .push((shard_id, format!("shard worker died in its panic handler: {msg}")));
+            }
+        }
+        let mut stats = self.collect_stats();
+        stats.worker_panics.extend(join_panics);
         stats
     }
 }
@@ -542,39 +653,6 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::shard::LatencyHistogram;
-
-    #[test]
-    fn histogram_percentiles_are_monotone_and_bucketed() {
-        let mut h = LatencyHistogram::default();
-        for ns in [100u64, 200, 400, 800, 1600, 100_000] {
-            h.record(ns);
-        }
-        let p50 = h.percentile(0.50);
-        let p99 = h.percentile(0.99);
-        assert!(p99 >= p50);
-        // p99 lands in the bucket of the 100_000 ns outlier: [2^16, 2^17).
-        assert!((65_536..131_072).contains(&p99), "p99 {p99}");
-        assert_eq!(h.mean(), (100 + 200 + 400 + 800 + 1600 + 100_000) / 6);
-    }
-
-    #[test]
-    fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.percentile(0.50), 0);
-        assert_eq!(h.mean(), 0);
-    }
-
-    #[test]
-    fn histogram_merge_accumulates() {
-        let mut a = LatencyHistogram::default();
-        let mut b = LatencyHistogram::default();
-        a.record(1_000);
-        b.record(2_000);
-        b.record(3_000);
-        a.merge(&b);
-        assert_eq!(a.mean(), 2_000);
-    }
 
     #[test]
     fn default_config_is_sane() {
@@ -582,5 +660,15 @@ mod tests {
         assert!(cfg.shards >= 1);
         assert!(cfg.max_batch >= 1);
         assert!((0.0..=1.0).contains(&cfg.threshold));
+        assert!(cfg.span_capacity > 0, "span ring should be on by default (cheap, bounded)");
+    }
+
+    #[test]
+    fn default_stats_are_empty_and_consistent() {
+        let stats = ServeStats::default();
+        assert_eq!(stats.mean_batch(), 0.0);
+        assert_eq!(stats.latency.count(), stats.requests);
+        assert_eq!(stats.batch_sizes.count(), stats.batches);
+        assert_eq!(stats.stage_queue_wait.count(), 0);
     }
 }

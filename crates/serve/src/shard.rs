@@ -6,10 +6,14 @@ use std::time::Instant;
 
 use dart_core::TabularModel;
 use dart_nn::matrix::Matrix;
+use dart_telemetry::{AtomicHistogram, Gauge, Histogram, SpanRing};
 use dart_trace::PreprocessConfig;
 
 use crate::lru::StreamLru;
 use crate::request::PrefetchResponse;
+
+#[cfg(feature = "telemetry")]
+use dart_telemetry::SpanRecord;
 
 /// A request plus its enqueue timestamp (for latency accounting).
 pub(crate) struct Envelope {
@@ -21,6 +25,10 @@ pub(crate) struct Envelope {
 pub(crate) struct ShardQueue {
     inner: Mutex<QueueInner>,
     cv: Condvar,
+    /// Live queue depth, mirrored from `pending.len()` on every
+    /// push/drain. A lock-free cell so `stats_snapshot` reads it without
+    /// contending for the hot-path queue mutex.
+    depth: Gauge,
 }
 
 struct QueueInner {
@@ -49,7 +57,15 @@ impl ShardQueue {
         ShardQueue {
             inner: Mutex::new(QueueInner { pending: VecDeque::new(), shutdown: false, dead: None }),
             cv: Condvar::new(),
+            depth: Gauge::new(),
         }
+    }
+
+    /// Requests currently queued (not yet drained by the worker).
+    /// Lock-free read of the mirrored depth gauge; clamped at 0 against
+    /// transient push/drain interleavings.
+    pub fn depth(&self) -> u64 {
+        self.depth.get().max(0) as u64
     }
 
     /// Lock the queue, recovering from mutex poisoning: a panicking worker
@@ -70,6 +86,7 @@ impl ShardQueue {
         }
         let was_empty = inner.pending.is_empty();
         inner.pending.push_back(env);
+        self.depth.add(1);
         drop(inner);
         if was_empty {
             self.cv.notify_one();
@@ -85,7 +102,9 @@ impl ShardQueue {
             return Err((envs, reason));
         }
         let was_empty = inner.pending.is_empty();
+        let before = inner.pending.len();
         inner.pending.extend(envs);
+        self.depth.add((inner.pending.len() - before) as i64);
         drop(inner);
         if was_empty {
             self.cv.notify_one();
@@ -106,6 +125,7 @@ impl ShardQueue {
             return None; // shutdown
         }
         let n = inner.pending.len().min(max_batch.max(1));
+        self.depth.sub(n as i64);
         Some(inner.pending.drain(..n).collect())
     }
 
@@ -123,6 +143,7 @@ impl ShardQueue {
         inner.shutdown = true;
         inner.dead = Some(Arc::from(reason));
         let drained: Vec<Envelope> = inner.pending.drain(..).collect();
+        self.depth.sub(drained.len() as i64);
         drop(inner);
         self.cv.notify_all();
         drained
@@ -236,73 +257,12 @@ impl Drop for BatchGuard<'_> {
     }
 }
 
-/// Fixed-size log2-bucketed latency histogram: O(1) memory regardless of
-/// how many requests a long-running shard serves. Bucket `i` covers
-/// `[2^i, 2^(i+1))` nanoseconds, so percentiles are exact to within ~1.5x.
-#[derive(Clone, Debug)]
-pub(crate) struct LatencyHistogram {
-    buckets: [u64; 64],
-    count: u64,
-    sum_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram { buckets: [0; 64], count: 0, sum_ns: 0 }
-    }
-}
-
-impl LatencyHistogram {
-    /// Record one latency sample. A 0 ns sample counts into bucket 0
-    /// (`[1, 2)`); the sum saturates instead of wrapping so `mean` stays
-    /// an upper bound even after pathological (`u64::MAX`) samples.
-    pub fn record(&mut self, ns: u64) {
-        let bucket = 63 - ns.max(1).leading_zeros() as usize;
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.sum_ns = self.sum_ns.saturating_add(ns);
-    }
-
-    /// Fold another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
-    }
-
-    /// Nearest-rank percentile (bucket midpoint); 0 when empty.
-    ///
-    /// `q` is clamped to `[0, 1]`: `q <= 0` is the minimum sample's
-    /// bucket, `q >= 1` the maximum's, and NaN is treated as 0 — out of
-    /// range quantiles used to fall through to bogus ranks (or the mean
-    /// fallback) instead of an answer on the distribution.
-    pub fn percentile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
-        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
-        let mut cumulative = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            cumulative += c;
-            if cumulative >= rank {
-                let lo = 1u64 << i;
-                return lo + lo / 2;
-            }
-        }
-        self.sum_ns / self.count
-    }
-
-    /// Exact mean; 0 when empty.
-    pub fn mean(&self) -> u64 {
-        self.sum_ns.checked_div(self.count).unwrap_or(0)
-    }
-}
-
-/// Per-shard serving statistics, merged into `ServeStats` at shutdown.
-#[derive(Debug, Default)]
+/// Per-shard serving statistics, committed whole-batch under the report
+/// cell's lock so any clone of the cell is internally consistent
+/// (`latency.count() == requests`, `predictions <= requests`). Backs both
+/// `ServeRuntime::stats_snapshot` (live) and `shutdown` (final) through
+/// the same aggregation path.
+#[derive(Clone, Debug, Default)]
 pub(crate) struct ShardReport {
     pub requests: u64,
     pub predictions: u64,
@@ -317,7 +277,33 @@ pub(crate) struct ShardReport {
     /// assigned node's cpuset (always `false` when unplaced, when the
     /// `numa` feature is off, or when the kernel rejected the mask).
     pub pinned: bool,
-    pub latency: LatencyHistogram,
+    /// Request latency (queue + inference), log2-bucketed
+    /// ([`dart_telemetry::Histogram`], promoted out of this module).
+    pub latency: Histogram,
+}
+
+/// Lock-free per-shard lifecycle metric cells, recorded by the worker
+/// without taking any lock and snapshot by `stats_snapshot` at any time.
+///
+/// The four stage histograms are only *recorded* under the `telemetry`
+/// feature (the timestamps they need compile to no-ops otherwise); the
+/// batch-size distribution is always on — one relaxed atomic add per
+/// coalesced batch.
+#[derive(Debug, Default)]
+pub(crate) struct ShardTelemetry {
+    /// Enqueue → drained by the worker, per request, nanoseconds.
+    pub queue_wait: AtomicHistogram,
+    /// Drain → feature matrix formed (stream updates + staging), per
+    /// batch, nanoseconds.
+    pub coalesce: AtomicHistogram,
+    /// Feature matrix → predictions decoded (`predict_batch` + emission),
+    /// per batch, nanoseconds.
+    pub kernel: AtomicHistogram,
+    /// Predictions → responses delivered to the completion sink, per
+    /// batch, nanoseconds.
+    pub sink: AtomicHistogram,
+    /// Coalesced batch-size distribution (per batch, in requests).
+    pub batch_size: AtomicHistogram,
 }
 
 /// Emission policy applied to each bitmap prediction.
@@ -341,6 +327,13 @@ pub(crate) struct ShardWorker {
     /// Fault injection (`ServeConfig::panic_on_stream`): panic while
     /// serving the batch that contains this stream id.
     pub panic_on_stream: Option<u64>,
+    /// This shard's lock-free lifecycle metric cells (the runtime holds
+    /// the other reference and snapshots them live).
+    pub telemetry: Arc<ShardTelemetry>,
+    /// Shared ring of recent request spans (capacity 0 = disabled; only
+    /// written under the `telemetry` feature).
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    pub spans: Arc<SpanRing>,
 }
 
 impl ShardWorker {
@@ -382,6 +375,10 @@ impl ShardWorker {
         let mut stack_buf: Vec<f32> = Vec::new();
 
         while let Some(batch) = queue.pop_batch(self.max_batch) {
+            // Lifecycle tracing stamps (telemetry feature only — without
+            // it no clock is read beyond the existing latency stamp).
+            #[cfg(feature = "telemetry")]
+            let t_drained = Instant::now();
             // If anything below unwinds, the guard converts this batch
             // into failure responses so its in-flight slots are released.
             let mut batch_guard = BatchGuard::arm(&sink, self.shard_id, &batch);
@@ -418,6 +415,9 @@ impl ShardWorker {
                 }
             }
 
+            #[cfg(feature = "telemetry")]
+            let t_formed = Instant::now();
+
             // Phase 2: one batched prediction for every warm request.
             if !warm.is_empty() {
                 stack_buf.clear();
@@ -431,6 +431,8 @@ impl ShardWorker {
                 }
             }
             feat_buf = feats.into_vec();
+            #[cfg(feature = "telemetry")]
+            let t_predicted = Instant::now();
 
             // Phase 3: stamp latencies, then deliver. All fallible work is
             // done; disarm before taking any lock so the guard's Drop can
@@ -454,11 +456,50 @@ impl ShardWorker {
                     r.latency.record(resp.latency_ns);
                 }
             }
+            // Span identities must be captured before the responses move
+            // into the sink (only needed when the ring records anything).
+            #[cfg(feature = "telemetry")]
+            let span_ids: Option<Vec<(u64, u64)>> = (self.spans.capacity() > 0)
+                .then(|| responses.iter().map(|r| (r.stream_id, r.seq)).collect());
             let mut sink_state = sink.lock();
             sink_state.completed.append(&mut responses);
             sink_state.in_flight -= batch.len() as u64;
             drop(sink_state);
             sink.cv.notify_all();
+
+            // Lifecycle telemetry, all lock-free cells: batch-size always
+            // (one relaxed add per batch), stage durations and span
+            // records only when the tracing timestamps exist.
+            self.telemetry.batch_size.record(batch.len() as u64);
+            #[cfg(feature = "telemetry")]
+            {
+                let t_delivered = Instant::now();
+                let coalesce_ns = t_formed.duration_since(t_drained).as_nanos() as u64;
+                let kernel_ns = t_predicted.duration_since(t_formed).as_nanos() as u64;
+                let sink_ns = t_delivered.duration_since(t_predicted).as_nanos() as u64;
+                self.telemetry.coalesce.record(coalesce_ns);
+                self.telemetry.kernel.record(kernel_ns);
+                self.telemetry.sink.record(sink_ns);
+                for env in &batch {
+                    self.telemetry
+                        .queue_wait
+                        .record(t_drained.duration_since(env.enqueued).as_nanos() as u64);
+                }
+                if let Some(ids) = span_ids {
+                    for (env, (stream_id, seq)) in batch.iter().zip(ids) {
+                        self.spans.push(SpanRecord {
+                            stream_id,
+                            seq,
+                            shard: self.shard_id,
+                            batch_size: batch.len(),
+                            queue_wait_ns: t_drained.duration_since(env.enqueued).as_nanos() as u64,
+                            coalesce_ns,
+                            kernel_ns,
+                            sink_ns,
+                        });
+                    }
+                }
+            }
         }
     }
 }
@@ -583,67 +624,24 @@ mod tests {
     }
 
     #[test]
-    fn histogram_bucket_boundaries_zero_one_and_max() {
-        // 0 ns is clamped into bucket 0 ([1, 2)) rather than underflowing
-        // the bucket index; 1 ns is the true lower boundary of bucket 0.
-        let mut h = LatencyHistogram::default();
-        h.record(0);
-        h.record(1);
-        assert_eq!(h.percentile(0.5), 1, "bucket 0 midpoint");
-        // Exact powers of two land in the bucket they open: 2^i is the
-        // inclusive lower bound of bucket i.
-        let mut p2 = LatencyHistogram::default();
-        p2.record(1 << 10);
-        let mid = (1u64 << 10) + (1 << 9);
-        assert_eq!(p2.percentile(0.5), mid);
-        let mut below = LatencyHistogram::default();
-        below.record((1 << 10) - 1);
-        assert!(below.percentile(0.5) < 1 << 10, "2^10 - 1 belongs to bucket 9");
-        // u64::MAX lands in the top bucket and its reported midpoint does
-        // not overflow.
-        let mut top = LatencyHistogram::default();
-        top.record(u64::MAX);
-        assert_eq!(top.percentile(0.99), (1u64 << 63) + (1 << 62));
-    }
-
-    #[test]
-    fn percentile_clamps_quantile_to_unit_interval() {
-        // Regression: `percentile(1.5)` used to compute rank > count and
-        // fall through every bucket to the mean fallback; negative/NaN `q`
-        // produced bogus rank-1-ish answers by accident of float `max`.
-        let mut h = LatencyHistogram::default();
-        for ns in [10u64, 1_000, 100_000] {
-            h.record(ns);
-        }
-        let lo = h.percentile(0.0); // minimum sample's bucket midpoint
-        let hi = h.percentile(1.0); // maximum sample's bucket midpoint
-        assert!((8..16).contains(&lo), "p0 must land in the 10 ns bucket, got {lo}");
-        assert!((65_536..131_072).contains(&hi), "p100 must land in the 100 µs bucket, got {hi}");
-        // Out-of-range and NaN quantiles clamp instead of misbehaving.
-        assert_eq!(h.percentile(1.5), hi);
-        assert_eq!(h.percentile(f64::INFINITY), hi);
-        assert_eq!(h.percentile(-3.0), lo);
-        assert_eq!(h.percentile(f64::NAN), lo);
-        // Clamping does not disturb interior quantiles: rank 2 of 3 is the
-        // 1000 ns sample, bucket [512, 1024) with midpoint 768.
-        assert_eq!(h.percentile(0.5), 768);
-        // Empty histograms still report 0 for any q.
-        assert_eq!(LatencyHistogram::default().percentile(f64::NAN), 0);
-        assert_eq!(LatencyHistogram::default().percentile(1.5), 0);
-    }
-
-    #[test]
-    fn histogram_sum_saturates_instead_of_wrapping() {
-        let mut h = LatencyHistogram::default();
-        h.record(u64::MAX);
-        h.record(u64::MAX);
-        // A wrapping sum would report a tiny mean; saturation keeps it at
-        // the ceiling divided by the count.
-        assert_eq!(h.mean(), u64::MAX / 2);
-        let mut other = LatencyHistogram::default();
-        other.record(u64::MAX);
-        h.merge(&other);
-        assert_eq!(h.mean(), u64::MAX / 3);
+    fn queue_depth_gauge_tracks_push_drain_and_poison() {
+        // The depth gauge is what `stats_snapshot` reads without touching
+        // the queue mutex — it must mirror pending.len() at every
+        // quiescent point, including the poison drain.
+        let q = ShardQueue::new();
+        assert_eq!(q.depth(), 0);
+        assert!(q.push(env_for(1)).is_ok());
+        assert!(q.push_all(vec![env_for(2), env_for(3), env_for(4)]).is_ok());
+        assert_eq!(q.depth(), 4);
+        let batch = q.pop_batch(3).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(q.depth(), 1);
+        let leaked = q.poison("worker died");
+        assert_eq!(leaked.len(), 1);
+        assert_eq!(q.depth(), 0, "poison must release the drained depth");
+        // Rejected pushes never count into the depth.
+        assert!(q.push(env_for(5)).is_err());
+        assert_eq!(q.depth(), 0);
     }
 
     #[test]

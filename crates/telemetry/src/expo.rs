@@ -1,0 +1,217 @@
+//! Prometheus-style plaintext exposition formatting.
+//!
+//! One formatter backs every metrics surface in the workspace (the
+//! registry's `render`, `dart-serve`'s `ServeStats` exposition), so
+//! scrapers see a single, stable dialect:
+//!
+//! ```text
+//! # HELP dart_serve_requests_total Requests answered by shard workers.
+//! # TYPE dart_serve_requests_total counter
+//! dart_serve_requests_total{shard="0"} 128
+//! ```
+//!
+//! Histograms render the standard cumulative form (`_bucket{le="..."}`
+//! ascending, then `_sum` and `_count`); log2 buckets are emitted only up
+//! to the highest non-empty one plus `+Inf`, keeping an empty histogram to
+//! three lines instead of 64.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+
+use crate::hist::Histogram;
+
+/// Metric type emitted on the `# TYPE` line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(value: &str, out: &mut String) {
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+/// Incremental builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+/// A borrowed label set: `&[("shard", "0")]`-style pairs, rendered in the
+/// given order (callers keep label order deterministic for golden tests).
+pub type Labels<'a> = &'a [(&'a str, &'a str)];
+
+impl Exposition {
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    /// Emit the `# HELP` / `# TYPE` preamble for a metric family. Call
+    /// once per family, before its samples.
+    pub fn header(&mut self, name: &str, kind: MetricKind, help: &str) {
+        // A newline inside `help` would terminate the comment early and
+        // corrupt the document; the format's escape for it is `\n`.
+        let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {}", kind.as_str());
+    }
+
+    /// Emit one sample line: `name{labels} value`.
+    pub fn sample<D: Display>(&mut self, name: &str, labels: Labels<'_>, value: D) {
+        self.out.push_str(name);
+        self.write_labels(labels, None);
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// Emit a full histogram family body (`_bucket`/`_sum`/`_count`) for
+    /// one label set. The family [`Self::header`] must already have been
+    /// written by the caller (histogram families with several label sets —
+    /// e.g. per-stage — share one header).
+    pub fn histogram(&mut self, name: &str, labels: Labels<'_>, hist: &Histogram) {
+        let mut cumulative = 0u64;
+        let top = hist.max_bucket().map(|b| b + 1).unwrap_or(0);
+        for (i, &c) in hist.buckets().iter().enumerate().take(top) {
+            cumulative += c;
+            // Bucket i covers [2^i, 2^(i+1)); its inclusive upper bound is
+            // 2^(i+1) - 1.
+            let le = ((1u128 << (i + 1)) - 1).to_string();
+            self.out.push_str(name);
+            self.out.push_str("_bucket");
+            self.write_labels(labels, Some(&le));
+            let _ = writeln!(self.out, " {cumulative}");
+        }
+        self.out.push_str(name);
+        self.out.push_str("_bucket");
+        self.write_labels(labels, Some("+Inf"));
+        let _ = writeln!(self.out, " {}", hist.count());
+        self.out.push_str(name);
+        self.out.push_str("_sum");
+        self.write_labels(labels, None);
+        let _ = writeln!(self.out, " {}", hist.sum());
+        self.out.push_str(name);
+        self.out.push_str("_count");
+        self.write_labels(labels, None);
+        let _ = writeln!(self.out, " {}", hist.count());
+    }
+
+    fn write_labels(&mut self, labels: Labels<'_>, le: Option<&str>) {
+        if labels.is_empty() && le.is_none() {
+            return;
+        }
+        self.out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                self.out.push(',');
+            }
+            first = false;
+            self.out.push_str(k);
+            self.out.push_str("=\"");
+            escape_label(v, &mut self.out);
+            self.out.push('"');
+        }
+        if let Some(le) = le {
+            if !first {
+                self.out.push(',');
+            }
+            self.out.push_str("le=\"");
+            self.out.push_str(le);
+            self.out.push('"');
+        }
+        self.out.push('}');
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_samples_with_labels() {
+        let mut e = Exposition::new();
+        e.header("dart_x_total", MetricKind::Counter, "Things counted.");
+        e.sample("dart_x_total", &[("shard", "0")], 3u64);
+        e.sample("dart_x_total", &[], 5u64);
+        assert_eq!(
+            e.finish(),
+            "# HELP dart_x_total Things counted.\n\
+             # TYPE dart_x_total counter\n\
+             dart_x_total{shard=\"0\"} 3\n\
+             dart_x_total 5\n"
+        );
+    }
+
+    #[test]
+    fn escapes_label_values_and_help() {
+        let mut e = Exposition::new();
+        e.header("m", MetricKind::Gauge, "multi\nline \\ help");
+        e.sample("m", &[("k", "a\"b\\c\nd")], 1u64);
+        let out = e.finish();
+        assert!(out.contains("# HELP m multi\\nline \\\\ help\n"));
+        assert!(out.contains("m{k=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn histogram_is_cumulative_and_truncates_empty_tail() {
+        let mut h = Histogram::new();
+        h.record(1); // bucket 0
+        h.record(3); // bucket 1
+        h.record(3); // bucket 1
+        let mut e = Exposition::new();
+        e.header("lat", MetricKind::Histogram, "h");
+        e.histogram("lat", &[("stage", "kernel")], &h);
+        assert_eq!(
+            e.finish(),
+            "# HELP lat h\n\
+             # TYPE lat histogram\n\
+             lat_bucket{stage=\"kernel\",le=\"1\"} 1\n\
+             lat_bucket{stage=\"kernel\",le=\"3\"} 3\n\
+             lat_bucket{stage=\"kernel\",le=\"+Inf\"} 3\n\
+             lat_sum{stage=\"kernel\"} 7\n\
+             lat_count{stage=\"kernel\"} 3\n"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_renders_three_lines() {
+        let mut e = Exposition::new();
+        e.histogram("lat", &[], &Histogram::new());
+        assert_eq!(e.finish(), "lat_bucket{le=\"+Inf\"} 0\nlat_sum 0\nlat_count 0\n");
+    }
+
+    #[test]
+    fn top_bucket_le_does_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        let mut e = Exposition::new();
+        e.histogram("lat", &[], &h);
+        let out = e.finish();
+        // Bucket 63's inclusive upper bound is u64::MAX itself.
+        assert!(out.contains(&format!("lat_bucket{{le=\"{}\"}} 1\n", u64::MAX)), "{out}");
+    }
+}

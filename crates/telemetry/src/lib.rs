@@ -1,0 +1,36 @@
+//! # dart-telemetry — live observability for the DART serving stack
+//!
+//! The paper's claim is a *serving-latency budget*; a budget you can only
+//! check after shutdown is not a budget. This crate is the measurement
+//! substrate the runtime reports through **while it serves**:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free atomic metric cells, cheap enough
+//!   to sit on kernel entry points and queue hot paths.
+//! * [`Histogram`] — the log2-bucketed latency histogram (promoted out of
+//!   `dart-serve`'s shard internals): O(1) memory, mergeable,
+//!   percentile/mean queries. [`AtomicHistogram`] is its shareable twin
+//!   with atomic-bucket recording for concurrent writers.
+//! * [`MetricsRegistry`] — a process-wide (or per-component) registry of
+//!   named cells with a Prometheus-style plaintext [`MetricsRegistry::render`].
+//! * [`Exposition`] — the shared plaintext formatter (`# HELP`/`# TYPE`
+//!   lines, label escaping, cumulative histogram buckets) used by the
+//!   registry and by `dart-serve`'s `ServeStats` exposition.
+//! * [`SpanRing`] / [`SpanRecord`] — a bounded ring buffer of recent
+//!   request-lifecycle spans (queue-wait → coalesce → kernel → sink) for
+//!   debugging latency outliers without unbounded memory.
+//!
+//! Everything here is std-only and allocation-free on the record paths;
+//! the only locks are in the registry's *registration* path and the span
+//! ring (both off the per-request hot path).
+
+pub mod cell;
+pub mod expo;
+pub mod hist;
+pub mod registry;
+pub mod span;
+
+pub use cell::{Counter, Gauge};
+pub use expo::{Exposition, MetricKind};
+pub use hist::{AtomicHistogram, Histogram, BUCKETS};
+pub use registry::{global, MetricsRegistry};
+pub use span::{SpanRecord, SpanRing};

@@ -1,0 +1,235 @@
+//! A named registry of live metric cells with a plaintext render.
+//!
+//! Registration (startup / first-use path) takes a mutex; the returned
+//! `Arc` cells are recorded into lock-free afterwards — the registry is
+//! never touched again on the hot path. [`global`] is the process-wide
+//! instance the kernel profiling hooks register into; components that
+//! need isolation (tests, multiple runtimes) build their own
+//! [`MetricsRegistry`].
+
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use crate::cell::{Counter, Gauge};
+use crate::expo::{Exposition, MetricKind};
+use crate::hist::AtomicHistogram;
+
+enum Cell {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<AtomicHistogram>),
+}
+
+impl Cell {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Cell::Counter(_) => MetricKind::Counter,
+            Cell::Gauge(_) => MetricKind::Gauge,
+            Cell::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    cell: Cell,
+}
+
+/// Registry of named metric cells; renders all of them in one stable
+/// (name-sorted, then label-sorted, else registration-ordered) document.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Register (or look up) a counter under `name` + `labels`.
+    /// Re-registering an identical name/label set returns the existing
+    /// cell, so idempotent init paths don't duplicate samples.
+    ///
+    /// Panics if the name/label set is already registered as a different
+    /// metric kind — that would render a self-contradictory document.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, help, labels, || Cell::Counter(Arc::new(Counter::new()))) {
+            Cell::Counter(c) => c,
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Register (or look up) a gauge. Same contract as [`Self::counter`].
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_insert(name, help, labels, || Cell::Gauge(Arc::new(Gauge::new()))) {
+            Cell::Gauge(g) => g,
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Register (or look up) a histogram. Same contract as
+    /// [`Self::counter`].
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<AtomicHistogram> {
+        match self
+            .get_or_insert(name, help, labels, || Cell::Histogram(Arc::new(AtomicHistogram::new())))
+        {
+            Cell::Histogram(h) => h,
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Cell,
+    ) -> Cell {
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(e) = entries.iter().find(|e| {
+            e.name == name && e.labels.len() == labels.len() && label_eq(&e.labels, labels)
+        }) {
+            return clone_cell(&e.cell);
+        }
+        let cell = make();
+        let out = clone_cell(&cell);
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            cell,
+        });
+        out
+    }
+
+    /// Render every registered metric as one plaintext exposition
+    /// document. Families are sorted by name and samples by label set, so
+    /// the output is stable regardless of registration order; the first
+    /// registration's `help` wins for a family.
+    pub fn render(&self) -> String {
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            entries[a]
+                .name
+                .cmp(&entries[b].name)
+                .then_with(|| entries[a].labels.cmp(&entries[b].labels))
+        });
+        let mut expo = Exposition::new();
+        let mut last_name: Option<&str> = None;
+        for &i in &order {
+            let e = &entries[i];
+            if last_name != Some(e.name.as_str()) {
+                expo.header(&e.name, e.cell.kind(), &e.help);
+                last_name = Some(e.name.as_str());
+            }
+            let labels: Vec<(&str, &str)> =
+                e.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            match &e.cell {
+                Cell::Counter(c) => expo.sample(&e.name, &labels, c.get()),
+                Cell::Gauge(g) => expo.sample(&e.name, &labels, g.get()),
+                Cell::Histogram(h) => expo.histogram(&e.name, &labels, &h.snapshot()),
+            }
+        }
+        expo.finish()
+    }
+
+    /// Number of registered metric cells (diagnostic).
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn label_eq(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    have.iter().zip(want).all(|((hk, hv), (wk, wv))| hk == wk && hv == wv)
+}
+
+fn clone_cell(cell: &Cell) -> Cell {
+    match cell {
+        Cell::Counter(c) => Cell::Counter(Arc::clone(c)),
+        Cell::Gauge(g) => Cell::Gauge(Arc::clone(g)),
+        Cell::Histogram(h) => Cell::Histogram(Arc::clone(h)),
+    }
+}
+
+/// The process-wide registry (e.g. kernel profiling counters, which are
+/// static by nature). Component-scoped metrics should prefer their own
+/// registry so tests and multiple instances don't collide.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_per_name_and_labels() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x_total", "x", &[("shard", "0")]);
+        let b = reg.counter("x_total", "x", &[("shard", "0")]);
+        let c = reg.counter("x_total", "x", &[("shard", "1")]);
+        a.add(2);
+        assert_eq!(b.get(), 2, "same name+labels must share one cell");
+        assert_eq!(c.get(), 0, "different labels must be a distinct cell");
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("m", "m", &[]);
+        let _ = reg.gauge("m", "m", &[]);
+    }
+
+    #[test]
+    fn render_is_sorted_and_groups_families() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b_total", "bees", &[("shard", "1")]).add(5);
+        reg.gauge("a_depth", "depth", &[]).set(-2);
+        reg.counter("b_total", "bees", &[("shard", "0")]).add(3);
+        assert_eq!(
+            reg.render(),
+            "# HELP a_depth depth\n\
+             # TYPE a_depth gauge\n\
+             a_depth -2\n\
+             # HELP b_total bees\n\
+             # TYPE b_total counter\n\
+             b_total{shard=\"0\"} 3\n\
+             b_total{shard=\"1\"} 5\n"
+        );
+    }
+
+    #[test]
+    fn histogram_cells_render_live_values() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_ns", "latency", &[]);
+        h.record(3);
+        let out = reg.render();
+        assert!(out.contains("# TYPE lat_ns histogram"), "{out}");
+        assert!(out.contains("lat_ns_bucket{le=\"+Inf\"} 1"), "{out}");
+        assert!(out.contains("lat_ns_count 1"), "{out}");
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = global().counter("dart_telemetry_selftest_total", "self test", &[]);
+        a.inc();
+        let before = a.get();
+        global().counter("dart_telemetry_selftest_total", "self test", &[]).inc();
+        assert_eq!(a.get(), before + 1);
+    }
+}
