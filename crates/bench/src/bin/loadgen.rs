@@ -18,8 +18,25 @@
 //!   kill the shard serving this stream id mid-batch, to demonstrate the
 //!   non-zero exit path and the failure accounting.
 //!
+//! TCP mode (the `dart-net` front-end instead of in-process submission):
+//!
+//! * `DART_LOADGEN_ADDR` (unset by default) — bind a [`dart_net::NetServer`]
+//!   here (e.g. `127.0.0.1:0`) and drive it over real sockets with
+//!   [`dart_net::run_tcp_load`]; the in-process knobs above still size the
+//!   model and runtime,
+//! * `DART_LOADGEN_CONNS` (default 8) — client connections; the
+//!   `DART_LOADGEN_STREAMS` total is split evenly across them,
+//! * `DART_LOADGEN_IO_THREADS` (default 4) — server IO threads,
+//! * `DART_LOADGEN_WINDOW` (default 256) — per-connection in-flight cap
+//!   on the client side.
+//!
+//! Either mode exits non-zero if any request is lost, failed, or
+//! unaccounted; TCP mode also cross-checks the scraped `/metrics`
+//! counters against the client-side report.
+//!
 //! ```sh
 //! cargo run --release -p dart-bench --bin loadgen
+//! DART_LOADGEN_ADDR=127.0.0.1:0 cargo run --release -p dart-bench --bin loadgen
 //! ```
 
 use std::sync::Arc;
@@ -60,6 +77,96 @@ fn build_model() -> (Arc<TabularModel>, PreprocessConfig) {
     (Arc::new(model), pre)
 }
 
+/// Pull one counter's value out of a rendered exposition document.
+fn scraped_counter(doc: &str, name: &str) -> Option<u64> {
+    doc.lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+/// TCP mode: put the runtime behind the `dart-net` front-end and drive
+/// it over real sockets, then cross-check the server's own counters
+/// against the client-side accounting. Exits the process with a verdict.
+fn run_tcp_mode(runtime: ServeRuntime, bind: &str, streams: usize, accesses: usize) -> ! {
+    let conns = env_usize_strict("DART_LOADGEN_CONNS", 8).max(1);
+    let io_threads = env_usize_strict("DART_LOADGEN_IO_THREADS", 4);
+    let window = env_usize_strict("DART_LOADGEN_WINDOW", 256);
+    let streams_per_conn = streams.div_ceil(conns).max(1);
+
+    let server = dart_net::NetServer::start(
+        Arc::new(runtime),
+        dart_net::NetConfig {
+            addr: bind.to_string(),
+            io_threads,
+            ..dart_net::NetConfig::default()
+        },
+    )
+    .expect("bind the load-generator server");
+    let addr = server.local_addr();
+    println!(
+        "loadgen: TCP mode on {addr}: {conns} conn(s) x {streams_per_conn} stream(s) \
+         x {accesses} accesses, window {window}, {io_threads} IO thread(s)"
+    );
+
+    let report = dart_net::run_tcp_load(&dart_net::TcpLoadConfig {
+        addr: addr.to_string(),
+        connections: conns,
+        streams_per_conn: streams_per_conn as u32,
+        accesses_per_stream: accesses as u32,
+        window: window as u64,
+        ..dart_net::TcpLoadConfig::default()
+    })
+    .expect("load generator IO");
+    println!(
+        "tcp: {} submitted, {} responses, {} nacks, {} failed, {} lost in {:.2}s \
+         ({:.0} req/s)",
+        report.submitted,
+        report.responses,
+        report.nacks,
+        report.failed_responses,
+        report.lost,
+        report.elapsed_s,
+        report.submitted as f64 / report.elapsed_s.max(1e-9),
+    );
+
+    // The server's own counters must corroborate the client's books.
+    let doc = dart_net::fetch_metrics(addr).expect("scrape /metrics");
+    println!("\n--- metrics exposition (scraped over HTTP) ---");
+    print!("{doc}");
+    let frames_in = scraped_counter(&doc, "dart_net_frames_in_total").unwrap_or(0);
+    let responses_out = scraped_counter(&doc, "dart_net_responses_out_total").unwrap_or(0);
+    server.shutdown();
+
+    let mut verdict_ok = report.is_ok();
+    if frames_in != report.submitted {
+        eprintln!(
+            "loadgen: server decoded {frames_in} frames but the client sent {}",
+            report.submitted
+        );
+        verdict_ok = false;
+    }
+    if responses_out < report.responses {
+        eprintln!(
+            "loadgen: server claims {responses_out} responses out, client received {}",
+            report.responses
+        );
+        verdict_ok = false;
+    }
+    if !verdict_ok {
+        eprintln!(
+            "loadgen: FAILED ({} lost, {} failed, {}/{} accounted)",
+            report.lost,
+            report.failed_responses,
+            report.responses + report.nacks,
+            report.submitted
+        );
+        std::process::exit(1);
+    }
+    println!("loadgen: OK");
+    std::process::exit(0);
+}
+
 fn main() {
     let streams = env_usize_strict("DART_LOADGEN_STREAMS", 64);
     let accesses = env_usize_strict("DART_LOADGEN_ACCESSES", 200);
@@ -90,6 +197,9 @@ fn main() {
         ..ServeConfig::default()
     };
     let runtime = ServeRuntime::start(model, pre, cfg);
+    if let Ok(bind) = std::env::var("DART_LOADGEN_ADDR") {
+        run_tcp_mode(runtime, &bind, streams, accesses);
+    }
     let report = run_load(&runtime, &reqs, streams);
 
     println!("{}", report.summary());

@@ -21,6 +21,19 @@
 //! * [`pipeline`] — the three-step workflow (attention → distillation →
 //!   tabularization) packaged for examples and the experiment harness.
 
+/// Cache-block shift: 64-byte blocks (`addr >> 6`), matching the paper's
+/// ChampSim setup.
+///
+/// This is THE block-granularity constant for the whole workspace —
+/// `dart-trace` (trace preprocessing, delta labels) and `dart-serve` /
+/// `dart-net` (request decoding on the serving path) both re-export it
+/// from here. It used to be duplicated in `dart_trace::record` and
+/// `dart_serve::request` with only a comment tying them together; two
+/// copies of the constant that defines what a "block" is cannot be
+/// allowed to drift, because a mismatch silently shears the serving
+/// path's deltas away from the labels the model was trained on.
+pub const BLOCK_BITS: u32 = 6;
+
 pub mod config;
 pub mod configurator;
 pub mod distill;

@@ -1,0 +1,105 @@
+//! The one HTTP route the binary port also answers: `GET /metrics`.
+//!
+//! Not a web server — just enough HTTP/1.x to let `curl` and a
+//! Prometheus scraper read [`dart_serve::ServeRuntime::render_metrics`]
+//! from the same TCP port the binary protocol runs on (the first byte of
+//! a connection decides which parser it gets; `0xDA` is not an ASCII
+//! method byte). Every HTTP response closes the connection.
+
+/// Upper bound on the request head (request line + headers). Anything
+/// longer is answered with `431` and the connection is dropped — this
+/// port's legitimate scrape requests are tiny.
+pub(crate) const MAX_HEAD: usize = 4096;
+
+/// What to do with an HTTP-mode connection after seeing `buf`.
+pub(crate) enum HttpStep {
+    /// The request head is incomplete; keep reading.
+    NeedMore,
+    /// Write these bytes, flush, then close the connection.
+    Respond(Vec<u8>),
+}
+
+fn simple_response(status: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\
+         \r\n\
+         {body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Drive one HTTP-mode connection. `buf` is everything read so far;
+/// `metrics` renders the exposition document lazily (only a real
+/// `GET /metrics` pays for a stats snapshot).
+pub(crate) fn step(buf: &[u8], metrics: impl FnOnce() -> String) -> HttpStep {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() >= MAX_HEAD {
+            return HttpStep::Respond(simple_response(
+                "431 Request Header Fields Too Large",
+                "request head too large\n",
+            ));
+        }
+        return HttpStep::NeedMore;
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let body = match (method, path) {
+        ("GET", "/metrics") => return HttpStep::Respond(simple_response("200 OK", &metrics())),
+        ("GET", _) => simple_response("404 Not Found", "only /metrics lives here\n"),
+        _ => simple_response("405 Method Not Allowed", "only GET is supported\n"),
+    };
+    HttpStep::Respond(body)
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        // Be liberal: bare-LF requests (e.g. `printf 'GET /metrics\n\n'`)
+        // terminate too.
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn respond(req: &[u8]) -> String {
+        match step(req, || "dart_serve_uptime_seconds 1.0\n".to_string()) {
+            HttpStep::Respond(bytes) => String::from_utf8(bytes).unwrap(),
+            HttpStep::NeedMore => panic!("expected a response"),
+        }
+    }
+
+    #[test]
+    fn metrics_route_serves_the_exposition() {
+        let out = respond(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+        assert!(out.contains("Content-Length: 30\r\n"), "{out}");
+        assert!(out.ends_with("dart_serve_uptime_seconds 1.0\n"), "{out}");
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_bad_method_is_405() {
+        assert!(respond(b"GET /favicon.ico HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 404"));
+        assert!(respond(b"POST /metrics HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+    }
+
+    #[test]
+    fn partial_head_waits_and_oversized_head_is_431() {
+        assert!(matches!(step(b"GET /metr", String::new), HttpStep::NeedMore));
+        let huge = vec![b'a'; MAX_HEAD];
+        assert!(respond(&huge).starts_with("HTTP/1.1 431"));
+    }
+
+    #[test]
+    fn bare_lf_requests_terminate() {
+        assert!(respond(b"GET /metrics HTTP/1.0\n\n").starts_with("HTTP/1.1 200"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # dart-net — the TCP serving front-end for `dart-serve`
+//!
+//! `dart-serve` answers prefetch requests in-process; this crate puts it
+//! on a socket. One [`NetServer`] binds a TCP port and serves two things
+//! on it:
+//!
+//! * the **binary wire protocol** ([`wire`]) — compact fixed-layout
+//!   frames (24-byte requests; responses sized by their block list)
+//!   multiplexing many client streams per connection, decoded
+//!   incrementally across arbitrary TCP segmentation,
+//! * a single **HTTP route**, `GET /metrics`, serving the runtime's
+//!   live Prometheus-style exposition to `curl`/scrapers — the first
+//!   byte of each connection (binary magic `0xDA` vs an ASCII method)
+//!   picks the parser.
+//!
+//! The IO design is std-only and non-blocking end to end: per-core
+//! acceptor/IO threads run a readiness loop ([`sys::Poller`]: raw-syscall
+//! `epoll` on Linux, a portable probing fallback elsewhere), decode
+//! frames, and feed the shard queues through
+//! [`ServeRuntime::try_submit`](dart_serve::ServeRuntime::try_submit) —
+//! which never blocks. Backpressure is **explicit**: a full shard queue
+//! or an over-cap connection is answered with a NACK frame carrying the
+//! queue depth, so a burst degrades into visible rejections instead of
+//! stalled IO threads and silent socket-buffer bloat. Slow readers are
+//! bounded the same way ([`NetConfig::write_buf_cap`]) and disconnected
+//! rather than buffered without limit.
+//!
+//! [`run_tcp_load`] is the matching load generator — tens of thousands
+//! of concurrent streams over many connections, verifying the front-end
+//! contract: **every request is answered exactly once** (a response or a
+//! NACK), under load, across shards, with the accounting to prove it.
+
+pub mod client;
+mod http;
+pub mod server;
+pub mod sys;
+pub mod tcp_load;
+pub mod wire;
+
+pub use client::{fetch_metrics, ClientEvent, NetClient};
+pub use server::{NetConfig, NetServer};
+pub use tcp_load::{run_tcp_load, TcpLoadConfig, TcpLoadReport};
+pub use wire::{Frame, FrameDecoder, NackFrame, RequestFrame, ResponseFrame, WireError};

@@ -1,0 +1,654 @@
+//! The TCP serving front-end: non-blocking readiness loop feeding
+//! [`dart_serve::ServeRuntime`], with explicit backpressure.
+//!
+//! Thread layout for one [`NetServer`]:
+//!
+//! ```text
+//!   listener (shared, non-blocking)
+//!      │ accepted by whichever IO thread's poller fires first
+//!  ┌───▼────┐  ┌────────┐     each owns its connections' reads:
+//!  │ io-0   │  │ io-1 … │     decode frames → ServeRuntime::try_submit
+//!  └───┬────┘  └───┬────┘     (never blocks; full queue → NACK frame)
+//!      │  shard queues / workers (dart-serve)
+//!  ┌───▼──────────────────┐
+//!  │ response dispatcher  │  take_completed_timeout → route by conn id
+//!  └──────────────────────┘  → per-connection outbox → socket
+//! ```
+//!
+//! Invariants the tests pin down:
+//!
+//! * **An IO thread never blocks on the runtime.** Admission uses
+//!   [`dart_serve::ServeRuntime::try_submit`]; a full shard queue comes
+//!   back as a NACK frame carrying the queue depth, written to the
+//!   client instead of parking the thread.
+//! * **Every accepted frame is answered exactly once** — a response
+//!   (served or failed) or a NACK, never both, never neither.
+//! * **Slow readers cannot pin memory.** A connection whose un-flushed
+//!   outbox exceeds [`NetConfig::write_buf_cap`] is disconnected, and a
+//!   connection with more than [`NetConfig::max_inflight_per_conn`]
+//!   unanswered frames gets NACKs instead of new submissions.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dart_serve::{ServeRuntime, SubmitRejected};
+use dart_telemetry::{Counter, Gauge};
+
+use crate::http::{self, HttpStep};
+use crate::sys::{Event, Poller};
+use crate::wire::{
+    encode_nack, encode_response, Frame, FrameDecoder, NackFrame, ResponseFrame, MAGIC0,
+};
+
+/// Front-end configuration.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Bind address, e.g. `"127.0.0.1:0"` (port 0 picks a free port;
+    /// read it back via [`NetServer::local_addr`]).
+    pub addr: String,
+    /// Acceptor/IO threads, each with its own poller (clamped ≥ 1). The
+    /// listener is registered in every poller; a connection is owned for
+    /// reading by whichever thread accepted it.
+    pub io_threads: usize,
+    /// Per-connection admission cap: frames submitted but not yet
+    /// answered. Beyond it new frames are NACKed (depth = the in-flight
+    /// count) without touching the shard queues.
+    pub max_inflight_per_conn: u64,
+    /// Per-connection un-flushed outbox cap in bytes; a reader slower
+    /// than its response stream is disconnected when crossed.
+    pub write_buf_cap: usize,
+    /// Poll/dispatch tick in milliseconds (clamped ≥ 1). Bounds how long
+    /// a pending flush or a shutdown request waits for a quiet loop.
+    pub poll_timeout_ms: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            io_threads: 2,
+            max_inflight_per_conn: 1024,
+            write_buf_cap: 1 << 20,
+            poll_timeout_ms: 2,
+        }
+    }
+}
+
+/// Why a connection was torn down (the label on
+/// `dart_net_disconnects_total`). First doom reason wins; later ones
+/// are no-ops.
+mod reason {
+    pub const ALIVE: u8 = 0;
+    pub const EOF: u8 = 1;
+    pub const SLOW_READER: u8 = 2;
+    pub const PROTOCOL_ERROR: u8 = 3;
+    pub const IO_ERROR: u8 = 4;
+    pub const HTTP_DONE: u8 = 5;
+    pub const SHUTDOWN: u8 = 6;
+
+    pub fn label(code: u8) -> &'static str {
+        match code {
+            EOF => "eof",
+            SLOW_READER => "slow_reader",
+            PROTOCOL_ERROR => "protocol_error",
+            IO_ERROR => "io_error",
+            HTTP_DONE => "http_done",
+            SHUTDOWN => "shutdown",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Live front-end counters in the **global** telemetry registry (so they
+/// appear in the same `/metrics` document as the serving runtime's own
+/// exposition). Registration is idempotent: two servers in one process
+/// share cells.
+struct Counters {
+    accepted: Arc<Counter>,
+    active: Arc<Gauge>,
+    frames_in: Arc<Counter>,
+    responses_out: Arc<Counter>,
+    nacks_queue_full: Arc<Counter>,
+    nacks_admission: Arc<Counter>,
+    http_requests: Arc<Counter>,
+    orphaned: Arc<Counter>,
+    disconnects: HashMap<u8, Arc<Counter>>,
+}
+
+impl Counters {
+    fn register() -> Counters {
+        let reg = dart_telemetry::global();
+        let disconnects = [
+            reason::EOF,
+            reason::SLOW_READER,
+            reason::PROTOCOL_ERROR,
+            reason::IO_ERROR,
+            reason::HTTP_DONE,
+            reason::SHUTDOWN,
+        ]
+        .into_iter()
+        .map(|code| {
+            let cell = reg.counter(
+                "dart_net_disconnects_total",
+                "Connections torn down, by reason.",
+                &[("reason", reason::label(code))],
+            );
+            (code, cell)
+        })
+        .collect();
+        Counters {
+            accepted: reg.counter(
+                "dart_net_connections_accepted_total",
+                "TCP connections accepted.",
+                &[],
+            ),
+            active: reg.gauge(
+                "dart_net_connections_active",
+                "TCP connections currently open.",
+                &[],
+            ),
+            frames_in: reg.counter(
+                "dart_net_frames_in_total",
+                "Well-formed request frames decoded.",
+                &[],
+            ),
+            responses_out: reg.counter(
+                "dart_net_responses_out_total",
+                "Response frames routed to a connection outbox.",
+                &[],
+            ),
+            nacks_queue_full: reg.counter(
+                "dart_net_nacks_total",
+                "Requests refused with a NACK frame, by reason.",
+                &[("reason", "queue_full")],
+            ),
+            nacks_admission: reg.counter(
+                "dart_net_nacks_total",
+                "Requests refused with a NACK frame, by reason.",
+                &[("reason", "admission")],
+            ),
+            http_requests: reg.counter(
+                "dart_net_http_requests_total",
+                "HTTP requests served on the binary port.",
+                &[],
+            ),
+            orphaned: reg.counter(
+                "dart_net_orphaned_responses_total",
+                "Responses whose connection was already gone.",
+                &[],
+            ),
+            disconnects,
+        }
+    }
+}
+
+/// Un-flushed bytes headed for one socket. `start` marks the flushed
+/// prefix; it is compacted away once it dominates the buffer.
+#[derive(Default)]
+struct OutBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl OutBuf {
+    fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
+/// One client connection. Reads happen only on the owning IO thread; the
+/// outbox is shared with the response dispatcher and serialized by its
+/// mutex (socket writes only happen under it).
+struct Conn {
+    id: u32,
+    stream: TcpStream,
+    /// Frames submitted to the runtime, not yet answered.
+    inflight: AtomicU64,
+    /// First doom reason (see [`reason`]); `ALIVE` while healthy. Set by
+    /// either side, acted on (disconnect) by the owning IO thread.
+    doomed: AtomicU8,
+    outbox: Mutex<OutBuf>,
+}
+
+impl Conn {
+    /// Mark for disconnect; the first reason sticks.
+    fn doom(&self, code: u8) {
+        let _ =
+            self.doomed.compare_exchange(reason::ALIVE, code, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    fn doom_code(&self) -> u8 {
+        self.doomed.load(Ordering::Relaxed)
+    }
+
+    /// Queue `bytes` and push as much of the outbox into the socket as
+    /// it will take right now. Never blocks; overflow past `cap` dooms
+    /// the connection as a slow reader.
+    fn enqueue_write(&self, bytes: &[u8], cap: usize) {
+        let mut out = self.outbox.lock().unwrap_or_else(PoisonError::into_inner);
+        out.buf.extend_from_slice(bytes);
+        self.flush_locked(&mut out, cap);
+    }
+
+    /// Retry the socket write for anything still buffered. Returns true
+    /// while bytes remain un-flushed.
+    fn flush(&self, cap: usize) -> bool {
+        let mut out = self.outbox.lock().unwrap_or_else(PoisonError::into_inner);
+        self.flush_locked(&mut out, cap);
+        out.pending() > 0
+    }
+
+    fn flush_locked(&self, out: &mut OutBuf, cap: usize) {
+        while out.start < out.buf.len() {
+            match (&self.stream).write(&out.buf[out.start..]) {
+                Ok(0) => {
+                    self.doom(reason::IO_ERROR);
+                    break;
+                }
+                Ok(n) => out.start += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.doom(reason::IO_ERROR);
+                    break;
+                }
+            }
+        }
+        if out.start == out.buf.len() {
+            out.buf.clear();
+            out.start = 0;
+        } else if out.start > 4096 && out.start * 2 >= out.buf.len() {
+            out.buf.drain(..out.start);
+            out.start = 0;
+        }
+        if out.pending() > cap {
+            self.doom(reason::SLOW_READER);
+        }
+    }
+}
+
+/// State shared by the IO threads and the dispatcher.
+struct Shared {
+    runtime: Arc<ServeRuntime>,
+    cfg: NetConfig,
+    counters: Counters,
+    /// conn id → connection, for response routing. IO threads insert on
+    /// accept and remove on disconnect; the dispatcher only reads.
+    conns: Mutex<HashMap<u32, Arc<Conn>>>,
+    next_conn_id: AtomicU32,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn lookup(&self, conn_id: u32) -> Option<Arc<Conn>> {
+        self.conns.lock().unwrap_or_else(PoisonError::into_inner).get(&conn_id).cloned()
+    }
+}
+
+#[cfg(unix)]
+fn fd_of(s: &impl std::os::unix::io::AsRawFd) -> i32 {
+    s.as_raw_fd()
+}
+#[cfg(not(unix))]
+fn fd_of<T>(_s: &T) -> i32 {
+    0
+}
+
+/// How a connection's inbound bytes are being interpreted. Decided by
+/// the first byte: [`MAGIC0`] is binary, anything else is HTTP.
+enum Mode {
+    Undecided,
+    Binary(FrameDecoder),
+    Http(Vec<u8>),
+}
+
+/// Per-connection state private to the owning IO thread.
+struct ConnState {
+    conn: Arc<Conn>,
+    mode: Mode,
+    /// Disconnect (reason `http_done`) once the outbox drains.
+    close_after_flush: bool,
+}
+
+const LISTENER_TOKEN: u64 = 0;
+/// Reads drained from one connection per readiness event before yielding
+/// to the rest of the loop (level-triggered pollers re-report).
+const READ_BUDGET: usize = 64;
+
+/// The running front-end. Dropping it without [`NetServer::shutdown`]
+/// leaks the IO threads until process exit; call shutdown.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    io_threads: Vec<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `cfg.addr` and start the IO + dispatcher threads.
+    pub fn start(runtime: Arc<ServeRuntime>, cfg: NetConfig) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let listener = Arc::new(listener);
+
+        let shared = Arc::new(Shared {
+            runtime,
+            cfg: NetConfig {
+                io_threads: cfg.io_threads.max(1),
+                poll_timeout_ms: cfg.poll_timeout_ms.max(1),
+                ..cfg
+            },
+            counters: Counters::register(),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU32::new(1),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let mut io_threads = Vec::new();
+        for i in 0..shared.cfg.io_threads {
+            let shared = Arc::clone(&shared);
+            let listener = Arc::clone(&listener);
+            io_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("dart-net-io-{i}"))
+                    .spawn(move || io_loop(&shared, &listener))?,
+            );
+        }
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("dart-net-dispatch".to_string())
+                    .spawn(move || dispatch_loop(&shared))?,
+            )
+        };
+        Ok(NetServer { shared, local_addr, io_threads, dispatcher })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, tear down every connection (reason `shutdown`),
+    /// and join the threads. Responses still inside the serving runtime
+    /// at this point are dropped as orphans — quiesce clients first if
+    /// every response matters.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for h in self.io_threads.drain(..) {
+            h.join().expect("dart-net IO thread panicked");
+        }
+        if let Some(h) = self.dispatcher.take() {
+            h.join().expect("dart-net dispatcher panicked");
+        }
+    }
+}
+
+/// One IO thread: poll, accept, read/decode/submit, flush, reap.
+fn io_loop(shared: &Shared, listener: &TcpListener) {
+    let mut poller = Poller::new().expect("poller construction cannot fail");
+    poller.register(fd_of(listener), LISTENER_TOKEN).expect("listener registration");
+    let mut local: HashMap<u32, ConnState> = HashMap::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut read_buf = vec![0u8; 16 * 1024];
+
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        if poller.wait(&mut events, shared.cfg.poll_timeout_ms).is_err() {
+            continue;
+        }
+        for ev in events.iter().copied() {
+            if ev.token == LISTENER_TOKEN {
+                accept_ready(shared, listener, &mut poller, &mut local);
+            } else if let Some(state) = local.get_mut(&(ev.token as u32)) {
+                if ev.hangup {
+                    state.conn.doom(reason::EOF);
+                }
+                if ev.readable {
+                    read_ready(shared, state, &mut read_buf);
+                }
+            }
+        }
+        sweep(shared, &mut poller, &mut local);
+    }
+
+    // Orderly exit: every connection this thread owns goes down as
+    // `shutdown`.
+    for (_, state) in local.iter() {
+        state.conn.doom(reason::SHUTDOWN);
+    }
+    sweep(shared, &mut poller, &mut local);
+}
+
+/// Accept everything pending (the listener is level-triggered and shared
+/// across IO threads, so `WouldBlock` here may just mean another thread
+/// won the race).
+fn accept_ready(
+    shared: &Shared,
+    listener: &TcpListener,
+    poller: &mut Poller,
+    local: &mut HashMap<u32, ConnState>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                let conn = Arc::new(Conn {
+                    id,
+                    stream,
+                    inflight: AtomicU64::new(0),
+                    doomed: AtomicU8::new(reason::ALIVE),
+                    outbox: Mutex::new(OutBuf::default()),
+                });
+                if poller.register(fd_of(&conn.stream), id as u64).is_err() {
+                    continue;
+                }
+                shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(id, Arc::clone(&conn));
+                local.insert(
+                    id,
+                    ConnState { conn, mode: Mode::Undecided, close_after_flush: false },
+                );
+                shared.counters.accepted.inc();
+                shared.counters.active.add(1);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Drain one connection's socket (bounded by [`READ_BUDGET`]) and feed
+/// the bytes to whichever parser its first byte selected.
+fn read_ready(shared: &Shared, state: &mut ConnState, read_buf: &mut [u8]) {
+    for _ in 0..READ_BUDGET {
+        if state.conn.doom_code() != reason::ALIVE {
+            return;
+        }
+        match (&state.conn.stream).read(read_buf) {
+            Ok(0) => {
+                state.conn.doom(reason::EOF);
+                return;
+            }
+            Ok(n) => handle_bytes(shared, state, &read_buf[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                state.conn.doom(reason::IO_ERROR);
+                return;
+            }
+        }
+    }
+}
+
+fn handle_bytes(shared: &Shared, state: &mut ConnState, bytes: &[u8]) {
+    if let Mode::Undecided = state.mode {
+        state.mode = if bytes[0] == MAGIC0 {
+            Mode::Binary(FrameDecoder::new())
+        } else {
+            Mode::Http(Vec::new())
+        };
+    }
+    match &mut state.mode {
+        Mode::Undecided => unreachable!("mode decided above"),
+        Mode::Binary(decoder) => {
+            decoder.extend(bytes);
+            loop {
+                match decoder.next() {
+                    Ok(Some(Frame::Request(req))) => handle_request(shared, &state.conn, req),
+                    Ok(Some(_)) => {
+                        // Clients must not send server-side frame kinds.
+                        state.conn.doom(reason::PROTOCOL_ERROR);
+                        return;
+                    }
+                    Ok(None) => return,
+                    Err(_) => {
+                        state.conn.doom(reason::PROTOCOL_ERROR);
+                        return;
+                    }
+                }
+            }
+        }
+        Mode::Http(head) => {
+            if state.close_after_flush {
+                return; // response already queued; ignore trailing bytes
+            }
+            head.extend_from_slice(bytes);
+            // A scrape must be counted *before* the exposition renders, so
+            // the document a scraper reads already includes that scrape —
+            // otherwise the served body is one request behind an
+            // in-process `render_metrics()` taken at the same moment.
+            let counted = std::cell::Cell::new(false);
+            match http::step(head, || {
+                counted.set(true);
+                shared.counters.http_requests.inc();
+                shared.runtime.render_metrics()
+            }) {
+                HttpStep::NeedMore => {}
+                HttpStep::Respond(response) => {
+                    if !counted.get() {
+                        shared.counters.http_requests.inc();
+                    }
+                    state.conn.enqueue_write(&response, shared.cfg.write_buf_cap);
+                    state.close_after_flush = true;
+                }
+            }
+        }
+    }
+}
+
+/// Admission + submission for one decoded request frame. Never blocks:
+/// over-cap connections and full shard queues are answered with a NACK
+/// frame carrying the relevant depth.
+fn handle_request(shared: &Shared, conn: &Conn, req: crate::wire::RequestFrame) {
+    shared.counters.frames_in.inc();
+    let inflight = conn.inflight.load(Ordering::Relaxed);
+    if inflight >= shared.cfg.max_inflight_per_conn {
+        shared.counters.nacks_admission.inc();
+        send_nack(shared, conn, &req, inflight);
+        return;
+    }
+    // Pre-charge before submitting: the response can race back through
+    // the dispatcher (which decrements) before try_submit even returns.
+    conn.inflight.fetch_add(1, Ordering::Relaxed);
+    match shared.runtime.try_submit(req.into_prefetch(conn.id)) {
+        Ok(()) => {}
+        Err(SubmitRejected::QueueFull { depth, .. }) => {
+            conn.inflight.fetch_sub(1, Ordering::Relaxed);
+            shared.counters.nacks_queue_full.inc();
+            send_nack(shared, conn, &req, depth);
+        }
+    }
+}
+
+fn send_nack(shared: &Shared, conn: &Conn, req: &crate::wire::RequestFrame, depth: u64) {
+    let mut bytes = Vec::with_capacity(crate::wire::NACK_LEN);
+    encode_nack(&NackFrame { stream: req.stream, addr: req.addr, depth }, &mut bytes);
+    conn.enqueue_write(&bytes, shared.cfg.write_buf_cap);
+}
+
+/// Post-events pass over this thread's connections: retry pending
+/// flushes, finish close-after-flush HTTP responses, and tear down
+/// doomed connections.
+fn sweep(shared: &Shared, poller: &mut Poller, local: &mut HashMap<u32, ConnState>) {
+    let mut dead: Vec<u32> = Vec::new();
+    for (&id, state) in local.iter_mut() {
+        let pending = state.conn.flush(shared.cfg.write_buf_cap);
+        if state.close_after_flush && !pending {
+            state.conn.doom(reason::HTTP_DONE);
+        }
+        if state.conn.doom_code() != reason::ALIVE {
+            dead.push(id);
+        }
+    }
+    for id in dead {
+        let state = local.remove(&id).expect("doomed id came from this map");
+        let _ = poller.deregister(fd_of(&state.conn.stream), id as u64);
+        shared.conns.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
+        // One last push of whatever the socket will still take (best
+        // effort — a NACK or HTTP body already in the outbox).
+        let _ = state.conn.flush(shared.cfg.write_buf_cap);
+        let _ = state.conn.stream.shutdown(std::net::Shutdown::Both);
+        shared.counters.active.sub(1);
+        let code = state.conn.doom_code();
+        if let Some(cell) = shared.counters.disconnects.get(&code) {
+            cell.inc();
+        }
+    }
+}
+
+/// The response dispatcher: pump completed responses out of the runtime
+/// and into the owning connection's outbox. Runs until shutdown is
+/// flagged *and* the current pump comes back empty.
+fn dispatch_loop(shared: &Shared) {
+    let tick = Duration::from_millis(shared.cfg.poll_timeout_ms);
+    let mut bytes = Vec::new();
+    loop {
+        let stopping = shared.shutdown.load(Ordering::SeqCst);
+        let responses = shared.runtime.take_completed_timeout(tick);
+        if responses.is_empty() {
+            if stopping {
+                return;
+            }
+            continue;
+        }
+        for resp in responses {
+            let conn_id = (resp.stream_id >> 32) as u32;
+            let Some(conn) = shared.lookup(conn_id) else {
+                shared.counters.orphaned.inc();
+                continue;
+            };
+            bytes.clear();
+            encode_response(
+                &ResponseFrame {
+                    stream: resp.stream_id as u32,
+                    seq: resp.seq,
+                    latency_ns: resp.latency_ns,
+                    failed: resp.error.is_some(),
+                    blocks: resp.prefetch_blocks,
+                },
+                &mut bytes,
+            );
+            // Count before the write flushes: the moment the bytes hit
+            // the socket a client can act on them (e.g. scrape /metrics),
+            // and the scraped counter must already include this response.
+            shared.counters.responses_out.inc();
+            conn.enqueue_write(&bytes, shared.cfg.write_buf_cap);
+            conn.inflight.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! A TCP load generator: many connections, each multiplexing many
+//! streams, verifying **exactly one answer per request** end to end.
+//!
+//! Each connection runs on its own thread with a bounded in-flight
+//! window: it sends request frames until `window` are unanswered, then
+//! reads answers before sending more. Every sent request must come back
+//! as exactly one response *or* one NACK; anything still unanswered at
+//! the read timeout is counted as `lost` (and fails
+//! [`TcpLoadReport::is_ok`]).
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use crate::client::{ClientEvent, NetClient};
+
+/// Load shape. Total concurrent streams = `connections × streams_per_conn`;
+/// total requests = streams × `accesses_per_stream`.
+#[derive(Clone, Debug)]
+pub struct TcpLoadConfig {
+    /// Server address, e.g. the string form of
+    /// [`crate::NetServer::local_addr`].
+    pub addr: String,
+    /// Client connections (one thread each).
+    pub connections: usize,
+    /// Streams multiplexed per connection (wire stream ids
+    /// `0..streams_per_conn`).
+    pub streams_per_conn: u32,
+    /// Requests per stream.
+    pub accesses_per_stream: u32,
+    /// Per-connection unanswered-frame window (clamped ≥ 1). Keep at or
+    /// below the server's `max_inflight_per_conn` to avoid admission
+    /// NACKs; above it to provoke them.
+    pub window: u64,
+    /// Give up on missing answers after this long without progress.
+    pub read_timeout_ms: u64,
+    /// Varies the synthetic access pattern across runs.
+    pub seed: u64,
+}
+
+impl Default for TcpLoadConfig {
+    fn default() -> Self {
+        TcpLoadConfig {
+            addr: String::new(),
+            connections: 8,
+            streams_per_conn: 64,
+            accesses_per_stream: 32,
+            window: 256,
+            read_timeout_ms: 10_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Aggregated verdict over every connection.
+#[derive(Clone, Debug, Default)]
+pub struct TcpLoadReport {
+    /// Request frames sent.
+    pub submitted: u64,
+    /// Response frames received (served requests).
+    pub responses: u64,
+    /// NACK frames received (refused requests — accounted, not lost).
+    pub nacks: u64,
+    /// Responses that carried the failure flag.
+    pub failed_responses: u64,
+    /// Requests with **no** answer by the deadline, plus answers for
+    /// streams this connection never used. Non-zero means the
+    /// exactly-once contract broke.
+    pub lost: u64,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_s: f64,
+}
+
+impl TcpLoadReport {
+    /// Every request accounted (answered or NACKed) and no failure
+    /// responses.
+    pub fn is_ok(&self) -> bool {
+        self.lost == 0
+            && self.failed_responses == 0
+            && self.responses + self.nacks == self.submitted
+    }
+
+    fn absorb(&mut self, other: &TcpLoadReport) {
+        self.submitted += other.submitted;
+        self.responses += other.responses;
+        self.nacks += other.nacks;
+        self.failed_responses += other.failed_responses;
+        self.lost += other.lost;
+    }
+}
+
+/// Drive one connection's streams through their accesses.
+fn run_connection(cfg: &TcpLoadConfig, conn_index: usize) -> io::Result<TcpLoadReport> {
+    let mut client = NetClient::connect(&cfg.addr)?;
+    client.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))))?;
+    let window = cfg.window.max(1);
+    let mut report = TcpLoadReport::default();
+    // Per-stream answers seen, to pin the exactly-once contract per
+    // stream rather than only in aggregate.
+    let mut answered = vec![0u64; cfg.streams_per_conn as usize];
+    let mut inflight = 0u64;
+
+    let recv_one = |client: &mut NetClient,
+                    report: &mut TcpLoadReport,
+                    answered: &mut [u64]|
+     -> io::Result<bool> {
+        match client.recv_event() {
+            Ok(event) => {
+                let stream = match &event {
+                    ClientEvent::Response(r) => {
+                        report.responses += 1;
+                        if r.failed {
+                            report.failed_responses += 1;
+                        }
+                        r.stream
+                    }
+                    ClientEvent::Nack(n) => {
+                        report.nacks += 1;
+                        n.stream
+                    }
+                };
+                match answered.get_mut(stream as usize) {
+                    Some(count) => *count += 1,
+                    // An answer for a stream we never sent on.
+                    None => report.lost += 1,
+                }
+                Ok(true)
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    };
+
+    // Interleave streams round-robin so the window keeps every stream's
+    // shard busy, the way concurrent hardware contexts would.
+    for access in 0..cfg.accesses_per_stream {
+        for stream in 0..cfg.streams_per_conn {
+            // A strided walk with a per-stream base: enough structure for
+            // warm streams to predict on, cheap to generate.
+            let base = (cfg.seed << 24) ^ ((conn_index as u64) << 40) ^ ((stream as u64 + 1) << 22);
+            let addr = base + access as u64 * 64;
+            let pc = 0x40_0000 + (stream as u64 % 16) * 4;
+            client.send_request(stream, pc, addr);
+            report.submitted += 1;
+            inflight += 1;
+            while inflight >= window {
+                if recv_one(&mut client, &mut report, &mut answered)? {
+                    inflight -= 1;
+                } else {
+                    // Window never drained within the timeout.
+                    report.lost += inflight;
+                    return Ok(report);
+                }
+            }
+        }
+    }
+    client.flush()?;
+    while inflight > 0 {
+        if recv_one(&mut client, &mut report, &mut answered)? {
+            inflight -= 1;
+        } else {
+            report.lost += inflight;
+            return Ok(report);
+        }
+    }
+    for (stream, &count) in answered.iter().enumerate() {
+        if count != cfg.accesses_per_stream as u64 {
+            // Duplicates or drops within one stream: aggregate totals can
+            // mask a duplicate-on-one / lost-on-another pair; this can't.
+            report.lost += count.abs_diff(cfg.accesses_per_stream as u64);
+            let _ = stream;
+        }
+    }
+    Ok(report)
+}
+
+/// Run the full load: one thread per connection, aggregate verdict.
+pub fn run_tcp_load(cfg: &TcpLoadConfig) -> io::Result<TcpLoadReport> {
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for conn_index in 0..cfg.connections.max(1) {
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || run_connection(&cfg, conn_index)));
+    }
+    let mut report = TcpLoadReport::default();
+    let mut first_err: Option<io::Error> = None;
+    for handle in handles {
+        match handle.join().expect("load connection thread panicked") {
+            Ok(conn_report) => report.absorb(&conn_report),
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    report.elapsed_s = start.elapsed().as_secs_f64();
+    Ok(report)
+}

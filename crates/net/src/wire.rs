@@ -1,0 +1,406 @@
+//! The compact fixed-layout binary wire protocol.
+//!
+//! Every frame starts with the same 4-byte header — magic `0xDA 0x7A`,
+//! protocol version, frame kind — followed by a kind-specific fixed-size
+//! body (responses append a variable block list whose length is in the
+//! fixed part). All integers are little-endian. Layouts:
+//!
+//! | kind | frame | layout after the header |
+//! |---|---|---|
+//! | 1 | [`RequestFrame`]  | stream `u32`, pc `u64`, addr `u64` (24 B total) |
+//! | 2 | [`ResponseFrame`] | stream `u32`, seq `u64`, latency_ns `u64`, status `u8`, count `u8`, count × block `u64` |
+//! | 3 | [`NackFrame`]     | stream `u32`, addr `u64`, queue depth `u64` (24 B total) |
+//!
+//! The first magic byte (`0xDA`) never collides with the first byte of an
+//! HTTP method, which is how the server tells a binary client from a
+//! `GET /metrics` scrape on the same port.
+//!
+//! [`FrameDecoder`] reassembles frames across arbitrary TCP segmentation:
+//! feed it whatever `read` returned and pull complete frames out. It
+//! never panics on garbage — anything that is not a well-formed header
+//! is a typed [`WireError`] (the connection is then torn down; there is
+//! no resynchronization inside a byte stream).
+
+use dart_serve::PrefetchRequest;
+
+/// First header byte. Deliberately outside the ASCII range so binary
+/// connections are distinguishable from HTTP on byte one.
+pub const MAGIC0: u8 = 0xDA;
+/// Second header byte.
+pub const MAGIC1: u8 = 0x7A;
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Frame kind: client → server prefetch request.
+pub const KIND_REQUEST: u8 = 1;
+/// Frame kind: server → client prediction (or failure) response.
+pub const KIND_RESPONSE: u8 = 2;
+/// Frame kind: server → client backpressure NACK.
+pub const KIND_NACK: u8 = 3;
+
+/// Total size of a request frame.
+pub const REQUEST_LEN: usize = 24;
+/// Total size of a NACK frame.
+pub const NACK_LEN: usize = 24;
+/// Size of a response frame before its block list.
+pub const RESPONSE_HEADER_LEN: usize = 26;
+/// Maximum blocks per response (the count field is one byte).
+pub const MAX_BLOCKS: usize = 255;
+
+/// A client's "this stream accessed this address at this pc" frame.
+///
+/// The stream id is 32-bit **on the wire**: it names a stream within one
+/// connection. The server widens it with the connection id
+/// ([`RequestFrame::global_stream_id`]) so two clients using stream 0
+/// never share shard state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestFrame {
+    /// Connection-local stream id.
+    pub stream: u32,
+    /// Program counter of the access.
+    pub pc: u64,
+    /// Byte address of the access.
+    pub addr: u64,
+}
+
+impl RequestFrame {
+    /// The process-wide stream id: connection id in the high 32 bits,
+    /// wire stream id in the low 32. The inverse lives in the response
+    /// path (`global >> 32` routes back to the connection, `global as
+    /// u32` goes out on the wire).
+    pub fn global_stream_id(&self, conn_id: u32) -> u64 {
+        ((conn_id as u64) << 32) | self.stream as u64
+    }
+
+    /// Decode straight into the runtime's request type — no intermediate
+    /// buffer, just integer reads out of the frame bytes.
+    pub fn into_prefetch(self, conn_id: u32) -> PrefetchRequest {
+        PrefetchRequest { stream_id: self.global_stream_id(conn_id), pc: self.pc, addr: self.addr }
+    }
+}
+
+/// The server's answer to one request (mirrors
+/// [`dart_serve::PrefetchResponse`] minus the shard diagnostic).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResponseFrame {
+    /// Connection-local stream id the prediction belongs to.
+    pub stream: u32,
+    /// Per-stream sequence number (`u64::MAX` for failure responses).
+    pub seq: u64,
+    /// Queue + inference latency observed by the runtime.
+    pub latency_ns: u64,
+    /// True when the runtime **failed** the request (worker death,
+    /// shutdown) instead of serving it.
+    pub failed: bool,
+    /// Predicted prefetch targets as block addresses (empty while the
+    /// stream history is cold; capped at [`MAX_BLOCKS`]).
+    pub blocks: Vec<u64>,
+}
+
+/// Explicit backpressure: the shard queue for this stream was full, the
+/// request was **not** accepted, and no response will come for it. The
+/// client owns the retry decision; `depth` says how far behind the shard
+/// is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NackFrame {
+    /// Connection-local stream id of the rejected request.
+    pub stream: u32,
+    /// Echo of the rejected request's address, so a windowed client can
+    /// match the NACK to what it sent.
+    pub addr: u64,
+    /// Shard queue depth at rejection time (or the connection's in-flight
+    /// count when the *connection* admission cap rejected it).
+    pub depth: u64,
+}
+
+/// Any well-formed frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    Request(RequestFrame),
+    Response(ResponseFrame),
+    Nack(NackFrame),
+}
+
+/// A malformed frame header. Fatal for the connection: inside a byte
+/// stream there is no frame boundary to resynchronize on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// First two bytes were not `0xDA 0x7A` (first byte reported).
+    BadMagic(u8, u8),
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown frame kind.
+    BadKind(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(a, b) => write!(f, "bad frame magic {a:#04x} {b:#04x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_header(out: &mut Vec<u8>, kind: u8) {
+    out.extend_from_slice(&[MAGIC0, MAGIC1, VERSION, kind]);
+}
+
+/// Append one encoded request frame to `out`.
+pub fn encode_request(frame: &RequestFrame, out: &mut Vec<u8>) {
+    out.reserve(REQUEST_LEN);
+    put_header(out, KIND_REQUEST);
+    out.extend_from_slice(&frame.stream.to_le_bytes());
+    out.extend_from_slice(&frame.pc.to_le_bytes());
+    out.extend_from_slice(&frame.addr.to_le_bytes());
+}
+
+/// Append one encoded response frame to `out`. Blocks beyond
+/// [`MAX_BLOCKS`] are truncated (the count field is one byte); in
+/// practice the serving runtime's degree cap keeps responses far below
+/// that.
+pub fn encode_response(frame: &ResponseFrame, out: &mut Vec<u8>) {
+    let count = frame.blocks.len().min(MAX_BLOCKS);
+    out.reserve(RESPONSE_HEADER_LEN + 8 * count);
+    put_header(out, KIND_RESPONSE);
+    out.extend_from_slice(&frame.stream.to_le_bytes());
+    out.extend_from_slice(&frame.seq.to_le_bytes());
+    out.extend_from_slice(&frame.latency_ns.to_le_bytes());
+    out.push(frame.failed as u8);
+    out.push(count as u8);
+    for block in &frame.blocks[..count] {
+        out.extend_from_slice(&block.to_le_bytes());
+    }
+}
+
+/// Append one encoded NACK frame to `out`.
+pub fn encode_nack(frame: &NackFrame, out: &mut Vec<u8>) {
+    out.reserve(NACK_LEN);
+    put_header(out, KIND_NACK);
+    out.extend_from_slice(&frame.stream.to_le_bytes());
+    out.extend_from_slice(&frame.addr.to_le_bytes());
+    out.extend_from_slice(&frame.depth.to_le_bytes());
+}
+
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
+}
+
+fn read_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().unwrap())
+}
+
+/// Incremental frame reassembly over arbitrary read boundaries.
+///
+/// Bytes go in via [`extend`](Self::extend) exactly as the socket
+/// delivered them; complete frames come out of [`next`](Self::next).
+/// Consumed bytes are compacted away lazily (amortized O(1) per byte),
+/// so a long-lived connection does not grow the buffer without bound.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Feed raw socket bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: once the consumed prefix dominates the
+        // buffer, shift the live tail down instead of reallocating past it.
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pull the next complete frame.
+    ///
+    /// * `Ok(Some(frame))` — one frame decoded and consumed.
+    /// * `Ok(None)` — no complete frame yet; feed more bytes.
+    /// * `Err(_)` — the stream is not speaking this protocol; the caller
+    ///   must drop the connection (no bytes were consumed).
+    // Deliberately named like `Iterator::next` but fallible and
+    // tri-state; an Iterator impl would have to flatten the error into
+    // the item type and lose the "need more bytes" case.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Frame>, WireError> {
+        let buf = &self.buf[self.pos..];
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        if buf[0] != MAGIC0 || buf[1] != MAGIC1 {
+            return Err(WireError::BadMagic(buf[0], buf[1]));
+        }
+        if buf[2] != VERSION {
+            return Err(WireError::BadVersion(buf[2]));
+        }
+        let need = match buf[3] {
+            KIND_REQUEST => REQUEST_LEN,
+            KIND_NACK => NACK_LEN,
+            KIND_RESPONSE => {
+                if buf.len() < RESPONSE_HEADER_LEN {
+                    return Ok(None);
+                }
+                RESPONSE_HEADER_LEN + 8 * buf[25] as usize
+            }
+            k => return Err(WireError::BadKind(k)),
+        };
+        if buf.len() < need {
+            return Ok(None);
+        }
+        let frame = match buf[3] {
+            KIND_REQUEST => Frame::Request(RequestFrame {
+                stream: read_u32(buf, 4),
+                pc: read_u64(buf, 8),
+                addr: read_u64(buf, 16),
+            }),
+            KIND_NACK => Frame::Nack(NackFrame {
+                stream: read_u32(buf, 4),
+                addr: read_u64(buf, 8),
+                depth: read_u64(buf, 16),
+            }),
+            _ => {
+                let count = buf[25] as usize;
+                let blocks =
+                    (0..count).map(|i| read_u64(buf, RESPONSE_HEADER_LEN + 8 * i)).collect();
+                Frame::Response(ResponseFrame {
+                    stream: read_u32(buf, 4),
+                    seq: read_u64(buf, 8),
+                    latency_ns: read_u64(buf, 16),
+                    failed: buf[24] != 0,
+                    blocks,
+                })
+            }
+        };
+        self.pos += need;
+        Ok(Some(frame))
+    }
+}
+
+/// Encode any frame (test/client convenience; the server encodes the
+/// concrete types directly).
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    match frame {
+        Frame::Request(f) => encode_request(f, out),
+        Frame::Response(f) => encode_response(f, out),
+        Frame::Nack(f) => encode_nack(f, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_and_global_id() {
+        let req = RequestFrame { stream: 7, pc: 0x400123, addr: 0xdead_beef_0040 };
+        let mut bytes = Vec::new();
+        encode_request(&req, &mut bytes);
+        assert_eq!(bytes.len(), REQUEST_LEN);
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        assert_eq!(dec.next().unwrap(), Some(Frame::Request(req)));
+        assert_eq!(dec.next().unwrap(), None);
+
+        let p = req.into_prefetch(3);
+        assert_eq!(p.stream_id, (3u64 << 32) | 7);
+        assert_eq!(p.pc, req.pc);
+        assert_eq!(p.addr, req.addr);
+    }
+
+    #[test]
+    fn response_roundtrip_with_blocks() {
+        let resp = ResponseFrame {
+            stream: 1,
+            seq: 42,
+            latency_ns: 900,
+            failed: false,
+            blocks: vec![10, 11, 12],
+        };
+        let mut bytes = Vec::new();
+        encode_response(&resp, &mut bytes);
+        assert_eq!(bytes.len(), RESPONSE_HEADER_LEN + 24);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        assert_eq!(dec.next().unwrap(), Some(Frame::Response(resp)));
+    }
+
+    #[test]
+    fn oversized_block_list_is_truncated_not_corrupted() {
+        let resp = ResponseFrame {
+            stream: 0,
+            seq: 0,
+            latency_ns: 0,
+            failed: true,
+            blocks: (0..300).collect(),
+        };
+        let mut bytes = Vec::new();
+        encode_response(&resp, &mut bytes);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        match dec.next().unwrap().unwrap() {
+            Frame::Response(r) => {
+                assert_eq!(r.blocks.len(), MAX_BLOCKS);
+                assert_eq!(r.blocks[..], resp.blocks[..MAX_BLOCKS]);
+                assert!(r.failed);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+        assert_eq!(dec.buffered(), 0, "exactly one frame's bytes consumed");
+    }
+
+    #[test]
+    fn split_reads_reassemble() {
+        let nack = NackFrame { stream: 9, addr: 0x1000, depth: 17 };
+        let mut bytes = Vec::new();
+        encode_nack(&nack, &mut bytes);
+        let mut dec = FrameDecoder::new();
+        for b in &bytes[..bytes.len() - 1] {
+            dec.extend(std::slice::from_ref(b));
+            assert_eq!(dec.next().unwrap(), None, "must wait for the full frame");
+        }
+        dec.extend(&bytes[bytes.len() - 1..]);
+        assert_eq!(dec.next().unwrap(), Some(Frame::Nack(nack)));
+    }
+
+    #[test]
+    fn header_errors_are_typed() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(b"GET /metrics");
+        assert_eq!(dec.next(), Err(WireError::BadMagic(b'G', b'E')));
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&[MAGIC0, MAGIC1, 99, KIND_REQUEST]);
+        assert_eq!(dec.next(), Err(WireError::BadVersion(99)));
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&[MAGIC0, MAGIC1, VERSION, 0]);
+        assert_eq!(dec.next(), Err(WireError::BadKind(0)));
+    }
+
+    #[test]
+    fn compaction_keeps_buffer_bounded() {
+        let mut bytes = Vec::new();
+        encode_request(&RequestFrame { stream: 1, pc: 2, addr: 3 }, &mut bytes);
+        let mut dec = FrameDecoder::new();
+        for _ in 0..10_000 {
+            dec.extend(&bytes);
+            assert!(matches!(dec.next().unwrap(), Some(Frame::Request(_))));
+        }
+        assert!(dec.buf.len() < 16 * 1024, "consumed prefix must be compacted away");
+    }
+}

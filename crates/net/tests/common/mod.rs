@@ -1,0 +1,45 @@
+//! Shared fixture: a tiny tabularized model + a running runtime/server
+//! pair (fast to fit; serving behavior does not depend on predictive
+//! quality).
+
+use std::sync::Arc;
+
+use dart_core::config::TabularConfig;
+use dart_core::tabularize::tabularize;
+use dart_core::TabularModel;
+use dart_nn::init::InitRng;
+use dart_nn::matrix::Matrix;
+use dart_nn::model::{AccessPredictor, ModelConfig};
+use dart_serve::{ServeConfig, ServeRuntime};
+use dart_trace::PreprocessConfig;
+
+pub fn tiny_setup() -> (Arc<TabularModel>, PreprocessConfig) {
+    let pre = PreprocessConfig {
+        seq_len: 4,
+        addr_segments: 3,
+        seg_bits: 4,
+        pc_segments: 1,
+        delta_range: 4,
+        lookforward: 4,
+    };
+    let cfg = ModelConfig {
+        input_dim: pre.input_dim(),
+        dim: 8,
+        heads: 2,
+        layers: 1,
+        ffn_dim: 16,
+        output_dim: pre.output_dim(),
+        seq_len: pre.seq_len,
+    };
+    let student = AccessPredictor::new(cfg, 3).unwrap();
+    let mut rng = InitRng::new(9);
+    let x = Matrix::from_fn(40 * 4, pre.input_dim(), |_, _| rng.next_f32());
+    let tab_cfg = TabularConfig { k: 8, c: 2, fine_tune_epochs: 0, ..Default::default() };
+    let (model, _) = tabularize(&student, &x, &tab_cfg);
+    (Arc::new(model), pre)
+}
+
+pub fn start_runtime(cfg: ServeConfig) -> Arc<ServeRuntime> {
+    let (model, pre) = tiny_setup();
+    Arc::new(ServeRuntime::start(model, pre, cfg))
+}

@@ -1,0 +1,73 @@
+//! The `GET /metrics` scrape must serve the same document
+//! `ServeRuntime::render_metrics()` renders in-process.
+//!
+//! This test lives in its own binary on purpose: the `dart_net_*`
+//! counters sit in the process-global telemetry registry, so any other
+//! test running a server concurrently would move them between the
+//! scrape and the in-process render. Alone in its binary, the only
+//! drift is what the scrape itself causes — and those few series are
+//! exactly enumerated below.
+
+mod common;
+
+use dart_net::{fetch_metrics, ClientEvent, NetClient, NetConfig, NetServer};
+use dart_serve::ServeConfig;
+use std::time::Duration;
+
+/// Series legitimately different between scrape time and a later
+/// in-process render: wall-clock, the scrape connection's own lifecycle,
+/// and its disconnect accounting.
+fn volatile(line: &str) -> bool {
+    line.contains("dart_serve_uptime_seconds")
+        || line.contains("dart_net_connections_active")
+        || line.contains("dart_net_disconnects_total")
+}
+
+fn strip_volatile(doc: &str) -> String {
+    doc.lines().filter(|l| !volatile(l)).collect::<Vec<_>>().join("\n")
+}
+
+#[test]
+fn http_scrape_equals_in_process_exposition() {
+    let runtime = common::start_runtime(ServeConfig {
+        shards: 2,
+        max_batch: 16,
+        threshold: 0.0,
+        ..ServeConfig::default()
+    });
+    let server = NetServer::start(runtime.clone(), NetConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Put real traffic through so the document is non-trivial.
+    let mut client = NetClient::connect(addr).unwrap();
+    client.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    for access in 0..10u64 {
+        for stream in 0..6u32 {
+            client.send_request(stream, 0x400, (stream as u64) << 20 | access << 6);
+        }
+    }
+    for _ in 0..60 {
+        match client.recv_event().unwrap() {
+            ClientEvent::Response(_) => {}
+            ClientEvent::Nack(n) => panic!("unexpected NACK {n:?}"),
+        }
+    }
+    runtime.wait_idle();
+
+    let scraped = fetch_metrics(addr).unwrap();
+    let in_process = runtime.render_metrics();
+    assert_eq!(
+        strip_volatile(&scraped),
+        strip_volatile(&in_process),
+        "HTTP scrape and in-process render must be the same document \
+         (modulo uptime and the scrape connection's own series)"
+    );
+
+    // The scrape saw the serve traffic and the net counters.
+    assert!(scraped.contains("dart_serve_requests_total{shard=\"0\"}"), "{scraped}");
+    assert!(scraped.contains("dart_net_frames_in_total 60"), "{scraped}");
+    assert!(scraped.contains("dart_net_responses_out_total 60"), "{scraped}");
+    assert!(scraped.contains("dart_net_connections_accepted_total"), "{scraped}");
+    assert!(scraped.contains("dart_net_http_requests_total 1"), "{scraped}");
+    server.shutdown();
+}

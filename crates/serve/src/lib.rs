@@ -65,5 +65,5 @@ pub use metrics::render_exposition;
 pub use placement::ShardPlacement;
 pub use request::{PrefetchRequest, PrefetchResponse};
 pub use router::StreamRouter;
-pub use runtime::{ServeConfig, ServeRuntime, ServeStats};
+pub use runtime::{ServeConfig, ServeRuntime, ServeStats, SubmitRejected};
 pub use stream::StreamState;

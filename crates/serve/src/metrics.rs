@@ -17,6 +17,7 @@
 //! | `dart_serve_batches_total` | counter | `predict_batch` calls |
 //! | `dart_serve_failed_total` | counter | failure responses |
 //! | `dart_serve_worker_panics_total` | counter | dead shard workers |
+//! | `dart_serve_worker_panic_info{shard,reason}` | gauge | 1 per dead worker, reason label |
 //! | `dart_serve_stream_evictions_total` | counter | LRU stream evictions |
 //! | `dart_serve_in_flight` | gauge | submitted, unanswered |
 //! | `dart_serve_queue_depth` | gauge | queued, undrained |
@@ -83,6 +84,28 @@ pub fn render_exposition(stats: &ServeStats) -> String {
         "Shard workers that died; non-zero means degraded capacity.",
     );
     e.sample("dart_serve_worker_panics_total", &[], stats.worker_panics.len());
+
+    // Only emitted when a worker has actually died: an info-style gauge
+    // whose `reason` label carries the panic message verbatim. Panic
+    // payloads are arbitrary strings — quotes, backslashes, newlines —
+    // so this family is exactly the place where label escaping must hold
+    // (tests/exposition_escape.rs proves it stays parseable).
+    if !stats.worker_panics.is_empty() {
+        e.header(
+            "dart_serve_worker_panic_info",
+            MetricKind::Gauge,
+            "One series per dead shard worker; the reason label is the \
+             panic message.",
+        );
+        for (shard, reason) in &stats.worker_panics {
+            let id = shard.to_string();
+            e.sample(
+                "dart_serve_worker_panic_info",
+                &[("shard", id.as_str()), ("reason", reason.as_str())],
+                1,
+            );
+        }
+    }
 
     e.header(
         "dart_serve_stream_evictions_total",

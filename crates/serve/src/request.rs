@@ -2,8 +2,11 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Cache-block shift shared with `dart-trace` (64-byte blocks).
-pub const BLOCK_BITS: u32 = 6;
+/// Cache-block shift (64-byte blocks), re-exported from `dart-core` —
+/// the same definition `dart-trace` preprocessing uses, so the serving
+/// path's block arithmetic cannot drift from the training labels (it
+/// used to be a duplicated constant tied to trace only by a comment).
+pub use dart_core::BLOCK_BITS;
 
 /// One memory access from one client stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]

@@ -15,7 +15,23 @@ use crate::request::{PrefetchRequest, PrefetchResponse};
 use crate::router::StreamRouter;
 use crate::shard::{
     CompletionSink, EmitPolicy, Envelope, ShardQueue, ShardReport, ShardTelemetry, ShardWorker,
+    TryPushError,
 };
+
+/// Why [`ServeRuntime::try_submit`] did **not** accept a request. This is
+/// the only rejection that produces no response through the completion
+/// sink — the caller still holds the request and must answer for it
+/// (the network front-end answers with a protocol NACK carrying `depth`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitRejected {
+    /// The target shard's bounded queue is at capacity.
+    QueueFull {
+        /// Shard whose queue was full.
+        shard: usize,
+        /// Queue depth at rejection time (goes out in the NACK frame).
+        depth: u64,
+    },
+}
 
 /// Runtime configuration.
 #[derive(Clone, Copy, Debug)]
@@ -56,11 +72,25 @@ pub struct ServeConfig {
     /// thread. `None` shares the process-global pool sized by
     /// `DART_NUM_THREADS`.
     pub pool_threads: Option<usize>,
+    /// Bounded capacity of each shard's request queue (clamped to at
+    /// least 1; `usize::MAX` — the default — is the unbounded sentinel).
+    /// When a queue is full, [`ServeRuntime::submit`]/`submit_all`
+    /// **block** the producer until space frees (in-process
+    /// back-pressure), while [`ServeRuntime::try_submit`] fails fast with
+    /// the queue depth — the network front-end turns that into a protocol
+    /// NACK instead of blocking an IO thread.
+    pub queue_capacity: usize,
     /// Fault injection for tests and chaos drills: the owning shard worker
     /// panics when it pops a batch containing this stream id, exercising
     /// the worker-death path (batch failure, queue poisoning, panic
     /// surfacing). `None` (the default) in production.
     pub panic_on_stream: Option<u64>,
+    /// Fault injection: the owning shard worker sleeps [`Self::stall_ms`]
+    /// before serving any batch containing this stream id — deterministic
+    /// back-pressure for queue-full (NACK) tests. `None` in production.
+    pub stall_on_stream: Option<u64>,
+    /// Milliseconds [`Self::stall_on_stream`] stalls for (0 disables).
+    pub stall_ms: u64,
     /// Fault injection: after a worker panic is caught, the recovery
     /// handler itself panics (while holding the shard's report-cell lock,
     /// so the cell is left poisoned). Exercises the join-error path in
@@ -88,7 +118,10 @@ impl Default for ServeConfig {
             max_streams_per_shard: 4096,
             placement: ShardPlacement::default(),
             pool_threads: None,
+            queue_capacity: usize::MAX,
             panic_on_stream: None,
+            stall_on_stream: None,
+            stall_ms: 0,
             panic_in_recovery: false,
             span_capacity: 256,
         }
@@ -269,7 +302,7 @@ impl ServeRuntime {
         let mut reports = Vec::with_capacity(cfg.shards);
         let mut telemetry = Vec::with_capacity(cfg.shards);
         for (shard_id, &node_id) in plan.iter().enumerate() {
-            let queue = Arc::new(ShardQueue::new());
+            let queue = Arc::new(ShardQueue::new(cfg.queue_capacity));
             let shard_telemetry = Arc::new(ShardTelemetry::default());
             telemetry.push(Arc::clone(&shard_telemetry));
             // The worker commits statistics into this shared cell once per
@@ -283,6 +316,8 @@ impl ServeRuntime {
             let max_batch = cfg.max_batch;
             let max_streams = cfg.max_streams_per_shard;
             let panic_on_stream = cfg.panic_on_stream;
+            let stall_on_stream = cfg.stall_on_stream;
+            let stall_ms = cfg.stall_ms;
             let panic_in_recovery = cfg.panic_in_recovery;
             let q = Arc::clone(&queue);
             let s = Arc::clone(&sink);
@@ -344,6 +379,8 @@ impl ServeRuntime {
                             emit,
                             max_streams,
                             panic_on_stream,
+                            stall_on_stream,
+                            stall_ms,
                             telemetry: shard_telemetry,
                             spans: span_ring,
                         };
@@ -457,6 +494,41 @@ impl ServeRuntime {
         }
     }
 
+    /// Submit one access **without ever blocking**: a full bounded shard
+    /// queue comes back as [`SubmitRejected::QueueFull`] with the queue
+    /// depth, and the request is *not* accounted — no response will be
+    /// delivered for it, the caller still owns it (the network front-end
+    /// answers the client with a NACK frame carrying the depth).
+    ///
+    /// Every other path behaves like [`Self::submit`]: an accepted
+    /// request gets exactly one response via [`Self::drain_completed`],
+    /// and a submit to a dead/shut-down shard is answered immediately
+    /// with a failure response (also `Ok` here — a response IS coming).
+    pub fn try_submit(&self, req: PrefetchRequest) -> Result<(), SubmitRejected> {
+        self.sink.lock().in_flight += 1;
+        let shard = self.router.shard_of(req.stream_id);
+        match self.queues[shard].try_push(Envelope { req, enqueued: Instant::now() }) {
+            Ok(()) => Ok(()),
+            Err((_env, TryPushError::Full { depth })) => {
+                // The request never entered the system: release the
+                // in-flight slot it was pre-charged (and wake waiters —
+                // this may have been the last outstanding slot).
+                let mut state = self.sink.lock();
+                debug_assert!(state.in_flight >= 1, "in-flight accounting underflow");
+                state.in_flight -= 1;
+                drop(state);
+                self.sink.cv.notify_all();
+                Err(SubmitRejected::QueueFull { shard, depth })
+            }
+            Err((env, TryPushError::Closed(reason))) => {
+                // Dead/shut-down shard: same contract as `submit` — the
+                // request is answered right now with a failure response.
+                self.fail_rejected(shard, vec![env], &reason);
+                Ok(())
+            }
+        }
+    }
+
     /// Submit many accesses in one go.
     ///
     /// Routes the whole batch first, then takes each shard queue's lock
@@ -520,6 +592,29 @@ impl ServeRuntime {
     /// see [`PrefetchResponse::error`]).
     pub fn drain_completed(&self) -> Vec<PrefetchResponse> {
         std::mem::take(&mut self.sink.lock().completed)
+    }
+
+    /// Block until at least one response is available (or `timeout`
+    /// elapses), then take everything completed so far. Returns an empty
+    /// vector on timeout. This is the response-dispatcher primitive the
+    /// network front-end pumps — it wakes on every completed batch and on
+    /// failure deliveries, without spinning on [`Self::drain_completed`].
+    pub fn take_completed_timeout(&self, timeout: std::time::Duration) -> Vec<PrefetchResponse> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.sink.lock();
+        while state.completed.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                return Vec::new();
+            }
+            let (guard, _timed_out) = self
+                .sink
+                .cv
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+        std::mem::take(&mut state.completed)
     }
 
     /// Block until every submitted request has been answered. Never hangs

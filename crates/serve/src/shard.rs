@@ -22,13 +22,37 @@ pub(crate) struct Envelope {
 }
 
 /// The mutex+condvar request queue feeding one shard worker.
+///
+/// Capacity is bounded by `ServeConfig::queue_capacity`. Producers have
+/// two ways in: [`Self::push`]/[`Self::push_all`] **block** while the
+/// queue is full (in-process submitters), while [`Self::try_push`] fails
+/// fast with the current depth (the network front-end turns that into a
+/// protocol NACK instead of ever blocking an IO thread).
 pub(crate) struct ShardQueue {
     inner: Mutex<QueueInner>,
     cv: Condvar,
+    /// Producer-side condvar: blocked `push`/`push_all` callers wait here
+    /// for space. Woken by `pop_batch` (space freed) AND by
+    /// `shutdown`/`poison` — a producer parked on a full queue whose
+    /// worker dies must wake and fail fast with the worker's panic
+    /// message, never sleep forever (the wakeup-on-death bugfix).
+    space: Condvar,
+    /// Maximum queued envelopes (`usize::MAX` = unbounded).
+    capacity: usize,
     /// Live queue depth, mirrored from `pending.len()` on every
     /// push/drain. A lock-free cell so `stats_snapshot` reads it without
     /// contending for the hot-path queue mutex.
     depth: Gauge,
+}
+
+/// Why [`ShardQueue::try_push`] bounced an envelope.
+pub(crate) enum TryPushError {
+    /// The queue is at capacity; `depth` is its length at rejection time
+    /// (what a protocol NACK carries back to the client).
+    Full { depth: u64 },
+    /// The queue is shut down or its worker died; the caller must fail
+    /// the envelope with this reason.
+    Closed(Arc<str>),
 }
 
 struct QueueInner {
@@ -53,10 +77,12 @@ impl QueueInner {
 }
 
 impl ShardQueue {
-    pub fn new() -> ShardQueue {
+    pub fn new(capacity: usize) -> ShardQueue {
         ShardQueue {
             inner: Mutex::new(QueueInner { pending: VecDeque::new(), shutdown: false, dead: None }),
             cv: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
             depth: Gauge::new(),
         }
     }
@@ -75,14 +101,23 @@ impl ShardQueue {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Enqueue one request. After [`Self::shutdown`] or [`Self::poison`]
-    /// the envelope is handed back with the reason instead: a request
-    /// pushed into a queue no worker will drain again must be failed by
-    /// the caller, never silently dropped.
+    /// Enqueue one request, **blocking while the queue is full**. After
+    /// [`Self::shutdown`] or [`Self::poison`] the envelope is handed back
+    /// with the reason instead: a request pushed into a queue no worker
+    /// will drain again must be failed by the caller, never silently
+    /// dropped. A producer parked here when the worker dies is woken by
+    /// `poison`'s `space` notification and gets the rejection, so it can
+    /// never hang on a dead shard.
     pub fn push(&self, env: Envelope) -> Result<(), (Vec<Envelope>, Arc<str>)> {
         let mut inner = self.lock();
-        if let Some(reason) = inner.reject_reason() {
-            return Err((vec![env], reason));
+        loop {
+            if let Some(reason) = inner.reject_reason() {
+                return Err((vec![env], reason));
+            }
+            if inner.pending.len() < self.capacity {
+                break;
+            }
+            inner = self.space.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
         let was_empty = inner.pending.is_empty();
         inner.pending.push_back(env);
@@ -94,20 +129,54 @@ impl ShardQueue {
         Ok(())
     }
 
-    /// Enqueue many requests with a single lock acquisition; same
-    /// rejection contract as [`Self::push`].
-    pub fn push_all(&self, envs: Vec<Envelope>) -> Result<(), (Vec<Envelope>, Arc<str>)> {
+    /// Enqueue one request **without ever blocking**: a full queue comes
+    /// back as [`TryPushError::Full`] with the depth at rejection time.
+    /// This is the network front-end's entry point — a full bounded shard
+    /// queue becomes a protocol NACK carrying that depth, instead of a
+    /// blocked socket thread.
+    pub fn try_push(&self, env: Envelope) -> Result<(), (Envelope, TryPushError)> {
         let mut inner = self.lock();
         if let Some(reason) = inner.reject_reason() {
-            return Err((envs, reason));
+            return Err((env, TryPushError::Closed(reason)));
+        }
+        if inner.pending.len() >= self.capacity {
+            let depth = inner.pending.len() as u64;
+            return Err((env, TryPushError::Full { depth }));
         }
         let was_empty = inner.pending.is_empty();
-        let before = inner.pending.len();
-        inner.pending.extend(envs);
-        self.depth.add((inner.pending.len() - before) as i64);
+        inner.pending.push_back(env);
+        self.depth.add(1);
         drop(inner);
         if was_empty {
             self.cv.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Enqueue many requests, blocking in chunks while the queue is full;
+    /// same rejection contract as [`Self::push`]. If the queue dies while
+    /// a chunk is parked, the **not-yet-queued tail** is handed back
+    /// (envelopes already queued are drained and failed by the poisoner),
+    /// so every envelope is accounted exactly once either way.
+    pub fn push_all(&self, envs: Vec<Envelope>) -> Result<(), (Vec<Envelope>, Arc<str>)> {
+        let mut envs: VecDeque<Envelope> = envs.into();
+        let mut inner = self.lock();
+        while !envs.is_empty() {
+            if let Some(reason) = inner.reject_reason() {
+                return Err((envs.into_iter().collect(), reason));
+            }
+            let room = self.capacity.saturating_sub(inner.pending.len());
+            if room == 0 {
+                inner = self.space.wait(inner).unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            let take = room.min(envs.len());
+            let was_empty = inner.pending.is_empty();
+            inner.pending.extend(envs.drain(..take));
+            self.depth.add(take as i64);
+            if was_empty {
+                self.cv.notify_one();
+            }
         }
         Ok(())
     }
@@ -126,18 +195,31 @@ impl ShardQueue {
         }
         let n = inner.pending.len().min(max_batch.max(1));
         self.depth.sub(n as i64);
-        Some(inner.pending.drain(..n).collect())
+        let batch = inner.pending.drain(..n).collect();
+        drop(inner);
+        // Space was freed: wake every producer parked on the full queue
+        // (notify_all — several may fit into the drained room).
+        self.space.notify_all();
+        Some(batch)
     }
 
-    /// Mark the queue shut down and wake the worker.
+    /// Mark the queue shut down and wake the worker **and** any producers
+    /// parked on a full queue (they get the shutdown rejection).
     pub fn shutdown(&self) {
         self.lock().shutdown = true;
         self.cv.notify_all();
+        self.space.notify_all();
     }
 
     /// Mark the queue dead (its worker panicked): refuse all future
     /// pushes with `reason` and hand back everything still queued so the
     /// caller can fail those envelopes.
+    ///
+    /// Wakes producers parked on the full queue too — a submitter blocked
+    /// inside `ServeRuntime::submit`'s full-queue wait used to sleep
+    /// forever when the shard's worker died, because nothing ever freed
+    /// space again. Now it wakes, sees the death reason, and the submit
+    /// fails fast with the worker's panic message.
     pub fn poison(&self, reason: &str) -> Vec<Envelope> {
         let mut inner = self.lock();
         inner.shutdown = true;
@@ -146,6 +228,7 @@ impl ShardQueue {
         self.depth.sub(drained.len() as i64);
         drop(inner);
         self.cv.notify_all();
+        self.space.notify_all();
         drained
     }
 }
@@ -327,6 +410,12 @@ pub(crate) struct ShardWorker {
     /// Fault injection (`ServeConfig::panic_on_stream`): panic while
     /// serving the batch that contains this stream id.
     pub panic_on_stream: Option<u64>,
+    /// Fault injection (`ServeConfig::stall_on_stream`): sleep for
+    /// `stall_ms` before serving a batch that contains this stream id —
+    /// deterministic back-pressure for queue-full / NACK tests.
+    pub stall_on_stream: Option<u64>,
+    /// Milliseconds [`Self::stall_on_stream`] sleeps for.
+    pub stall_ms: u64,
     /// This shard's lock-free lifecycle metric cells (the runtime holds
     /// the other reference and snapshots them live).
     pub telemetry: Arc<ShardTelemetry>,
@@ -379,6 +468,14 @@ impl ShardWorker {
             // it no clock is read beyond the existing latency stamp).
             #[cfg(feature = "telemetry")]
             let t_drained = Instant::now();
+            // Fault injection: stall before touching the batch, so the
+            // queue can fill (and NACK) behind a deterministically slow
+            // worker.
+            if let Some(sid) = self.stall_on_stream {
+                if self.stall_ms > 0 && batch.iter().any(|e| e.req.stream_id == sid) {
+                    std::thread::sleep(std::time::Duration::from_millis(self.stall_ms));
+                }
+            }
             // If anything below unwinds, the guard converts this batch
             // into failure responses so its in-flight slots are released.
             let mut batch_guard = BatchGuard::arm(&sink, self.shard_id, &batch);
@@ -394,8 +491,14 @@ impl ShardWorker {
             let mut responses: Vec<PrefetchResponse> = Vec::with_capacity(batch.len());
             for (i, env) in batch.iter().enumerate() {
                 if Some(env.req.stream_id) == self.panic_on_stream {
+                    // The message deliberately contains a double quote, a
+                    // backslash, and a newline: panic reasons flow into
+                    // exposition labels (`dart_serve_worker_panic_info`),
+                    // so every fault-injection run also exercises label
+                    // escaping end to end.
                     panic!(
-                        "fault injection: shard worker told to die on stream {}",
+                        "fault injection: shard worker told to die on stream {} \
+                         (\"quoted\", back\\slash,\nsecond line)",
                         env.req.stream_id
                     );
                 }
@@ -530,7 +633,7 @@ mod tests {
 
     #[test]
     fn queue_drains_in_order_and_respects_max_batch() {
-        let q = ShardQueue::new();
+        let q = ShardQueue::new(usize::MAX);
         for i in 0..5u64 {
             assert!(q.push(env_for(i)).is_ok());
         }
@@ -549,7 +652,7 @@ mod tests {
         // Regression (shutdown-path audit): requests that were already
         // queued when `shutdown()` landed must keep draining — the worker
         // answers them before `pop_batch` reports `None`.
-        let q = ShardQueue::new();
+        let q = ShardQueue::new(usize::MAX);
         for i in 0..7u64 {
             assert!(q.push(env_for(i)).is_ok());
         }
@@ -567,7 +670,7 @@ mod tests {
         // Regression: a push after shutdown used to enqueue silently even
         // though no worker would ever drain it again — the envelope (and
         // its in-flight slot) just vanished.
-        let q = ShardQueue::new();
+        let q = ShardQueue::new(usize::MAX);
         q.shutdown();
         let (rejected, reason) = q.push(env_for(9)).expect_err("push must be rejected");
         assert_eq!(rejected.len(), 1);
@@ -581,7 +684,7 @@ mod tests {
 
     #[test]
     fn poison_drains_pending_and_rejects_future_pushes() {
-        let q = ShardQueue::new();
+        let q = ShardQueue::new(usize::MAX);
         assert!(q.push(env_for(1)).is_ok());
         assert!(q.push(env_for(2)).is_ok());
         let leaked = q.poison("shard 0 worker panicked: boom");
@@ -628,7 +731,7 @@ mod tests {
         // The depth gauge is what `stats_snapshot` reads without touching
         // the queue mutex — it must mirror pending.len() at every
         // quiescent point, including the poison drain.
-        let q = ShardQueue::new();
+        let q = ShardQueue::new(usize::MAX);
         assert_eq!(q.depth(), 0);
         assert!(q.push(env_for(1)).is_ok());
         assert!(q.push_all(vec![env_for(2), env_for(3), env_for(4)]).is_ok());

@@ -584,3 +584,116 @@ fn recovery_handler_death_is_recorded_not_discarded() {
         stats.worker_panics[0].1
     );
 }
+
+/// Regression: a producer parked in `submit`'s full-queue wait used to
+/// sleep forever when the shard's worker died — `poison` drained the
+/// queue and notified the worker condvar but never the producers' space
+/// condvar, so nothing woke the submitter and nothing ever freed space
+/// again. Now `poison` wakes it, the push is rejected with the death
+/// reason, and the request comes back as a failure response.
+#[test]
+fn blocked_submitter_wakes_when_the_worker_dies() {
+    let (model, pre) = tiny_setup();
+    let runtime = Arc::new(ServeRuntime::start(
+        model,
+        pre,
+        ServeConfig {
+            queue_capacity: 1,
+            max_batch: 1,
+            // The worker stalls 300 ms on the batch, then panics on it —
+            // a window in which a submitter deterministically fills the
+            // 1-deep queue and parks behind it.
+            stall_on_stream: Some(7),
+            stall_ms: 300,
+            panic_on_stream: Some(7),
+            ..serve_cfg(1)
+        },
+    ));
+
+    // A: popped by the worker, which stalls then dies serving it.
+    runtime.submit(PrefetchRequest { stream_id: 7, pc: 0x10, addr: 1 << 6 });
+    thread::sleep(std::time::Duration::from_millis(100));
+    // B: fills the queue while the worker is stalled.
+    runtime.submit(PrefetchRequest { stream_id: 7, pc: 0x10, addr: 2 << 6 });
+    // C: must park on the full queue — and must be woken by the death.
+    let parked = {
+        let runtime = Arc::clone(&runtime);
+        thread::spawn(move || {
+            runtime.submit(PrefetchRequest { stream_id: 7, pc: 0x10, addr: 3 << 6 });
+        })
+    };
+
+    // Watchdog: without the poison wake-up this thread never returns.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    while !parked.is_finished() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "submitter is still parked on a dead shard's full queue"
+        );
+        thread::sleep(std::time::Duration::from_millis(10));
+    }
+    parked.join().unwrap();
+
+    runtime.wait_idle();
+    let responses = runtime.drain_completed();
+    assert_eq!(responses.len(), 3, "A, B and C must all be answered");
+    for resp in &responses {
+        assert!(resp.error.is_some(), "all three die with the worker");
+        assert!(
+            resp.error.as_deref().unwrap().contains("panicked"),
+            "failure reason must name the cause"
+        );
+    }
+    // B (poison-drained) and C (woken submitter) carry the actual panic
+    // message; A was failed by the batch guard mid-unwind.
+    assert!(
+        responses.iter().filter(|r| r.error.as_deref().unwrap().contains("told to die")).count()
+            >= 2,
+        "poison rejections must carry the worker's panic message"
+    );
+    let runtime = Arc::try_unwrap(runtime).ok().expect("parked thread was joined");
+    let stats = runtime.shutdown();
+    assert_eq!(stats.failed, 3);
+}
+
+/// `try_submit` never blocks: a full bounded queue is an immediate
+/// `QueueFull` rejection carrying the depth, the rejected request is not
+/// accounted (no response ever arrives for it), and accepted requests
+/// are served normally once the worker unstalls.
+#[test]
+fn try_submit_rejects_on_a_full_queue_without_blocking() {
+    let (model, pre) = tiny_setup();
+    let runtime = ServeRuntime::start(
+        model,
+        pre,
+        ServeConfig {
+            queue_capacity: 2,
+            max_batch: 1,
+            stall_on_stream: Some(7),
+            stall_ms: 400,
+            ..serve_cfg(1)
+        },
+    );
+
+    // A: popped immediately, stalls the worker for 400 ms.
+    runtime.submit(PrefetchRequest { stream_id: 7, pc: 0x10, addr: 1 << 6 });
+    thread::sleep(std::time::Duration::from_millis(150));
+
+    // B, C fill the 2-deep queue; D must bounce with the depth.
+    assert!(runtime.try_submit(PrefetchRequest { stream_id: 7, pc: 0x10, addr: 2 << 6 }).is_ok());
+    assert!(runtime.try_submit(PrefetchRequest { stream_id: 7, pc: 0x10, addr: 3 << 6 }).is_ok());
+    match runtime.try_submit(PrefetchRequest { stream_id: 7, pc: 0x10, addr: 4 << 6 }) {
+        Err(dart_serve::SubmitRejected::QueueFull { shard, depth }) => {
+            assert_eq!(shard, 0);
+            assert_eq!(depth, 2);
+        }
+        Ok(()) => panic!("a full queue must reject, not accept"),
+    }
+
+    // The rejected request is unaccounted: exactly A, B, C come back.
+    runtime.wait_idle();
+    let responses = runtime.drain_completed();
+    assert_eq!(responses.len(), 3, "the rejected request must not produce a response");
+    assert!(responses.iter().all(|r| r.error.is_none()));
+    runtime.shutdown();
+}

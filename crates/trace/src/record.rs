@@ -3,7 +3,11 @@
 use serde::{Deserialize, Serialize};
 
 /// Cache-block size: 64 bytes (matching the paper's ChampSim setup).
-pub const BLOCK_BITS: u32 = 6;
+///
+/// Re-exported from `dart-core` — the one workspace-wide definition —
+/// so trace preprocessing and the serving path (`dart_serve::request`)
+/// can never drift apart on what a "block" is.
+pub use dart_core::BLOCK_BITS;
 
 /// Page size: 4 KiB.
 pub const PAGE_BITS: u32 = 12;

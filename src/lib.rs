@@ -9,12 +9,15 @@
 //! * [`prefetch`] — prefetcher zoo (BO, ISB, DART, NN baselines),
 //! * [`core`] — the DART pipeline: configurator, distillation, tabularization,
 //! * [`numa`] — NUMA topology discovery + raw-syscall thread affinity,
-//! * [`serve`] — the sharded, batched prefetch-serving runtime.
+//! * [`serve`] — the sharded, batched prefetch-serving runtime,
+//! * [`net`] — the TCP front-end: binary wire protocol, epoll IO loop,
+//!   backpressure NACKs, `GET /metrics`.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and
 //! `examples/serve_quickstart.rs` for the serving runtime.
 
 pub use dart_core as core;
+pub use dart_net as net;
 pub use dart_nn as nn;
 pub use dart_numa as numa;
 pub use dart_pq as pq;
