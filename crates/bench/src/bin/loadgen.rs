@@ -28,7 +28,11 @@
 //!   `DART_LOADGEN_STREAMS` total is split evenly across them,
 //! * `DART_LOADGEN_IO_THREADS` (default 4) — server IO threads,
 //! * `DART_LOADGEN_WINDOW` (default 256) — per-connection in-flight cap
-//!   on the client side.
+//!   on the client side,
+//! * `DART_LOADGEN_IDLE_MS` (default 60000) — server-side idle timeout;
+//!   generous by default so a loaded-but-slow run is never reaped,
+//! * `DART_LOADGEN_TIMEOUT_MS` (default 10000) — client read timeout
+//!   before unanswered frames count as lost.
 //!
 //! Either mode exits non-zero if any request is lost, failed, or
 //! unaccounted; TCP mode also cross-checks the scraped `/metrics`
@@ -92,6 +96,8 @@ fn run_tcp_mode(runtime: ServeRuntime, bind: &str, streams: usize, accesses: usi
     let conns = env_usize_strict("DART_LOADGEN_CONNS", 8).max(1);
     let io_threads = env_usize_strict("DART_LOADGEN_IO_THREADS", 4);
     let window = env_usize_strict("DART_LOADGEN_WINDOW", 256);
+    let idle_ms = env_usize_strict("DART_LOADGEN_IDLE_MS", 60_000);
+    let timeout_ms = env_usize_strict("DART_LOADGEN_TIMEOUT_MS", 10_000);
     let streams_per_conn = streams.div_ceil(conns).max(1);
 
     let server = dart_net::NetServer::start(
@@ -99,6 +105,7 @@ fn run_tcp_mode(runtime: ServeRuntime, bind: &str, streams: usize, accesses: usi
         dart_net::NetConfig {
             addr: bind.to_string(),
             io_threads,
+            idle_timeout_ms: idle_ms as u64,
             ..dart_net::NetConfig::default()
         },
     )
@@ -106,7 +113,8 @@ fn run_tcp_mode(runtime: ServeRuntime, bind: &str, streams: usize, accesses: usi
     let addr = server.local_addr();
     println!(
         "loadgen: TCP mode on {addr}: {conns} conn(s) x {streams_per_conn} stream(s) \
-         x {accesses} accesses, window {window}, {io_threads} IO thread(s)"
+         x {accesses} accesses, window {window}, {io_threads} IO thread(s), \
+         idle timeout {idle_ms}ms"
     );
 
     let report = dart_net::run_tcp_load(&dart_net::TcpLoadConfig {
@@ -115,6 +123,7 @@ fn run_tcp_mode(runtime: ServeRuntime, bind: &str, streams: usize, accesses: usi
         streams_per_conn: streams_per_conn as u32,
         accesses_per_stream: accesses as u32,
         window: window as u64,
+        read_timeout_ms: timeout_ms as u64,
         ..dart_net::TcpLoadConfig::default()
     })
     .expect("load generator IO");
@@ -136,6 +145,10 @@ fn run_tcp_mode(runtime: ServeRuntime, bind: &str, streams: usize, accesses: usi
     print!("{doc}");
     let frames_in = scraped_counter(&doc, "dart_net_frames_in_total").unwrap_or(0);
     let responses_out = scraped_counter(&doc, "dart_net_responses_out_total").unwrap_or(0);
+    let batched = scraped_counter(&doc, "dart_net_batched_writes_total").unwrap_or(0);
+    let idle_reaped =
+        scraped_counter(&doc, "dart_net_disconnects_total{reason=\"idle\"}").unwrap_or(0);
+    println!("tcp: {batched} multi-frame outbox append(s), {idle_reaped} idle disconnect(s)");
     server.shutdown();
 
     let mut verdict_ok = report.is_ok();
@@ -151,6 +164,13 @@ fn run_tcp_mode(runtime: ServeRuntime, bind: &str, streams: usize, accesses: usi
             "loadgen: server claims {responses_out} responses out, client received {}",
             report.responses
         );
+        verdict_ok = false;
+    }
+    // At meaningful scale the batched write path must actually engage:
+    // with thousands of in-flight requests, some dispatcher pump MUST
+    // coalesce >1 response for some connection.
+    if report.submitted >= 10_000 && batched == 0 {
+        eprintln!("loadgen: batched write path never engaged at {} requests", report.submitted);
         verdict_ok = false;
     }
     if !verdict_ok {

@@ -32,29 +32,66 @@ fn simple_response(status: &str, body: &str) -> Vec<u8> {
     .into_bytes()
 }
 
-/// Drive one HTTP-mode connection. `buf` is everything read so far;
-/// `metrics` renders the exposition document lazily (only a real
-/// `GET /metrics` pays for a stats snapshot).
-pub(crate) fn step(buf: &[u8], metrics: impl FnOnce() -> String) -> HttpStep {
-    let Some(head_end) = find_head_end(buf) else {
-        if buf.len() >= MAX_HEAD {
-            return HttpStep::Respond(simple_response(
-                "431 Request Header Fields Too Large",
-                "request head too large\n",
-            ));
-        }
-        return HttpStep::NeedMore;
-    };
-    let head = String::from_utf8_lossy(&buf[..head_end]);
-    let request_line = head.lines().next().unwrap_or("");
-    let mut parts = request_line.split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    let body = match (method, path) {
-        ("GET", "/metrics") => return HttpStep::Respond(simple_response("200 OK", &metrics())),
-        ("GET", _) => simple_response("404 Not Found", "only /metrics lives here\n"),
-        _ => simple_response("405 Method Not Allowed", "only GET is supported\n"),
-    };
-    HttpStep::Respond(body)
+/// Incremental request-head accumulator for one HTTP-mode connection.
+///
+/// Two bounds the old whole-buffer rescan version lacked:
+///
+/// * **O(n) total parsing.** The terminator search resumes from a scan
+///   offset instead of rescanning from byte 0 on every read chunk, so a
+///   head trickled in byte-by-byte costs linear work overall, not
+///   quadratic.
+/// * **Bounded buffering.** The head buffer never grows past
+///   [`MAX_HEAD`]. A request whose terminator is not inside the first
+///   `MAX_HEAD` bytes is answered `431` without ever buffering the
+///   overshoot (the old version buffered up to a full 16 KiB read chunk
+///   past the cap before the check fired). Truncating at the cap is
+///   lossless for the decision: a terminator that would straddle the
+///   cap puts `head_end > MAX_HEAD`, which is oversized anyway.
+#[derive(Default)]
+pub(crate) struct HeadParser {
+    buf: Vec<u8>,
+    /// Bytes already scanned for a terminator (no match before here).
+    scanned: usize,
+}
+
+impl HeadParser {
+    /// Absorb one read chunk and decide. `metrics` renders the
+    /// exposition document lazily (only a real `GET /metrics` pays for a
+    /// stats snapshot).
+    pub(crate) fn feed(&mut self, bytes: &[u8], metrics: impl FnOnce() -> String) -> HttpStep {
+        let room = MAX_HEAD.saturating_sub(self.buf.len());
+        self.buf.extend_from_slice(&bytes[..bytes.len().min(room)]);
+        // Resume the scan just behind the already-scanned frontier: a
+        // terminator can straddle the previous chunk boundary by at most
+        // its own length minus one.
+        let start = self.scanned.saturating_sub(3);
+        let Some(head_end) = find_head_end(&self.buf[start..]).map(|i| start + i) else {
+            self.scanned = self.buf.len();
+            if self.buf.len() >= MAX_HEAD {
+                return HttpStep::Respond(simple_response(
+                    "431 Request Header Fields Too Large",
+                    "request head too large\n",
+                ));
+            }
+            return HttpStep::NeedMore;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]);
+        let request_line = head.lines().next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        let body = match (method, path) {
+            ("GET", "/metrics") => return HttpStep::Respond(simple_response("200 OK", &metrics())),
+            ("GET", _) => simple_response("404 Not Found", "only /metrics lives here\n"),
+            _ => simple_response("405 Method Not Allowed", "only GET is supported\n"),
+        };
+        HttpStep::Respond(body)
+    }
+
+    /// Bytes currently buffered (tests pin the `<= MAX_HEAD` bound).
+    #[cfg(test)]
+    fn buffered(&self) -> usize {
+        self.buf.len()
+    }
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -71,7 +108,8 @@ mod tests {
     use super::*;
 
     fn respond(req: &[u8]) -> String {
-        match step(req, || "dart_serve_uptime_seconds 1.0\n".to_string()) {
+        let mut parser = HeadParser::default();
+        match parser.feed(req, || "dart_serve_uptime_seconds 1.0\n".to_string()) {
             HttpStep::Respond(bytes) => String::from_utf8(bytes).unwrap(),
             HttpStep::NeedMore => panic!("expected a response"),
         }
@@ -93,7 +131,8 @@ mod tests {
 
     #[test]
     fn partial_head_waits_and_oversized_head_is_431() {
-        assert!(matches!(step(b"GET /metr", String::new), HttpStep::NeedMore));
+        let mut parser = HeadParser::default();
+        assert!(matches!(parser.feed(b"GET /metr", String::new), HttpStep::NeedMore));
         let huge = vec![b'a'; MAX_HEAD];
         assert!(respond(&huge).starts_with("HTTP/1.1 431"));
     }
@@ -101,5 +140,63 @@ mod tests {
     #[test]
     fn bare_lf_requests_terminate() {
         assert!(respond(b"GET /metrics HTTP/1.0\n\n").starts_with("HTTP/1.1 200"));
+    }
+
+    /// The request head can arrive in arbitrarily small chunks; the
+    /// incremental scan must find terminators that straddle any chunk
+    /// boundary (the scan resumes a few bytes behind its frontier).
+    #[test]
+    fn terminator_straddling_chunk_boundaries_is_found() {
+        let req = b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+        for split in 1..req.len() {
+            let mut parser = HeadParser::default();
+            assert!(
+                matches!(parser.feed(&req[..split], String::new), HttpStep::NeedMore),
+                "prefix of {split} bytes is not a complete head"
+            );
+            match parser.feed(&req[split..], || "ok\n".to_string()) {
+                HttpStep::Respond(bytes) => {
+                    let text = String::from_utf8(bytes).unwrap();
+                    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "split {split}: {text}");
+                }
+                HttpStep::NeedMore => panic!("split {split}: head never terminated"),
+            }
+        }
+        // Byte-at-a-time too: the degenerate case the scan offset exists
+        // for (quadratic rescans under trickled input).
+        let mut parser = HeadParser::default();
+        let mut done = false;
+        for (i, byte) in req.iter().enumerate() {
+            match parser.feed(std::slice::from_ref(byte), || "ok\n".to_string()) {
+                HttpStep::NeedMore => {}
+                HttpStep::Respond(_) => {
+                    assert_eq!(i, req.len() - 1, "responded before the head terminated");
+                    done = true;
+                }
+            }
+        }
+        assert!(done);
+    }
+
+    /// The head buffer must never grow past `MAX_HEAD`, no matter how
+    /// large the read chunk that crosses the cap is — the 431 decision
+    /// needs no byte beyond the cap.
+    #[test]
+    fn head_buffering_is_bounded_at_the_cap() {
+        let mut parser = HeadParser::default();
+        let chunk = vec![b'a'; MAX_HEAD + 16 * 1024];
+        match parser.feed(&chunk, String::new) {
+            HttpStep::Respond(bytes) => {
+                assert!(String::from_utf8(bytes).unwrap().starts_with("HTTP/1.1 431"));
+            }
+            HttpStep::NeedMore => panic!("oversized head must be answered 431"),
+        }
+        assert!(parser.buffered() <= MAX_HEAD, "buffered {} > MAX_HEAD", parser.buffered());
+
+        // Crossing the cap in two chunks behaves identically.
+        let mut parser = HeadParser::default();
+        assert!(matches!(parser.feed(&chunk[..MAX_HEAD - 1], String::new), HttpStep::NeedMore));
+        assert!(matches!(parser.feed(&chunk, String::new), HttpStep::Respond(_)));
+        assert!(parser.buffered() <= MAX_HEAD);
     }
 }

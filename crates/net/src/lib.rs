@@ -25,6 +25,14 @@
 //! bounded the same way ([`NetConfig::write_buf_cap`]) and disconnected
 //! rather than buffered without limit.
 //!
+//! Responses ride a **batched, writability-driven** write path: the
+//! dispatcher groups each pump's completions by connection into one
+//! encoded buffer per conn (never touching a socket itself), and the
+//! owning IO thread flushes on writable events — writable interest is
+//! registered only while a conn's outbox actually holds bytes. Idle
+//! connections can be reaped ([`NetConfig::idle_timeout_ms`]), and a
+//! reaped conn's per-stream state is retired from the shard LRU maps.
+//!
 //! [`run_tcp_load`] is the matching load generator — tens of thousands
 //! of concurrent streams over many connections, verifying the front-end
 //! contract: **every request is answered exactly once** (a response or a
@@ -37,7 +45,7 @@ pub mod sys;
 pub mod tcp_load;
 pub mod wire;
 
-pub use client::{fetch_metrics, ClientEvent, NetClient};
+pub use client::{fetch_metrics, ClientEvent, ClientPool, NetClient, PooledClient};
 pub use server::{NetConfig, NetServer};
 pub use tcp_load::{run_tcp_load, TcpLoadConfig, TcpLoadReport};
 pub use wire::{Frame, FrameDecoder, NackFrame, RequestFrame, ResponseFrame, WireError};

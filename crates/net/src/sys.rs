@@ -18,6 +18,10 @@ pub struct Event {
     pub token: u64,
     /// Readable (or spuriously assumed so by the fallback backend).
     pub readable: bool,
+    /// Writable. Only ever reported for tokens with writable interest
+    /// ([`Poller::set_writable`]); the fallback backend reports it
+    /// spuriously for those, like it does readability.
+    pub writable: bool,
     /// Peer hung up or the socket errored; the owner should read to EOF
     /// and tear the connection down.
     pub hangup: bool,
@@ -26,6 +30,11 @@ pub struct Event {
 /// A level-triggered readiness poller over raw file descriptors.
 pub struct Poller {
     backend: Backend,
+    /// Tokens with writable interest, mirrored across backends. This is
+    /// the introspection surface tests pin the EPOLLOUT discipline with
+    /// (interest registered **only** while an outbox has pending bytes),
+    /// and it keeps `set_writable` idempotent without a syscall.
+    writable: std::collections::HashSet<u64>,
 }
 
 enum Backend {
@@ -41,10 +50,16 @@ impl Poller {
         {
             let forced = std::env::var("DART_NET_POLLER").is_ok_and(|v| v == "fallback");
             if !forced {
-                return Ok(Poller { backend: Backend::Epoll(epoll::Epoll::new()?) });
+                return Ok(Poller {
+                    backend: Backend::Epoll(epoll::Epoll::new()?),
+                    writable: std::collections::HashSet::new(),
+                });
             }
         }
-        Ok(Poller { backend: Backend::Fallback(fallback::Probe::default()) })
+        Ok(Poller {
+            backend: Backend::Fallback(fallback::Probe::default()),
+            writable: std::collections::HashSet::new(),
+        })
     }
 
     /// Which backend is live (`"epoll"` or `"fallback"`).
@@ -68,11 +83,47 @@ impl Poller {
 
     /// Stop watching `fd` / `token`.
     pub fn deregister(&mut self, fd: i32, token: u64) -> io::Result<()> {
+        self.writable.remove(&token);
         match &mut self.backend {
             #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
             Backend::Epoll(e) => e.deregister(fd, token),
             Backend::Fallback(p) => p.deregister(token),
         }
+    }
+
+    /// Add or drop **writable** interest for an already-registered
+    /// `fd`/`token` (readable interest is unaffected). Level-triggered:
+    /// while interest is set, a socket with send-buffer space reports
+    /// writable on every wait — so callers must register only while they
+    /// actually have pending bytes and drop interest once drained, or the
+    /// loop busy-spins. Idempotent; no syscall when the interest already
+    /// matches.
+    pub fn set_writable(&mut self, fd: i32, token: u64, on: bool) -> io::Result<()> {
+        if on == self.writable.contains(&token) {
+            return Ok(());
+        }
+        match &mut self.backend {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            Backend::Epoll(e) => e.set_writable(fd, token, on)?,
+            Backend::Fallback(p) => p.set_writable(token, on)?,
+        }
+        if on {
+            self.writable.insert(token);
+        } else {
+            self.writable.remove(&token);
+        }
+        Ok(())
+    }
+
+    /// Whether `token` currently has writable interest (introspection for
+    /// the only-while-pending tests; both backends).
+    pub fn writable_interest(&self, token: u64) -> bool {
+        self.writable.contains(&token)
+    }
+
+    /// How many tokens currently have writable interest.
+    pub fn writable_count(&self) -> usize {
+        self.writable.len()
     }
 
     /// Wait up to `timeout_ms` for readiness; clears and refills `out`.
@@ -111,11 +162,13 @@ mod epoll {
     }
 
     const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
     const EPOLLERR: u32 = 0x8;
     const EPOLLHUP: u32 = 0x10;
     const EPOLLRDHUP: u32 = 0x2000;
     const EPOLL_CTL_ADD: usize = 1;
     const EPOLL_CTL_DEL: usize = 2;
+    const EPOLL_CTL_MOD: usize = 3;
     const EPOLL_CLOEXEC: usize = 0x80000;
     const MAX_EVENTS: usize = 256;
 
@@ -218,6 +271,27 @@ mod epoll {
             check(rc).map(|_| ())
         }
 
+        pub(super) fn set_writable(&mut self, fd: i32, token: u64, on: bool) -> io::Result<()> {
+            let events = if on { EPOLLIN | EPOLLRDHUP | EPOLLOUT } else { EPOLLIN | EPOLLRDHUP };
+            let ev = EpollEvent { events, data: token };
+            // SAFETY: as in `register` — one struct, read-only to the
+            // kernel for the duration of the call.
+            let rc = unsafe {
+                syscall6(
+                    nr::EPOLL_CTL,
+                    [
+                        self.epfd as usize,
+                        EPOLL_CTL_MOD,
+                        fd as usize,
+                        &ev as *const EpollEvent as usize,
+                        0,
+                        0,
+                    ],
+                )
+            };
+            check(rc).map(|_| ())
+        }
+
         pub(super) fn deregister(&mut self, fd: i32, _token: u64) -> io::Result<()> {
             // A non-null event pointer keeps pre-2.6.9-kernel semantics
             // happy; the kernel ignores its contents for DEL.
@@ -270,6 +344,7 @@ mod epoll {
                 out.push(Event {
                     token,
                     readable: bits & EPOLLIN != 0,
+                    writable: bits & EPOLLOUT != 0,
                     hangup: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
                 });
             }
@@ -291,24 +366,35 @@ mod fallback {
     use super::Event;
     use std::io;
 
+    /// A registered token and whether it has writable interest.
     #[derive(Default)]
     pub(super) struct Probe {
-        tokens: Vec<u64>,
+        tokens: Vec<(u64, bool)>,
     }
 
     impl Probe {
         pub(super) fn register(&mut self, token: u64) -> io::Result<()> {
-            if self.tokens.contains(&token) {
+            if self.tokens.iter().any(|&(t, _)| t == token) {
                 return Err(io::Error::new(io::ErrorKind::AlreadyExists, "token registered"));
             }
-            self.tokens.push(token);
+            self.tokens.push((token, false));
             Ok(())
         }
 
         pub(super) fn deregister(&mut self, token: u64) -> io::Result<()> {
-            match self.tokens.iter().position(|&t| t == token) {
+            match self.tokens.iter().position(|&(t, _)| t == token) {
                 Some(i) => {
                     self.tokens.swap_remove(i);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "token not registered")),
+            }
+        }
+
+        pub(super) fn set_writable(&mut self, token: u64, on: bool) -> io::Result<()> {
+            match self.tokens.iter_mut().find(|(t, _)| *t == token) {
+                Some((_, w)) => {
+                    *w = on;
                     Ok(())
                 }
                 None => Err(io::Error::new(io::ErrorKind::NotFound, "token not registered")),
@@ -319,9 +405,13 @@ mod fallback {
             // Cap the probe interval so a caller's long timeout does not
             // turn into long stretches of readiness blindness.
             std::thread::sleep(std::time::Duration::from_millis(timeout_ms.min(5)));
-            out.extend(self.tokens.iter().map(|&token| Event {
+            // Spurious readiness on both axes, but writability only for
+            // tokens that asked (same only-while-pending discipline the
+            // epoll backend enforces in the kernel).
+            out.extend(self.tokens.iter().map(|&(token, writable)| Event {
                 token,
                 readable: true,
+                writable,
                 hangup: false,
             }));
             Ok(())
@@ -379,6 +469,65 @@ mod tests {
         panic!("poller never surfaced the bytes (backend {})", poller.backend_name());
     }
 
+    /// Writability discipline on a live socket: never reported without
+    /// interest, reported while interest is set (an idle socket's send
+    /// buffer has space, so epoll must claim it and the fallback may),
+    /// and gone again once interest is dropped.
+    #[cfg(unix)]
+    fn exercise_writable(mut poller: Poller) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (served, _) = listener.accept().unwrap();
+        served.set_nonblocking(true).unwrap();
+
+        poller.register(raw_fd(&served), 7).unwrap();
+        assert!(!poller.writable_interest(7));
+        assert_eq!(poller.writable_count(), 0);
+
+        let mut events = Vec::new();
+        for _ in 0..3 {
+            poller.wait(&mut events, 5).unwrap();
+            assert!(
+                events.iter().all(|ev| !ev.writable),
+                "writable reported without interest (backend {})",
+                poller.backend_name()
+            );
+        }
+
+        poller.set_writable(raw_fd(&served), 7, true).unwrap();
+        poller.set_writable(raw_fd(&served), 7, true).unwrap(); // idempotent
+        assert!(poller.writable_interest(7));
+        assert_eq!(poller.writable_count(), 1);
+        let mut saw_writable = false;
+        for _ in 0..400 {
+            poller.wait(&mut events, 5).unwrap();
+            if events.iter().any(|ev| ev.token == 7 && ev.writable) {
+                saw_writable = true;
+                break;
+            }
+        }
+        assert!(
+            saw_writable,
+            "idle socket never reported writable under interest (backend {})",
+            poller.backend_name()
+        );
+
+        poller.set_writable(raw_fd(&served), 7, false).unwrap();
+        assert!(!poller.writable_interest(7));
+        for _ in 0..3 {
+            poller.wait(&mut events, 5).unwrap();
+            assert!(
+                events.iter().all(|ev| !ev.writable),
+                "writable reported after interest dropped (backend {})",
+                poller.backend_name()
+            );
+        }
+
+        poller.deregister(raw_fd(&served), 7).unwrap();
+        assert_eq!(poller.writable_count(), 0);
+    }
+
     #[cfg(unix)]
     #[test]
     fn native_backend_surfaces_readability() {
@@ -387,8 +536,37 @@ mod tests {
 
     #[cfg(unix)]
     #[test]
+    fn native_backend_honors_writable_interest() {
+        exercise_writable(Poller::new().unwrap());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn fallback_backend_honors_writable_interest() {
+        let poller = Poller {
+            backend: Backend::Fallback(fallback::Probe::default()),
+            writable: std::collections::HashSet::new(),
+        };
+        exercise_writable(poller);
+    }
+
+    #[test]
+    fn fallback_rejects_writable_interest_on_unknown_token() {
+        let mut p = fallback::Probe::default();
+        assert!(p.set_writable(3, true).is_err());
+        p.register(3).unwrap();
+        p.set_writable(3, true).unwrap();
+        p.deregister(3).unwrap();
+        assert!(p.set_writable(3, false).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
     fn fallback_backend_surfaces_readability() {
-        let poller = Poller { backend: Backend::Fallback(fallback::Probe::default()) };
+        let poller = Poller {
+            backend: Backend::Fallback(fallback::Probe::default()),
+            writable: std::collections::HashSet::new(),
+        };
         assert_eq!(poller.backend_name(), "fallback");
         exercise(poller);
     }

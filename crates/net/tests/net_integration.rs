@@ -15,7 +15,8 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use dart_net::{
-    fetch_metrics, run_tcp_load, ClientEvent, NetClient, NetConfig, NetServer, TcpLoadConfig,
+    fetch_metrics, run_tcp_load, ClientEvent, ClientPool, NetClient, NetConfig, NetServer,
+    TcpLoadConfig,
 };
 use dart_serve::ServeConfig;
 
@@ -245,6 +246,151 @@ fn protocol_garbage_gets_the_connection_dropped() {
     lost.read_to_string(&mut text).unwrap();
     assert!(text.starts_with("HTTP/1.1 404"), "{text}");
 
+    server.shutdown();
+}
+
+/// Pull one metric's value out of an exposition document (first sample
+/// whose line starts with `name`, labels included).
+fn scraped(doc: &str, name: &str) -> Option<u64> {
+    doc.lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn idle_connections_are_reaped_but_not_while_a_request_is_in_flight() {
+    // Idle timeout 100 ms, but the first request stalls its worker for
+    // 400 ms. The stalled connection has a frame in flight the whole
+    // time, so it must NOT be reaped out from under the pending
+    // response; once answered and quiet, it must be reaped as `idle`.
+    let runtime = common::start_runtime(ServeConfig {
+        stall_on_stream: Some(global_id(1, 0)),
+        stall_ms: 400,
+        ..serve_cfg(1)
+    });
+    let server =
+        NetServer::start(runtime, NetConfig { idle_timeout_ms: 100, ..NetConfig::default() })
+            .unwrap();
+    let addr = server.local_addr();
+
+    let mut client = NetClient::connect(addr).unwrap();
+    client.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    client.send_request(0, 0x400, 0x1000);
+    match client.recv_event().expect("in-flight request survives 4x the idle window") {
+        ClientEvent::Response(r) => assert!(!r.failed),
+        ClientEvent::Nack(n) => panic!("unexpected NACK {n:?}"),
+    }
+
+    // Now go quiet: the server must close us (reason `idle`), seen as
+    // EOF on the next read.
+    let err = match client.recv_event() {
+        Ok(event) => panic!("unsolicited event from an idle connection: {event:?}"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
+    let doc = fetch_metrics(addr).unwrap();
+    assert!(
+        scraped(&doc, "dart_net_disconnects_total{reason=\"idle\"}").unwrap_or(0) >= 1,
+        "idle reap must be counted under its own reason:\n{doc}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn batched_and_unbatched_response_paths_answer_identically() {
+    // Same load twice — once per dispatcher mode. The wire contract
+    // (exactly one answer per request, per-stream accounting) must hold
+    // identically; batching is a transport optimization, not a semantic.
+    for batch in [true, false] {
+        let runtime = common::start_runtime(serve_cfg(2));
+        let server =
+            NetServer::start(runtime, NetConfig { batch_responses: batch, ..NetConfig::default() })
+                .unwrap();
+        let report = run_tcp_load(&TcpLoadConfig {
+            addr: server.local_addr().to_string(),
+            connections: 4,
+            streams_per_conn: 64,
+            accesses_per_stream: 8,
+            window: 256,
+            ..TcpLoadConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.submitted, 4 * 64 * 8, "batch={batch}");
+        assert_eq!(report.lost, 0, "batch={batch}: {report:?}");
+        assert_eq!(report.failed_responses, 0, "batch={batch}: {report:?}");
+        assert_eq!(report.responses + report.nacks, report.submitted, "batch={batch}");
+        server.shutdown();
+    }
+}
+
+#[test]
+fn dead_connection_streams_are_retired_from_the_shards() {
+    let runtime = common::start_runtime(serve_cfg(1));
+    let server = NetServer::start(runtime, NetConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Conn 1 warms 8 streams, then disappears.
+    {
+        let mut doomed = NetClient::connect(addr).unwrap();
+        doomed.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        for stream in 0..8u32 {
+            doomed.send_request(stream, 0x400, (stream as u64) << 20);
+        }
+        for _ in 0..8 {
+            doomed.recv_event().unwrap();
+        }
+    } // dropped: the server sees EOF and reaps conn 1
+
+    // Retirement is lazy (shard workers drain the retire cell when new
+    // traffic wakes them), so poke the shard from a second connection
+    // until the 8 dead streams are gone and only this conn's remains.
+    let mut live = NetClient::connect(addr).unwrap();
+    live.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let resident = loop {
+        live.send_request(0, 0x400, 0xAB00_0000);
+        live.recv_event().unwrap();
+        let doc = fetch_metrics(addr).unwrap();
+        let resident = scraped(&doc, "dart_serve_resident_streams{shard=\"0\"}").unwrap();
+        if resident <= 1 || std::time::Instant::now() > deadline {
+            assert!(
+                scraped(&doc, "dart_serve_stream_retirements_total").unwrap() >= 8,
+                "all 8 dead streams retired:\n{doc}"
+            );
+            break resident;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(resident, 1, "only the live connection's stream may stay resident");
+    server.shutdown();
+}
+
+#[test]
+fn client_pool_reuses_connections_and_discards_broken_ones() {
+    let runtime = common::start_runtime(serve_cfg(1));
+    let server = NetServer::start(runtime, NetConfig::default()).unwrap();
+    let pool = ClientPool::new(server.local_addr().to_string(), 4);
+
+    for round in 0..3u64 {
+        let mut client = pool.get().unwrap();
+        client.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        client.send_request(0, 0x400, 0x1000 + round * 64);
+        match client.recv_event().unwrap() {
+            ClientEvent::Response(r) => assert_eq!(r.seq, round),
+            ClientEvent::Nack(n) => panic!("unexpected NACK {n:?}"),
+        }
+    }
+    assert_eq!(pool.created(), 1, "three sequential checkouts reuse one socket");
+    assert_eq!(pool.idle(), 1);
+
+    // A discarded connection is not recycled; the next checkout dials.
+    let mut broken = pool.get().unwrap();
+    broken.discard();
+    drop(broken);
+    assert_eq!(pool.idle(), 0);
+    let _fresh = pool.get().unwrap();
+    assert_eq!(pool.created(), 2);
     server.shutdown();
 }
 

@@ -1,0 +1,108 @@
+//! Writable-interest lifecycle under a stalled reader, in its own test
+//! binary: the net counters live in the process-global telemetry
+//! registry, and this test asserts exact *transitions* (watched > 0
+//! while stalled, watched == 0 after draining) that concurrent servers
+//! in a shared binary would smear.
+//!
+//! The scenario: a client floods requests and reads **nothing** until
+//! every request is in. Responses pile up far past what the kernel
+//! socket buffers absorb, so the connection's outbox must go (and stay)
+//! non-empty — the server must register writable interest for it, count
+//! the registration, and coalesce multi-frame appends. Once the client
+//! drains everything (exactly one answer per request), the outbox
+//! empties and writable interest must drop back to zero.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use dart_net::{fetch_metrics, ClientEvent, NetClient, NetConfig, NetServer};
+use dart_serve::ServeConfig;
+
+fn scraped(doc: &str, name: &str) -> Option<u64> {
+    doc.lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn writable_interest_tracks_pending_outbox_exactly() {
+    let runtime = common::start_runtime(ServeConfig {
+        shards: 2,
+        max_batch: 16,
+        threshold: 0.0,
+        ..ServeConfig::default()
+    });
+    // Caps sized so the stall is never "resolved" by a disconnect: the
+    // outbox grows to tens of MB (reader stalled) without tripping the
+    // slow-reader cap, and admission never NACK-shrinks the flood.
+    let server = NetServer::start(
+        runtime,
+        NetConfig {
+            write_buf_cap: 256 << 20,
+            max_inflight_per_conn: 1 << 20,
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut client = NetClient::connect(addr).unwrap();
+    client.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let (streams, accesses) = (64u32, 1200u32);
+    let submitted = (streams * accesses) as u64;
+    for access in 0..accesses {
+        for stream in 0..streams {
+            client.send_request(stream, 0x400, ((stream as u64) << 24) | (access as u64) << 6);
+        }
+        // Push each round out without reading anything back.
+        client.flush().unwrap();
+    }
+
+    // While the reader is stalled, the server must be watching this
+    // connection for writability (and must have coalesced responses).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let doc = fetch_metrics(addr).unwrap();
+        let watched = scraped(&doc, "dart_net_writable_watched").unwrap();
+        let regs = scraped(&doc, "dart_net_writable_registrations_total").unwrap();
+        let batched = scraped(&doc, "dart_net_batched_writes_total").unwrap();
+        if watched >= 1 && regs >= 1 && batched >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stalled reader never put the conn under writable interest: \
+             watched={watched} regs={regs} batched={batched}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Drain: exactly one answer (response or NACK) per request.
+    let mut events = 0u64;
+    while events < submitted {
+        match client.recv_event().expect("every request is answered") {
+            ClientEvent::Response(r) => assert!(!r.failed, "no faults injected"),
+            ClientEvent::Nack(_) => {}
+        }
+        events += 1;
+    }
+
+    // Outbox empty again: writable interest must drop back to zero (the
+    // old sweep kept polling every conn forever; the interest-driven
+    // path must deregister once there is nothing left to flush).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let doc = fetch_metrics(addr).unwrap();
+        if scraped(&doc, "dart_net_writable_watched").unwrap() == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "writable interest must clear once the outbox drains:\n{doc}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}

@@ -47,8 +47,12 @@ pub struct StreamLru {
     head: usize,
     /// Least-recently-used slot (the eviction victim), or `NIL`.
     tail: usize,
+    /// Slots vacated by [`StreamLru::remove`], reused before `slots`
+    /// grows — removal must not strand capacity.
+    free: Vec<usize>,
     cap: usize,
     evictions: u64,
+    retirements: u64,
 }
 
 impl StreamLru {
@@ -66,8 +70,10 @@ impl StreamLru {
             slots: Vec::new(),
             head: NIL,
             tail: NIL,
+            free: Vec::new(),
             cap,
             evictions: 0,
+            retirements: 0,
         }
     }
 
@@ -89,6 +95,13 @@ impl StreamLru {
     /// Streams evicted so far.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Streams explicitly retired so far (via [`StreamLru::remove`] /
+    /// [`StreamLru::retire_prefix`]) — counted separately from cap
+    /// evictions, which measure pressure rather than lifecycle.
+    pub fn retirements(&self) -> u64 {
+        self.retirements
     }
 
     /// True when `key` is resident (does not touch recency).
@@ -121,6 +134,12 @@ impl StreamLru {
             self.slots[victim].key = key;
             self.slots[victim].state.reset();
             victim
+        } else if let Some(slot) = self.free.pop() {
+            // Reuse a retired stream's slot (and its history allocation)
+            // before growing the slab.
+            self.slots[slot].key = key;
+            self.slots[slot].state.reset();
+            slot
         } else {
             self.slots.push(Slot { key, state: StreamState::new(seq_len), prev: NIL, next: NIL });
             self.slots.len() - 1
@@ -128,6 +147,34 @@ impl StreamLru {
         self.map.insert(key, slot);
         self.push_front(slot);
         &mut self.slots[slot].state
+    }
+
+    /// Retire `key` outright (the stream's owner is gone — e.g. its
+    /// connection disconnected). O(1); the slot goes onto the free list
+    /// for reuse. Returns whether the key was resident.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let Some(slot) = self.map.remove(&key) else {
+            return false;
+        };
+        self.unlink(slot);
+        self.free.push(slot);
+        self.retirements += 1;
+        true
+    }
+
+    /// Retire every resident stream whose upper-32-bit namespace equals
+    /// `prefix` (the serving-layer convention: the network front-end
+    /// namespaces wire stream ids as `conn_id << 32 | stream`, so one
+    /// call frees everything a dead connection left behind). O(resident)
+    /// — disconnects are rare next to per-request traffic. Returns how
+    /// many streams were retired.
+    pub fn retire_prefix(&mut self, prefix: u32) -> usize {
+        let victims: Vec<u64> =
+            self.map.keys().copied().filter(|&k| (k >> 32) as u32 == prefix).collect();
+        for key in &victims {
+            self.remove(*key);
+        }
+        victims.len()
     }
 
     /// Resident stream ids in most-recent-first order (diagnostics/tests).
@@ -257,6 +304,65 @@ mod tests {
         lru.entry(2, 4);
         assert_eq!(lru.len(), 1);
         assert!(lru.contains(2));
+    }
+
+    #[test]
+    fn remove_frees_the_slot_for_reuse() {
+        let mut lru = StreamLru::new(4);
+        for key in 0..4u64 {
+            lru.entry(key, 4).push(key, 0);
+        }
+        assert!(lru.remove(2));
+        assert!(!lru.remove(2), "double-remove must report absence");
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.retirements(), 1);
+        assert_eq!(lru.evictions(), 0, "retirement is not an eviction");
+        assert_eq!(lru.keys_by_recency(), vec![3, 1, 0]);
+        // The freed slot is recycled (cold state), not leaked: inserting
+        // again reaches capacity without evicting anyone.
+        let state = lru.entry(9, 4);
+        assert_eq!(state.requests(), 0);
+        assert_eq!(state.push(7, 0), 0, "recycled slot must start a fresh seq");
+        assert_eq!(lru.len(), 4);
+        assert_eq!(lru.evictions(), 0);
+    }
+
+    #[test]
+    fn remove_handles_head_tail_and_middle() {
+        let mut lru = StreamLru::new(8);
+        for key in 0..3u64 {
+            lru.entry(key, 4);
+        }
+        assert!(lru.remove(2), "head");
+        assert_eq!(lru.keys_by_recency(), vec![1, 0]);
+        assert!(lru.remove(0), "tail");
+        assert_eq!(lru.keys_by_recency(), vec![1]);
+        assert!(lru.remove(1), "last");
+        assert!(lru.is_empty());
+        assert_eq!(lru.keys_by_recency(), Vec::<u64>::new());
+        // Links survive: the map refills cleanly after draining to empty.
+        lru.entry(5, 4);
+        lru.entry(6, 4);
+        assert_eq!(lru.keys_by_recency(), vec![6, 5]);
+    }
+
+    #[test]
+    fn retire_prefix_clears_one_namespace_only() {
+        let mut lru = StreamLru::new(16);
+        for conn in 1..=3u64 {
+            for stream in 0..4u64 {
+                lru.entry(conn << 32 | stream, 4);
+            }
+        }
+        assert_eq!(lru.retire_prefix(2), 4);
+        assert_eq!(lru.len(), 8);
+        for stream in 0..4u64 {
+            assert!(!lru.contains(2 << 32 | stream));
+            assert!(lru.contains(1 << 32 | stream));
+            assert!(lru.contains(3 << 32 | stream));
+        }
+        assert_eq!(lru.retirements(), 4);
+        assert_eq!(lru.retire_prefix(2), 0, "already gone");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | `dart_serve_worker_panics_total` | counter | dead shard workers |
 //! | `dart_serve_worker_panic_info{shard,reason}` | gauge | 1 per dead worker, reason label |
 //! | `dart_serve_stream_evictions_total` | counter | LRU stream evictions |
+//! | `dart_serve_stream_retirements_total` | counter | dead-connection stream retirements |
 //! | `dart_serve_in_flight` | gauge | submitted, unanswered |
 //! | `dart_serve_queue_depth` | gauge | queued, undrained |
 //! | `dart_serve_resident_streams{shard}` | gauge | streams in LRU |
@@ -113,6 +114,13 @@ pub fn render_exposition(stats: &ServeStats) -> String {
         "Streams evicted by the per-shard LRU cap.",
     );
     e.sample("dart_serve_stream_evictions_total", &[], stats.stream_evictions);
+
+    e.header(
+        "dart_serve_stream_retirements_total",
+        MetricKind::Counter,
+        "Streams retired by dead-connection cleanup.",
+    );
+    e.sample("dart_serve_stream_retirements_total", &[], stats.stream_retirements);
 
     e.header("dart_serve_in_flight", MetricKind::Gauge, "Requests submitted but not yet answered.");
     e.sample("dart_serve_in_flight", &[], stats.in_flight);

@@ -14,8 +14,8 @@ use crate::placement::{plan_placement, ShardPlacement};
 use crate::request::{PrefetchRequest, PrefetchResponse};
 use crate::router::StreamRouter;
 use crate::shard::{
-    CompletionSink, EmitPolicy, Envelope, ShardQueue, ShardReport, ShardTelemetry, ShardWorker,
-    TryPushError,
+    CompletionSink, EmitPolicy, Envelope, RetireCell, ShardQueue, ShardReport, ShardTelemetry,
+    ShardWorker, TryPushError,
 };
 
 /// Why [`ServeRuntime::try_submit`] did **not** accept a request. This is
@@ -172,6 +172,9 @@ pub struct ServeStats {
     pub per_shard_streams: Vec<usize>,
     /// Streams evicted by the per-shard LRU cap, across all shards.
     pub stream_evictions: u64,
+    /// Streams explicitly retired by dead-connection cleanup
+    /// ([`ServeRuntime::retire_streams_with_prefix`]), across all shards.
+    pub stream_retirements: u64,
     /// Median request latency (queue + inference), nanoseconds.
     /// Percentiles come from a log2-bucketed histogram (O(1) memory per
     /// shard), so they are exact to within ~1.5x.
@@ -233,6 +236,9 @@ pub struct ServeRuntime {
     /// Per-shard lock-free lifecycle cells (stage histograms, batch-size
     /// distribution), snapshot live without stopping the workers.
     telemetry: Vec<Arc<ShardTelemetry>>,
+    /// Per-shard dead-stream retirement cells
+    /// (see [`ServeRuntime::retire_streams_with_prefix`]).
+    retire: Vec<Arc<RetireCell>>,
     /// Bounded ring of the most recently served requests' lifecycle spans.
     spans: Arc<SpanRing>,
     /// Dedicated kernel pool when `cfg.pool_threads` was set; `None` means
@@ -301,10 +307,13 @@ impl ServeRuntime {
         let mut workers = Vec::with_capacity(cfg.shards);
         let mut reports = Vec::with_capacity(cfg.shards);
         let mut telemetry = Vec::with_capacity(cfg.shards);
+        let mut retire = Vec::with_capacity(cfg.shards);
         for (shard_id, &node_id) in plan.iter().enumerate() {
             let queue = Arc::new(ShardQueue::new(cfg.queue_capacity));
             let shard_telemetry = Arc::new(ShardTelemetry::default());
             telemetry.push(Arc::clone(&shard_telemetry));
+            let retire_cell = Arc::new(RetireCell::default());
+            retire.push(Arc::clone(&retire_cell));
             // The worker commits statistics into this shared cell once per
             // served batch; the runtime holds the other reference, so what
             // a shard served survives any way its thread can die.
@@ -381,6 +390,7 @@ impl ServeRuntime {
                             panic_on_stream,
                             stall_on_stream,
                             stall_ms,
+                            retire: retire_cell,
                             telemetry: shard_telemetry,
                             spans: span_ring,
                         };
@@ -439,6 +449,7 @@ impl ServeRuntime {
             workers,
             reports,
             telemetry,
+            retire,
             spans,
             pool,
             topology,
@@ -600,12 +611,27 @@ impl ServeRuntime {
     /// network front-end pumps — it wakes on every completed batch and on
     /// failure deliveries, without spinning on [`Self::drain_completed`].
     pub fn take_completed_timeout(&self, timeout: std::time::Duration) -> Vec<PrefetchResponse> {
+        let mut out = Vec::new();
+        self.take_completed_timeout_into(timeout, &mut out);
+        out
+    }
+
+    /// [`Self::take_completed_timeout`], but draining into a
+    /// caller-owned buffer (cleared first) so a dispatcher pumping this
+    /// in a loop reuses one allocation instead of taking a fresh `Vec`
+    /// per tick. On timeout `out` is left empty.
+    pub fn take_completed_timeout_into(
+        &self,
+        timeout: std::time::Duration,
+        out: &mut Vec<PrefetchResponse>,
+    ) {
+        out.clear();
         let deadline = Instant::now() + timeout;
         let mut state = self.sink.lock();
         while state.completed.is_empty() {
             let now = Instant::now();
             if now >= deadline {
-                return Vec::new();
+                return;
             }
             let (guard, _timed_out) = self
                 .sink
@@ -614,7 +640,29 @@ impl ServeRuntime {
                 .unwrap_or_else(PoisonError::into_inner);
             state = guard;
         }
-        std::mem::take(&mut state.completed)
+        // Swap the sink's filled buffer for the caller's (empty) one:
+        // the sink keeps an allocation to refill, the caller gets the
+        // responses, and neither side allocates in steady state.
+        std::mem::swap(&mut state.completed, out);
+    }
+
+    /// Retire every resident stream namespaced under `prefix` (upper 32
+    /// bits of the stream id) from all shards' stream maps — the
+    /// dead-connection cleanup hook for front-ends that namespace wire
+    /// stream ids as `conn_id << 32 | stream`. Without it, a dead
+    /// connection's streams stay resident until LRU cap churn evicts
+    /// them, displacing live streams in the meantime.
+    ///
+    /// Asynchronous and non-blocking: each shard's worker applies the
+    /// retirement just before it serves its next batch, so the freed
+    /// residency is visible to the traffic that would have displaced it.
+    /// In-flight requests for retired streams are unaffected (they were
+    /// drained before the retirement applies, or they re-enter cold —
+    /// the same contract as an LRU eviction).
+    pub fn retire_streams_with_prefix(&self, prefix: u32) {
+        for cell in &self.retire {
+            cell.push(prefix);
+        }
     }
 
     /// Block until every submitted request has been answered. Never hangs
@@ -677,6 +725,7 @@ impl ServeRuntime {
             stats.per_shard_pinned.push(report.pinned);
             stats.per_shard_streams.push(report.resident_streams);
             stats.stream_evictions += report.stream_evictions;
+            stats.stream_retirements += report.stream_retirements;
             latency.merge(&report.latency);
             stats.batch_sizes.merge(&telem.batch_size.snapshot());
             stats.stage_queue_wait.merge(&telem.queue_wait.snapshot());

@@ -233,6 +233,49 @@ impl ShardQueue {
     }
 }
 
+/// Cross-thread stream-retirement requests for one shard.
+///
+/// A shard worker owns its [`StreamLru`] locally (allocated on the
+/// worker thread, after any NUMA pin, for first-touch locality), so
+/// other threads cannot evict dead streams directly. Instead they push
+/// the doomed namespace here; the worker drains the cell at the top of
+/// each batch iteration, **before** serving, so a batch's new streams
+/// see the freed residency. Draining is lazy by design: retired streams
+/// can only displace live ones when new traffic arrives, and new
+/// traffic is exactly what wakes the worker.
+#[derive(Default)]
+pub(crate) struct RetireCell {
+    /// Fast-path flag so the worker loop pays one relaxed load per batch
+    /// when nothing is pending (the common case — disconnects are rare).
+    flagged: std::sync::atomic::AtomicBool,
+    prefixes: Mutex<Vec<u32>>,
+}
+
+impl RetireCell {
+    /// Ask the owning worker to retire every stream namespaced under
+    /// `prefix` (upper 32 bits of the stream id).
+    pub fn push(&self, prefix: u32) {
+        self.prefixes.lock().unwrap_or_else(PoisonError::into_inner).push(prefix);
+        // Release pairs with the worker's acquire load: the prefix push
+        // above must be visible once the flag is.
+        self.flagged.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Drain pending retirements into the worker's LRU. Returns how many
+    /// streams were actually removed.
+    fn drain_into(&self, streams: &mut StreamLru) -> usize {
+        if !self.flagged.load(std::sync::atomic::Ordering::Acquire) {
+            return 0;
+        }
+        let prefixes: Vec<u32> = {
+            let mut list = self.prefixes.lock().unwrap_or_else(PoisonError::into_inner);
+            self.flagged.store(false, std::sync::atomic::Ordering::Relaxed);
+            list.drain(..).collect()
+        };
+        prefixes.into_iter().map(|p| streams.retire_prefix(p)).sum()
+    }
+}
+
 /// Where finished responses land (shared by all shards), plus the in-flight
 /// counter that [`crate::ServeRuntime::wait_idle`] blocks on.
 pub(crate) struct CompletionSink {
@@ -356,6 +399,9 @@ pub(crate) struct ShardReport {
     pub resident_streams: usize,
     /// Streams evicted by the LRU cap so far.
     pub stream_evictions: u64,
+    /// Streams explicitly retired (dead-connection cleanup via
+    /// [`RetireCell`]) so far.
+    pub stream_retirements: u64,
     /// Whether this shard's worker successfully pinned itself to its
     /// assigned node's cpuset (always `false` when unplaced, when the
     /// `numa` feature is off, or when the kernel rejected the mask).
@@ -416,6 +462,9 @@ pub(crate) struct ShardWorker {
     pub stall_on_stream: Option<u64>,
     /// Milliseconds [`Self::stall_on_stream`] sleeps for.
     pub stall_ms: u64,
+    /// Dead-stream retirement requests from other threads (the runtime
+    /// holds the other reference); drained before each served batch.
+    pub retire: Arc<RetireCell>,
     /// This shard's lock-free lifecycle metric cells (the runtime holds
     /// the other reference and snapshots them live).
     pub telemetry: Arc<ShardTelemetry>,
@@ -464,6 +513,9 @@ impl ShardWorker {
         let mut stack_buf: Vec<f32> = Vec::new();
 
         while let Some(batch) = queue.pop_batch(self.max_batch) {
+            // Dead-connection cleanup first, so this batch's new streams
+            // see the freed residency instead of evicting live ones.
+            self.retire.drain_into(&mut streams);
             // Lifecycle tracing stamps (telemetry feature only — without
             // it no clock is read beyond the existing latency stamp).
             #[cfg(feature = "telemetry")]
@@ -555,6 +607,7 @@ impl ShardWorker {
                 r.predictions += warm.len() as u64;
                 r.resident_streams = streams.len();
                 r.stream_evictions = streams.evictions();
+                r.stream_retirements = streams.retirements();
                 for resp in &responses {
                     r.latency.record(resp.latency_ns);
                 }

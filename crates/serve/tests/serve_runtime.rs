@@ -381,6 +381,42 @@ fn stream_map_is_bounded_under_churn_and_evictees_rewarm() {
     );
 }
 
+/// Dead-connection stream retirement: retiring a conn-id namespace
+/// frees its streams from the shard LRU before the next batch is
+/// served, and the cleanup is counted separately from cap evictions.
+#[test]
+fn retire_prefix_frees_dead_connection_streams() {
+    let (model, pre) = tiny_setup();
+    let runtime = ServeRuntime::start(model, pre, serve_cfg(1));
+    // Two "connections" (stream-id namespaces), a handful of streams each.
+    for conn in [5u64, 6u64] {
+        for stream in 0..4u64 {
+            for access in 0..3u64 {
+                runtime.submit(PrefetchRequest {
+                    stream_id: conn << 32 | stream,
+                    pc: 0x400,
+                    addr: (conn * 1000 + stream * 100 + access) << 6,
+                });
+            }
+        }
+    }
+    runtime.wait_idle();
+    runtime.drain_completed();
+
+    // Conn 5 "disconnects". The retirement applies when the worker next
+    // wakes — drive it with one more request on the surviving conn.
+    runtime.retire_streams_with_prefix(5);
+    runtime.submit(PrefetchRequest { stream_id: 6 << 32, pc: 0x400, addr: 9_999 << 6 });
+    runtime.wait_idle();
+    runtime.drain_completed();
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.stream_retirements, 4, "conn 5's streams must be retired");
+    assert_eq!(stats.stream_evictions, 0, "retirement must not count as eviction");
+    assert_eq!(stats.per_shard_streams, vec![4], "only conn 6's streams remain resident");
+    assert_eq!(stats.failed, 0);
+}
+
 /// Regression (emission-rule drift): `DartPrefetcher` clamps
 /// `max_degree.max(1)` but serve's emit policy did not, so
 /// `max_degree: 0` silently disabled all serving-path prefetching while
