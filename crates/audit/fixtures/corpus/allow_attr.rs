@@ -1,0 +1,15 @@
+// R5 fixture: which #[allow] placements count as justified.
+
+// Non-doc comment directly above: justified.
+#[allow(dead_code)]
+pub fn justified_above() {}
+
+#[allow(dead_code)] // trailing justification on the same line
+pub fn justified_trailing() {}
+
+#[allow(dead_code)]
+pub fn unjustified() {} // MARK:unjustified
+
+/// Doc comments document the item, not the suppression.
+#[allow(dead_code)]
+pub fn doc_only_is_not_justification() {} // MARK:doc-only

@@ -1,0 +1,40 @@
+// R3 fixture: which Relaxed/SeqCst uses gate and which are exempt.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static N: AtomicUsize = AtomicUsize::new(0);
+
+pub fn hot_relaxed() {
+    N.fetch_add(1, Ordering::Relaxed); // MARK:hot-relaxed
+}
+
+pub fn hot_seqcst() {
+    N.store(0, Ordering::SeqCst); // MARK:hot-seqcst
+}
+
+pub fn strings_do_not_count() -> &'static str {
+    "Ordering::Relaxed inside a string literal"
+}
+
+pub fn acquire_release_exempt() {
+    N.store(0, Ordering::Release);
+    let _ = N.load(Ordering::Acquire);
+}
+
+pub enum MyOrdering {
+    Relaxed,
+}
+
+pub fn word_boundary(_o: MyOrdering) -> MyOrdering {
+    MyOrdering::Relaxed // not std's Ordering
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_use_any_ordering() {
+        N.store(0, Ordering::SeqCst);
+        let _ = N.load(Ordering::Relaxed);
+    }
+}

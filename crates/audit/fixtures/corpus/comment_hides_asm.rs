@@ -1,0 +1,24 @@
+//! Comments hiding `asm!` / `unsafe` are not invocations; the real sites
+//! below are. (Fixture: never compiled, only lexed.)
+
+/* a block comment containing asm!("nop") and unsafe { } and syscall3 */
+
+// Nested /* block /* comments */ with asm!("still hidden") */ are fine too.
+
+pub fn real_asm_site() {
+    core::arch::asm!("nop"); // MARK:real-asm
+}
+
+pub fn real_syscall_shim() {
+    let _ = syscall3(0, 1, 2, 3); // MARK:real-syscall
+}
+
+pub fn spaced_macro_bang() {
+    asm !("whitespace before the bang still counts"); // MARK:spaced-asm
+}
+
+pub fn syscall_like_names_do_not_count() {
+    let syscall_table = 0;
+    let syscall3x = syscall_table; // trailing non-digit: not a shim name
+    let _ = syscall3x;
+}

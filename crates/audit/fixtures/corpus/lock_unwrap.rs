@@ -1,0 +1,35 @@
+// R4 fixture: analyzed under a crates/serve/src/ path so the rule applies.
+use std::io::Write;
+use std::sync::{Mutex, PoisonError, RwLock};
+
+pub fn bare_unwrap(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap() // MARK:bare-unwrap
+}
+
+pub fn split_chain(m: &Mutex<u32>) -> u32 {
+    *m.lock() // MARK:split-chain
+        .unwrap()
+}
+
+pub fn rwlock_expect(rw: &RwLock<u32>) -> u32 {
+    *rw.read().expect("poisoned") // MARK:rwlock-expect
+}
+
+pub fn recovering_is_fine(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn io_write_is_not_a_lock(w: &mut dyn Write) {
+    w.write(b"x").unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap() {
+        let m = Mutex::new(1u32);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+// R1 fixture: covered and uncovered `unsafe`, including nesting.
+pub struct W(*mut u8);
+
+// SAFETY: the pointer is never dereferenced through a shared W.
+unsafe impl Send for W {}
+
+unsafe impl Sync for W {} // MARK:uncovered-impl
+
+pub fn covered_block() {
+    // SAFETY: reading zero bytes is always in bounds.
+    let _ = unsafe { std::ptr::read::<[u8; 0]>([].as_ptr() as *const [u8; 0]) };
+}
+
+/// # Safety
+/// Caller promises `p` is valid for reads.
+pub unsafe fn doc_heading_covers(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn uncovered_block() {
+    let x = 0u8;
+    let _ = unsafe { *(&x as *const u8) }; // MARK:uncovered-block
+}
+
+pub fn nested() {
+    // SAFETY: the outer justification stops at the first statement.
+    unsafe {
+        let x = 1u8;
+        let _ = unsafe { *(&x as *const u8) }; // MARK:uncovered-nested
+    }
+}

@@ -1,0 +1,21 @@
+// Adversarial lexer fixture: raw strings, char literals and lifetimes that
+// *look* like findings. The analyzer must report nothing here.
+pub fn all_quiet() -> String {
+    let s = r#"unsafe { asm!("nop") } and Ordering::Relaxed and .lock().unwrap()"#;
+    let t = r##"fence trap: "# still inside the raw string "##;
+    let open = '{';
+    let close = '}';
+    let semi = ';';
+    let _lifetime_not_a_char: &'static str = "x";
+    format!("{s}{t}{open}{close}{semi}")
+}
+
+pub struct Holder<'a> {
+    // An `unsafe` in a normal string, escaped quotes and all.
+    pub text: &'a str,
+}
+
+pub fn strings(h: &Holder<'_>) -> String {
+    let quoted = "escaped \" then unsafe { } and syscall3 after";
+    format!("{}{}", h.text, quoted)
+}

@@ -1,0 +1,21 @@
+// R1 marker-matching edge cases.
+pub fn tight_comment_counts() {
+    //SAFETY: no space after the slashes is still the marker.
+    let _ = unsafe { std::mem::transmute::<u32, f32>(0) };
+}
+
+pub fn lowercase_does_not_count() {
+    // safety: lowercase is prose, not the marker.
+    let _ = unsafe { std::mem::transmute::<u32, f32>(0) }; // MARK:lowercase
+}
+
+pub fn marker_in_doc_divider_does_not_leak() {
+    //// SAFETY: a //// divider is a plain comment, and it still counts.
+    let _ = unsafe { std::mem::transmute::<u32, f32>(0) };
+}
+
+pub fn stale_marker_before_boundary() {
+    // SAFETY: this justifies the statement below...
+    let _ = 1 + 1;
+    let _ = unsafe { std::mem::transmute::<u32, f32>(0) }; // MARK:stale-marker
+}

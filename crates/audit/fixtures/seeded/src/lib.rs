@@ -1,0 +1,7 @@
+//! Deliberately violating mini-tree: the negative gate test runs the
+//! dart-audit binary over this directory and asserts a non-zero exit.
+
+pub fn seeded_violation() {
+    let x = 42u8;
+    let _ = unsafe { *(&x as *const u8) }; // no SAFETY comment on purpose
+}

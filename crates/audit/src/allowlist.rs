@@ -1,0 +1,224 @@
+//! Hand-rolled parser for the checked-in `audit.toml` allowlist.
+//!
+//! The file is a TOML subset — `[[allow]]` array-of-tables with string
+//! values only — parsed by hand because the gate must stay zero-dep:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "R3"
+//! file = "crates/telemetry/src/cell.rs"
+//! contains = "Ordering::Relaxed"
+//! justify = "metric cells are statistical reads, not sync edges"
+//! ```
+//!
+//! * `rule` — rule id (`R3`) or name (`atomic-ordering-allowlist`).
+//! * `file` — workspace-relative path, forward slashes, exact match.
+//! * `contains` — substring that must appear in the *raw* source line of a
+//!   finding for the entry to suppress it. Omitted/empty = every line of
+//!   `file` (used for R2's module-level confinement).
+//! * `justify` — required, non-empty: the reviewed one-line reason.
+//!
+//! Every entry must suppress at least one finding per run; entries that no
+//! longer match anything are **stale** and fail the gate (allowlist rot is
+//! a finding too).
+
+use crate::rules::Rule;
+
+#[derive(Debug, Clone)]
+pub struct Entry {
+    pub rule: Rule,
+    pub file: String,
+    /// Empty string = match any line of `file`.
+    pub contains: String,
+    pub justify: String,
+    /// Line in the allowlist file (for stale-entry reporting).
+    pub line: usize,
+}
+
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<Entry>,
+}
+
+/// A malformed allowlist aborts the run (exit 2): a gate that silently
+/// ignores its own configuration is worse than no gate.
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "allowlist line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Strip a `#` comment that is outside quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_escape => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_escape = c == '\\' && !prev_escape;
+    }
+    line
+}
+
+fn unquote(raw: &str, lineno: usize) -> Result<String, ParseError> {
+    let raw = raw.trim();
+    let inner =
+        raw.strip_prefix('"').and_then(|s| s.strip_suffix('"')).ok_or_else(|| ParseError {
+            line: lineno,
+            message: format!("expected a double-quoted string, got `{raw}`"),
+        })?;
+    // Minimal escape handling: the only escapes the allowlist needs.
+    Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+pub fn parse(src: &str) -> Result<Allowlist, ParseError> {
+    struct Partial {
+        rule: Option<Rule>,
+        file: Option<String>,
+        contains: String,
+        justify: Option<String>,
+        line: usize,
+    }
+    let mut list = Allowlist::default();
+    let mut cur: Option<Partial> = None;
+
+    let finish = |p: Partial| -> Result<Entry, ParseError> {
+        let rule = p
+            .rule
+            .ok_or_else(|| ParseError { line: p.line, message: "entry missing `rule`".into() })?;
+        let file = p
+            .file
+            .ok_or_else(|| ParseError { line: p.line, message: "entry missing `file`".into() })?;
+        let justify = p.justify.unwrap_or_default();
+        if justify.trim().is_empty() {
+            return Err(ParseError {
+                line: p.line,
+                message: "entry missing a non-empty `justify` — allowlisting without a reviewed \
+                          reason defeats the audit"
+                    .into(),
+            });
+        }
+        Ok(Entry { rule, file, contains: p.contains, justify, line: p.line })
+    };
+
+    for (idx, raw_line) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(prev) = cur.take() {
+                list.entries.push(finish(prev)?);
+            }
+            cur = Some(Partial {
+                rule: None,
+                file: None,
+                contains: String::new(),
+                justify: None,
+                line: lineno,
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(ParseError {
+                line: lineno,
+                message: format!("unknown section `{line}` (only `[[allow]]` is supported)"),
+            });
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ParseError {
+                line: lineno,
+                message: format!("expected `key = \"value\"`, got `{line}`"),
+            });
+        };
+        let Some(entry) = cur.as_mut() else {
+            return Err(ParseError {
+                line: lineno,
+                message: "key outside an `[[allow]]` entry".into(),
+            });
+        };
+        let value = unquote(value, lineno)?;
+        match key.trim() {
+            "rule" => {
+                entry.rule = Some(Rule::parse(&value).ok_or_else(|| ParseError {
+                    line: lineno,
+                    message: format!("unknown rule `{value}`"),
+                })?);
+            }
+            "file" => entry.file = Some(value),
+            "contains" => entry.contains = value,
+            "justify" => entry.justify = Some(value),
+            other => {
+                return Err(ParseError { line: lineno, message: format!("unknown key `{other}`") });
+            }
+        }
+    }
+    if let Some(prev) = cur.take() {
+        list.entries.push(finish(prev)?);
+    }
+    Ok(list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# top-level comment
+[[allow]]
+rule = "R3"
+file = "crates/telemetry/src/cell.rs"
+contains = "Ordering::Relaxed"
+justify = "metric cells are statistical reads"  # trailing comment
+
+[[allow]]
+rule = "asm-confined"
+file = "crates/net/src/sys.rs"
+justify = "the sanctioned raw-syscall module"
+"#;
+
+    #[test]
+    fn parses_entries_and_defaults() {
+        let list = parse(GOOD).unwrap();
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(list.entries[0].rule, Rule::R3);
+        assert_eq!(list.entries[0].contains, "Ordering::Relaxed");
+        assert_eq!(list.entries[1].rule, Rule::R2);
+        assert_eq!(list.entries[1].contains, "", "omitted contains = whole file");
+    }
+
+    #[test]
+    fn rejects_missing_justification() {
+        let src = "[[allow]]\nrule = \"R1\"\nfile = \"x.rs\"\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("justify"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_rules() {
+        assert!(parse("[[allow]]\nbogus = \"x\"\n").is_err());
+        assert!(parse("[[allow]]\nrule = \"R9\"\n").is_err());
+        assert!(parse("rule = \"R1\"\n").is_err(), "key outside entry");
+        assert!(parse("[allow]\n").is_err(), "plain table is not the format");
+    }
+
+    #[test]
+    fn hash_inside_quotes_is_not_a_comment() {
+        let src =
+            "[[allow]]\nrule = \"R3\"\nfile = \"a.rs\"\ncontains = \"x # y\"\njustify = \"z\"\n";
+        let list = parse(src).unwrap();
+        assert_eq!(list.entries[0].contains, "x # y");
+    }
+}

@@ -1,0 +1,409 @@
+//! A comment/string/raw-string-aware lexer for Rust source.
+//!
+//! The rules in [`crate::rules`] need two views of every source line:
+//!
+//! * **code text** — the line with every comment removed and every string,
+//!   raw-string, byte-string, and char-literal *interior* blanked to spaces
+//!   (delimiters kept). `unsafe` inside `r#"unsafe"#` or `/* unsafe */`
+//!   must never look like the keyword; a `{` inside `'{'` must never skew
+//!   statement-boundary scans.
+//! * **comments** — the textual content of every comment touching a line,
+//!   tagged doc vs non-doc, so `// SAFETY:` adjacency and `#[allow]`
+//!   justification checks can be made without re-parsing.
+//!
+//! This is deliberately not a full Rust lexer: it only has to classify
+//! bytes as code / comment / literal-interior, which a small state machine
+//! does exactly — including nested block comments, raw strings with
+//! arbitrary `#` fences, byte-string prefixes, and the `'a` lifetime vs
+//! `'a'` char-literal ambiguity.
+
+/// One comment's textual content (delimiters stripped, per line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Text after `//`, `///`, `//!` or inside `/* */` for this line.
+    pub text: String,
+    /// True for `///`, `//!`, `/**`, `/*!` doc comments.
+    pub doc: bool,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct FileView {
+    /// Literal source lines (without trailing `\n`).
+    pub raw: Vec<String>,
+    /// Comment-free, literal-blanked code text per line.
+    pub code: Vec<String>,
+    /// Comments touching each line, in source order.
+    pub comments: Vec<Vec<Comment>>,
+}
+
+impl FileView {
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// The code stream joined with `\n`, plus a per-char map back to the
+    /// 0-based line it came from — what the cross-line scans (statement
+    /// boundaries, `.lock().unwrap()` chains) operate on.
+    pub fn joined_code(&self) -> (String, Vec<usize>) {
+        let mut joined = String::new();
+        let mut line_of = Vec::new();
+        for (li, line) in self.code.iter().enumerate() {
+            for ch in line.chars() {
+                joined.push(ch);
+                line_of.push(li);
+            }
+            joined.push('\n');
+            line_of.push(li);
+        }
+        (joined, line_of)
+    }
+
+    /// True when line `li` (0-based) holds no code, only comment(s).
+    pub fn is_comment_only(&self, li: usize) -> bool {
+        self.code[li].trim().is_empty() && !self.comments[li].is_empty()
+    }
+
+    /// True when line `li` (0-based) is entirely blank (no code, no
+    /// comment).
+    pub fn is_blank(&self, li: usize) -> bool {
+        self.code[li].trim().is_empty() && self.comments[li].is_empty()
+    }
+}
+
+enum State {
+    Code,
+    /// Nesting depth; Rust block comments nest.
+    Block(u32),
+    Str,
+    /// Fence size (number of `#`) of the raw string being consumed.
+    RawStr(u32),
+    Char,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into a [`FileView`]. Never fails: unterminated literals or
+/// comments simply run to end-of-file in their state, which is the most
+/// conservative reading for an analysis that must not false-negative.
+pub fn lex(src: &str) -> FileView {
+    let chars: Vec<char> = src.chars().collect();
+    let mut view =
+        FileView { raw: src.lines().map(str::to_string).collect(), ..FileView::default() };
+
+    let mut code_line = String::new();
+    let mut line_comments: Vec<Comment> = Vec::new();
+    // In-progress comment text for the current line (block comments span
+    // lines; each line gets its own segment).
+    let mut comment_buf: Option<(String, bool)> = None;
+
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    macro_rules! flush_comment {
+        () => {
+            if let Some((text, doc)) = comment_buf.take() {
+                line_comments.push(Comment { text: text.trim().to_string(), doc });
+            }
+        };
+    }
+    macro_rules! end_line {
+        () => {
+            flush_comment!();
+            view.code.push(std::mem::take(&mut code_line));
+            view.comments.push(std::mem::take(&mut line_comments));
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            end_line!();
+            // A block comment continues across the newline; reopen its
+            // buffer for the next line with the same doc-ness. (Doc-ness of
+            // continuation lines does not matter to any rule.)
+            if let State::Block(_) = state {
+                comment_buf = Some((String::new(), false));
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    // Line comment. `///` and `//!` are doc comments, but
+                    // `////`+ dividers are plain comments again.
+                    let mut j = i + 2;
+                    let doc = matches!(chars.get(j), Some('/') | Some('!'))
+                        && chars.get(i + 3) != Some(&'/');
+                    if doc {
+                        j += 1;
+                    }
+                    let mut text = String::new();
+                    while j < chars.len() && chars[j] != '\n' {
+                        text.push(chars[j]);
+                        j += 1;
+                    }
+                    line_comments.push(Comment { text: text.trim().to_string(), doc });
+                    code_line.push(' ');
+                    i = j;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    let doc = matches!(chars.get(i + 2), Some('*') | Some('!'))
+                        && chars.get(i + 3) != Some(&'/');
+                    state = State::Block(1);
+                    comment_buf = Some((String::new(), doc));
+                    code_line.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    code_line.push('"');
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    if chars.get(i + 1) == Some(&'\\')
+                        || (chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\''))
+                    {
+                        code_line.push('\'');
+                        state = State::Char;
+                        i += 1;
+                        continue;
+                    }
+                    code_line.push('\'');
+                    i += 1;
+                    continue;
+                }
+                if is_ident(c) && (i == 0 || !is_ident(chars[i - 1])) {
+                    // Consume a full identifier so `r`/`b`/`br` string
+                    // prefixes can be recognized (and so downstream word
+                    // scans see intact tokens).
+                    let mut j = i;
+                    let mut ident = String::new();
+                    while j < chars.len() && is_ident(chars[j]) {
+                        ident.push(chars[j]);
+                        j += 1;
+                    }
+                    if matches!(ident.as_str(), "r" | "b" | "br") {
+                        // String prefix: optional `#` fence then `"`.
+                        let mut k = j;
+                        let mut hashes = 0u32;
+                        while chars.get(k) == Some(&'#') {
+                            hashes += 1;
+                            k += 1;
+                        }
+                        let raw_start = ident.contains('r');
+                        if chars.get(k) == Some(&'"') && (raw_start || hashes == 0) {
+                            code_line.push_str(&ident);
+                            for _ in 0..hashes {
+                                code_line.push('#');
+                            }
+                            code_line.push('"');
+                            state = if raw_start { State::RawStr(hashes) } else { State::Str };
+                            i = k + 1;
+                            continue;
+                        }
+                        if ident == "b" && chars.get(j) == Some(&'\'') {
+                            // Byte char literal b'x'.
+                            code_line.push_str("b'");
+                            state = State::Char;
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                    code_line.push_str(&ident);
+                    i = j;
+                    continue;
+                }
+                code_line.push(c);
+                i += 1;
+            }
+            State::Block(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    if depth == 1 {
+                        flush_comment!();
+                        state = State::Code;
+                    } else {
+                        state = State::Block(depth - 1);
+                        if let Some((text, _)) = comment_buf.as_mut() {
+                            text.push_str("*/");
+                        }
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::Block(depth + 1);
+                    if let Some((text, _)) = comment_buf.as_mut() {
+                        text.push_str("/*");
+                    }
+                    i += 2;
+                    continue;
+                }
+                if let Some((text, _)) = comment_buf.as_mut() {
+                    text.push(c);
+                }
+                i += 1;
+            }
+            State::Str => {
+                if c == '\\' && chars.get(i + 1).is_some() {
+                    // Escape: blank both chars (handles \" and \\). An
+                    // escaped newline still ends the bookkeeping line.
+                    code_line.push(' ');
+                    if chars[i + 1] == '\n' {
+                        end_line!();
+                    } else {
+                        code_line.push(' ');
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    code_line.push('"');
+                    state = State::Code;
+                } else {
+                    code_line.push(' ');
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let fence_ok = (0..hashes as usize).all(|h| chars.get(i + 1 + h) == Some(&'#'));
+                    if fence_ok {
+                        code_line.push('"');
+                        for _ in 0..hashes {
+                            code_line.push('#');
+                        }
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                code_line.push(' ');
+                i += 1;
+            }
+            State::Char => {
+                if c == '\\' && chars.get(i + 1).is_some() && chars[i + 1] != '\n' {
+                    code_line.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    code_line.push('\'');
+                    state = State::Code;
+                } else {
+                    code_line.push(' ');
+                }
+                i += 1;
+            }
+        }
+    }
+    // Final line without trailing newline.
+    if view.code.len() < view.raw.len() {
+        end_line!();
+    }
+    debug_assert_eq!(view.code.len(), view.raw.len());
+    view
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_stripped_and_collected() {
+        let v = lex("let x = 1; // trailing note\n// full line\nlet y = 2;\n");
+        assert_eq!(v.len(), 3);
+        assert!(v.code[0].contains("let x = 1;"));
+        assert!(!v.code[0].contains("trailing"));
+        assert_eq!(v.comments[0], vec![Comment { text: "trailing note".into(), doc: false }]);
+        assert!(v.is_comment_only(1));
+        assert_eq!(v.comments[1][0].text, "full line");
+        assert!(v.raw[0].contains("// trailing note"), "raw lines keep comments");
+    }
+
+    #[test]
+    fn doc_comments_are_tagged() {
+        let v = lex("/// outer doc\n//! inner doc\n//// divider\n/** block doc */\nfn f() {}\n");
+        assert!(v.comments[0][0].doc);
+        assert!(v.comments[1][0].doc);
+        assert!(!v.comments[2][0].doc, "//// dividers are not doc comments");
+        assert!(v.comments[3][0].doc);
+    }
+
+    #[test]
+    fn nested_block_comments_hide_code() {
+        let v = lex("/* outer /* inner asm!( */ still comment */ let z = 3;\n");
+        assert!(!v.code[0].contains("asm"));
+        assert!(v.code[0].contains("let z = 3;"));
+        assert!(v.comments[0][0].text.contains("inner asm!("));
+    }
+
+    #[test]
+    fn strings_and_raw_strings_are_blanked() {
+        let v = lex(r####"let s = "unsafe { }"; let r = r#"asm!("nop")"#; let b = b"unsafe";"####);
+        assert!(!v.code[0].contains("unsafe"));
+        assert!(!v.code[0].contains("asm"));
+        // Delimiters survive so the code still reads as a string position.
+        assert!(v.code[0].contains('"'));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let v = lex(r#"let s = "he said \"unsafe\" loudly"; let x = 1;"#);
+        assert!(!v.code[0].contains("unsafe"));
+        assert!(v.code[0].contains("let x = 1;"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let v = lex("fn f<'a>(x: &'a str) { let c = '{'; let d = '\\''; let e = 'x'; }\n");
+        assert!(v.code[0].contains("<'a>"), "lifetime must stay code: {}", v.code[0]);
+        assert!(!v.code[0].contains("'{'"), "char-literal brace must be blanked");
+        let braces = v.code[0].matches('{').count();
+        assert_eq!(braces, 1, "only the block brace remains: {}", v.code[0]);
+    }
+
+    #[test]
+    fn multiline_raw_string_blanks_every_line() {
+        let v = lex("let q = r#\"line one unsafe\nline two asm!\n\"#; let t = 9;\n");
+        assert!(!v.code[0].contains("unsafe"));
+        assert!(!v.code[1].contains("asm"));
+        assert!(v.code[2].contains("let t = 9;"));
+    }
+
+    #[test]
+    fn raw_fence_must_match_to_close() {
+        let v = lex("let q = r##\"has \"# inside\"##; let u = 4;\n");
+        assert!(!v.code[0].contains("inside"));
+        assert!(v.code[0].contains("let u = 4;"));
+    }
+
+    #[test]
+    fn joined_code_maps_chars_to_lines() {
+        let v = lex("ab\ncd\n");
+        let (joined, lines) = v.joined_code();
+        assert_eq!(joined, "ab\ncd\n");
+        assert_eq!(lines, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn multiline_block_comment_tracks_every_line() {
+        let v = lex("/* one\n two SAFETY: not code\n three */ fn f() {}\n");
+        assert!(v.is_comment_only(0));
+        assert!(v.is_comment_only(1));
+        assert!(v.comments[1][0].text.contains("SAFETY:"));
+        assert!(v.code[2].contains("fn f() {}"));
+    }
+}

@@ -1,0 +1,163 @@
+//! `dart-audit` — the workspace static-analysis gate.
+//!
+//! A std-only, zero-dep pass over every `.rs` file in the workspace,
+//! enforcing the project invariants rustc and clippy cannot express (see
+//! [`rules`] for the R1–R5 catalog and the README's "Static analysis &
+//! sanitizers" section for how to read findings and amend the allowlist).
+//!
+//! Run as `cargo run -p dart-audit` from the workspace root; CI runs it as
+//! a hard gate in both profiles. Exit codes: `0` clean, `1` findings or
+//! stale allowlist entries, `2` usage/configuration errors.
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use allowlist::Allowlist;
+use rules::{Finding, Rule};
+
+/// Directory names never scanned, at any depth.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "node_modules"];
+/// Workspace-relative path prefixes never scanned: the fixture corpus is
+/// *deliberately* full of violations.
+const SKIP_PREFIXES: [&str; 1] = ["crates/audit/fixtures"];
+
+/// Everything one run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived the allowlist, sorted by (file, line).
+    pub findings: Vec<Finding>,
+    /// Allowlist entries that suppressed nothing this run (rot).
+    pub stale: Vec<allowlist::Entry>,
+    /// Files scanned.
+    pub files: usize,
+    /// Pre-suppression finding counts per rule (what the tree contains).
+    pub raw_counts: BTreeMap<Rule, usize>,
+    /// Post-suppression counts per rule (what gates the build).
+    pub counts: BTreeMap<Rule, usize>,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.stale.is_empty()
+    }
+
+    /// The one-line machine-readable summary CI greps into step summaries.
+    pub fn summary_line(&self) -> String {
+        let per_rule: Vec<String> = Rule::ALL
+            .iter()
+            .map(|r| format!("{}={}", r.id(), self.counts.get(r).copied().unwrap_or(0)))
+            .collect();
+        format!(
+            "dart-audit: {} stale-allowlist={} files-scanned={}",
+            per_rule.join(" "),
+            self.stale.len(),
+            self.files
+        )
+    }
+
+    /// Per-rule lines for human/step-summary output: raw sites vs gated
+    /// findings (raw − allowlisted = gated).
+    pub fn rule_table(&self) -> String {
+        let mut out = String::new();
+        for r in Rule::ALL {
+            let raw = self.raw_counts.get(&r).copied().unwrap_or(0);
+            let gated = self.counts.get(&r).copied().unwrap_or(0);
+            out.push_str(&format!(
+                "dart-audit: {} ({}): sites={} allowlisted={} violations={}\n",
+                r.id(),
+                r.name(),
+                raw,
+                raw - gated,
+                gated
+            ));
+        }
+        out
+    }
+}
+
+/// Recursively collect workspace `.rs` files (sorted, workspace-relative).
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let rel = rel_path(root, &path);
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref())
+                    || name.starts_with('.')
+                    || SKIP_PREFIXES.iter().any(|p| rel == *p || rel.starts_with(p))
+                {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Workspace-relative, forward-slash path.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Analyze one file's source under its workspace-relative path.
+pub fn analyze_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let view = lexer::lex(source);
+    rules::analyze(rel_path, &view)
+}
+
+/// Run the full gate: scan `root`, apply `allowlist`, compute staleness.
+pub fn run(root: &Path, allowlist: &Allowlist) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let mut used = vec![0usize; allowlist.entries.len()];
+    let files = collect_files(root)?;
+    report.files = files.len();
+
+    for path in &files {
+        let rel = rel_path(root, path);
+        let source = std::fs::read_to_string(path)?;
+        let view = lexer::lex(&source);
+        for f in rules::analyze(&rel, &view) {
+            *report.raw_counts.entry(f.rule).or_insert(0) += 1;
+            let raw_line = view.raw.get(f.line - 1).map(String::as_str).unwrap_or("");
+            let suppressed = allowlist.entries.iter().enumerate().find(|(_, e)| {
+                e.rule == f.rule
+                    && e.file == f.file
+                    && (e.contains.is_empty() || raw_line.contains(&e.contains))
+            });
+            match suppressed {
+                Some((idx, _)) => used[idx] += 1,
+                None => {
+                    *report.counts.entry(f.rule).or_insert(0) += 1;
+                    report.findings.push(f);
+                }
+            }
+        }
+    }
+    report.stale = allowlist
+        .entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, &n)| n == 0)
+        .map(|(e, _)| e.clone())
+        .collect();
+    report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}

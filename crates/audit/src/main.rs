@@ -1,0 +1,110 @@
+//! CLI for the workspace static-analysis gate.
+//!
+//! ```text
+//! dart-audit [--root DIR] [--allowlist FILE|none] [--quiet]
+//! ```
+//!
+//! Defaults: `--root .` (CI and `cargo run -p dart-audit` both execute from
+//! the workspace root) and `--allowlist <root>/audit.toml`. A missing
+//! allowlist file is an error unless `--allowlist none` is passed
+//! explicitly — a gate that silently runs without its configuration would
+//! report violations the allowlist reviewed away, or worse, hide the fact
+//! that the allowlist path moved.
+//!
+//! Exit codes: `0` clean, `1` findings or stale allowlist entries, `2`
+//! usage/configuration errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist_arg: Option<String> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--allowlist" => match args.next() {
+                Some(v) => allowlist_arg = Some(v),
+                None => return usage("--allowlist needs a value"),
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("usage: dart-audit [--root DIR] [--allowlist FILE|none] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let allowlist = match allowlist_arg.as_deref() {
+        Some("none") => dart_audit::allowlist::Allowlist::default(),
+        chosen => {
+            let path = match chosen {
+                Some(p) => PathBuf::from(p),
+                None => root.join("audit.toml"),
+            };
+            let src = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(err) => {
+                    eprintln!(
+                        "dart-audit: cannot read allowlist {} ({err}); pass --allowlist none to \
+                         run without one",
+                        path.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            };
+            match dart_audit::allowlist::parse(&src) {
+                Ok(list) => list,
+                Err(err) => {
+                    eprintln!("dart-audit: {}: {err}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match dart_audit::run(&root, &allowlist) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("dart-audit: scan failed under {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if !quiet {
+        for f in &report.findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule.id(), f.message);
+        }
+        for e in &report.stale {
+            println!(
+                "audit.toml:{}: [stale-allowlist] entry ({} {} contains={:?}) no longer matches \
+                 any source line — remove it or fix the path/pattern",
+                e.line,
+                e.rule.id(),
+                e.file,
+                e.contains
+            );
+        }
+        print!("{}", report.rule_table());
+    }
+    println!("{}", report.summary_line());
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("dart-audit: {msg}");
+    eprintln!("usage: dart-audit [--root DIR] [--allowlist FILE|none] [--quiet]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,403 @@
+//! The project-invariant rules the gate enforces.
+//!
+//! Everything here works on the lexed [`FileView`]: code text with
+//! comments/literals removed, plus the comment stream. The rules are the
+//! ones rustc/clippy cannot express because they encode *project policy*:
+//!
+//! * **R1** `unsafe-needs-safety-comment` — every `unsafe` keyword
+//!   (block, fn, impl, trait) must be covered by a `SAFETY:` comment (or a
+//!   `# Safety` doc heading) between the end of the previous statement and
+//!   the `unsafe` itself.
+//! * **R2** `asm-confined` — `asm!` and raw-syscall shims (`syscall*`
+//!   identifiers) are only allowed in modules the allowlist names.
+//! * **R3** `atomic-ordering-allowlist` — every `Ordering::Relaxed` /
+//!   `Ordering::SeqCst` in non-test code must be allowlisted with a
+//!   justification. (`Acquire`/`Release`/`AcqRel` are exempt: they state
+//!   an explicit happens-before edge, which *is* the justification. The
+//!   two flagged orderings are the footguns: Relaxed because it promises
+//!   nothing, SeqCst because it is the silent "didn't think about it"
+//!   default.)
+//! * **R4** `lock-unwrap` — non-test code in the serving crates must not
+//!   call `.unwrap()`/`.expect(..)` directly on `Mutex::lock` /
+//!   `RwLock::read`/`write` results; the poison-recovering helpers (or an
+//!   allowlisted fail-fast) are the policy.
+//! * **R5** `allow-needs-justification` — every `#[allow(..)]` /
+//!   `#![allow(..)]` must carry a justification comment on the same line
+//!   or a non-doc comment immediately above it.
+
+use crate::lexer::FileView;
+
+/// The rule catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 5] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5];
+
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::R1 => "R1",
+            Rule::R2 => "R2",
+            Rule::R3 => "R3",
+            Rule::R4 => "R4",
+            Rule::R5 => "R5",
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::R1 => "unsafe-needs-safety-comment",
+            Rule::R2 => "asm-confined",
+            Rule::R3 => "atomic-ordering-allowlist",
+            Rule::R4 => "lock-unwrap",
+            Rule::R5 => "allow-needs-justification",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == s || r.name() == s)
+    }
+}
+
+/// One rule violation at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+/// Directories whose files are hot-path serving code for R4.
+const R4_SCOPE: [&str; 2] = ["crates/serve/src/", "crates/net/src/"];
+
+/// A word token in the joined code stream.
+struct Token {
+    text: String,
+    /// Char offset into the joined stream.
+    start: usize,
+    /// 0-based line.
+    line: usize,
+}
+
+fn tokenize(joined: &str, line_of: &[usize]) -> Vec<Token> {
+    let chars: Vec<char> = joined.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            let mut text = String::new();
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.push(Token { text, start, line: line_of[start] });
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Char offsets (into the joined stream) of `#[cfg(test)]`-module lines,
+/// expanded to a per-line test flag. Files under a `tests/` directory are
+/// entirely test code and handled by the caller.
+fn test_lines(view: &FileView, joined: &str, line_of: &[usize]) -> Vec<bool> {
+    let mut is_test = vec![false; view.len()];
+    let chars: Vec<char> = joined.chars().collect();
+    let mut from = 0;
+    while let Some(pos) = joined[from..].find("#[cfg(test)]") {
+        // `find` returns byte offsets; the char-indexed walk below needs a
+        // char offset.
+        let abs_byte = from + pos;
+        let start = joined[..abs_byte].chars().count();
+        from = abs_byte + "#[cfg(test)]".len();
+        // Expect `mod <ident> {` next (attributes in between are fine);
+        // anything else (cfg(test) on a use/fn) is not a module region.
+        let mut i = start + "#[cfg(test)]".chars().count();
+        // Skip whitespace and further attributes.
+        loop {
+            while i < chars.len() && chars[i].is_whitespace() {
+                i += 1;
+            }
+            if chars.get(i) == Some(&'#') {
+                while i < chars.len() && chars[i] != '\n' && chars[i] != ']' {
+                    i += 1;
+                }
+                i += 1;
+                continue;
+            }
+            break;
+        }
+        let word: String = chars[i..].iter().take(3).collect();
+        if word != "mod" {
+            continue;
+        }
+        // Find the opening brace, then match braces.
+        while i < chars.len() && chars[i] != '{' {
+            if chars[i] == ';' {
+                break; // `mod tests;` — out-of-line, nothing to mark here
+            }
+            i += 1;
+        }
+        if chars.get(i) != Some(&'{') {
+            continue;
+        }
+        let open = i;
+        let mut depth = 0i64;
+        while i < chars.len() {
+            match chars[i] {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let end = i.min(chars.len() - 1);
+        for flag in is_test.iter_mut().take(line_of[end] + 1).skip(line_of[open]) {
+            *flag = true;
+        }
+    }
+    is_test
+}
+
+/// The comment marker R1 accepts: `SAFETY:` anywhere in a comment, or a
+/// `# Safety` doc heading.
+fn has_safety_marker(view: &FileView, line_range: std::ops::RangeInclusive<usize>) -> bool {
+    for li in line_range {
+        for c in &view.comments[li] {
+            if c.text.contains("SAFETY:") || c.text.trim_start().starts_with("# Safety") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Analyze one file. `rel_path` uses forward slashes and is relative to the
+/// workspace root; it drives the per-rule scoping (test dirs, R4 dirs).
+pub fn analyze(rel_path: &str, view: &FileView) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if view.is_empty() {
+        return findings;
+    }
+    let (joined, line_of) = view.joined_code();
+    let chars: Vec<char> = joined.chars().collect();
+    let tokens = tokenize(&joined, &line_of);
+    let in_tests_dir = rel_path.starts_with("tests/") || rel_path.contains("/tests/");
+    let cfg_test = test_lines(view, &joined, &line_of);
+    let is_test_line = |li: usize| in_tests_dir || cfg_test[li];
+
+    let finding = |rule: Rule, line: usize, message: String| Finding {
+        rule,
+        file: rel_path.to_string(),
+        line: line + 1,
+        message,
+    };
+
+    // R1: every `unsafe` keyword needs a SAFETY comment between the end of
+    // the previous statement and the keyword itself.
+    let mut r1_lines_flagged = Vec::new();
+    for tok in tokens.iter().filter(|t| t.text == "unsafe") {
+        if r1_lines_flagged.contains(&tok.line) {
+            continue;
+        }
+        // Walk back to the previous statement/item boundary.
+        let mut j = tok.start;
+        let mut boundary_line = None;
+        while j > 0 {
+            j -= 1;
+            if matches!(chars[j], ';' | '{' | '}') {
+                boundary_line = Some(line_of[j]);
+                break;
+            }
+        }
+        let from = match boundary_line {
+            Some(b) if b == tok.line => tok.line,
+            Some(b) => b + 1,
+            None => 0,
+        };
+        if !has_safety_marker(view, from..=tok.line) {
+            r1_lines_flagged.push(tok.line);
+            findings.push(finding(
+                Rule::R1,
+                tok.line,
+                "`unsafe` without a covering `// SAFETY:` comment (or `# Safety` doc heading) \
+                 since the previous statement"
+                    .to_string(),
+            ));
+        }
+    }
+
+    // R2: `asm!` invocations and raw-syscall shims must be allowlisted
+    // (the allowlist carries the two sanctioned sys modules).
+    let char_at = |idx: usize| chars.get(idx).copied();
+    for tok in &tokens {
+        let is_asm = tok.text == "asm" && {
+            let mut k = tok.start + tok.text.chars().count();
+            while char_at(k).is_some_and(|c| c.is_whitespace()) {
+                k += 1;
+            }
+            char_at(k) == Some('!')
+        };
+        let is_syscall = tok.text.starts_with("syscall")
+            && tok.text["syscall".len()..].chars().all(|c| c.is_ascii_digit());
+        if is_asm {
+            findings.push(finding(
+                Rule::R2,
+                tok.line,
+                "`asm!` outside the allowlisted raw-syscall modules".to_string(),
+            ));
+        } else if is_syscall {
+            findings.push(finding(
+                Rule::R2,
+                tok.line,
+                format!("raw-syscall shim `{}` outside the allowlisted modules", tok.text),
+            ));
+        }
+    }
+
+    // R3: Relaxed/SeqCst atomics in non-test code must be allowlisted.
+    for (li, code) in view.code.iter().enumerate() {
+        if is_test_line(li) {
+            continue;
+        }
+        for ord in ["Ordering::Relaxed", "Ordering::SeqCst"] {
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(ord) {
+                let abs = from + pos;
+                from = abs + ord.len();
+                // Word boundary on the left: `MyOrdering::Relaxed` is not a
+                // std ordering.
+                let prev = code[..abs].chars().next_back();
+                if prev.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    continue;
+                }
+                findings.push(finding(
+                    Rule::R3,
+                    li,
+                    format!("`{ord}` not covered by an allowlist justification"),
+                ));
+            }
+        }
+    }
+
+    // R4: `.lock()/.read()/.write()` immediately unwrapped/expected in the
+    // serving crates' non-test code.
+    if R4_SCOPE.iter().any(|p| rel_path.starts_with(p)) {
+        let mut i = 0;
+        while i < chars.len() {
+            if chars[i] != '.' {
+                i += 1;
+                continue;
+            }
+            // `.lock()` / `.read()` / `.write()` with EMPTY parens — the
+            // empty argument list is what distinguishes the sync-primitive
+            // acquire from io::Read/Write calls.
+            let mut k = i + 1;
+            let mut name = String::new();
+            while char_at(k).is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                name.push(chars[k]);
+                k += 1;
+            }
+            if !matches!(name.as_str(), "lock" | "read" | "write") {
+                i += 1;
+                continue;
+            }
+            let mut k2 = k;
+            while char_at(k2).is_some_and(|c| c.is_whitespace()) {
+                k2 += 1;
+            }
+            if char_at(k2) != Some('(') {
+                i += 1;
+                continue;
+            }
+            k2 += 1;
+            while char_at(k2).is_some_and(|c| c.is_whitespace()) {
+                k2 += 1;
+            }
+            if char_at(k2) != Some(')') {
+                i += 1;
+                continue;
+            }
+            k2 += 1;
+            // Skip whitespace (including newlines — rustfmt splits chains).
+            while char_at(k2).is_some_and(|c| c.is_whitespace()) {
+                k2 += 1;
+            }
+            if char_at(k2) != Some('.') {
+                i = k2;
+                continue;
+            }
+            k2 += 1;
+            while char_at(k2).is_some_and(|c| c.is_whitespace()) {
+                k2 += 1;
+            }
+            let mut next = String::new();
+            while char_at(k2).is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                next.push(chars[k2]);
+                k2 += 1;
+            }
+            if matches!(next.as_str(), "unwrap" | "expect") && !is_test_line(line_of[i]) {
+                findings.push(finding(
+                    Rule::R4,
+                    line_of[i],
+                    format!(
+                        "bare `.{name}().{next}(..)` on a lock result — use the \
+                         poison-recovering helpers or allowlist an intended fail-fast"
+                    ),
+                ));
+            }
+            i = k2;
+        }
+    }
+
+    // R5: `#[allow(..)]` / `#![allow(..)]` needs a justification comment on
+    // the same line or a non-doc comment immediately above.
+    for (li, code) in view.code.iter().enumerate() {
+        if !(code.contains("#[allow(") || code.contains("#![allow(")) {
+            continue;
+        }
+        if !view.comments[li].is_empty() {
+            continue; // trailing (or leading) comment on the same line
+        }
+        // Contiguous comment-only block immediately above, at least one
+        // non-doc comment in it (doc comments document the item, not the
+        // lint suppression).
+        let mut j = li;
+        let mut justified = false;
+        while j > 0 && view.is_comment_only(j - 1) {
+            j -= 1;
+            if view.comments[j].iter().any(|c| !c.doc) {
+                justified = true;
+                break;
+            }
+        }
+        if !justified {
+            findings.push(finding(
+                Rule::R5,
+                li,
+                "`#[allow(..)]` without a justification comment (same line or directly above)"
+                    .to_string(),
+            ));
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}

@@ -1,0 +1,112 @@
+//! Exact-findings tests over the adversarial fixture corpus.
+//!
+//! Each fixture is lexed/analyzed through the library API and the test
+//! asserts the *complete* finding list — both that the seeded violations
+//! are found at their marked lines and that nothing else fires (raw
+//! strings, comments and test code must stay silent).
+
+use dart_audit::analyze_source;
+use dart_audit::rules::Rule;
+
+/// 1-based line of the fixture line carrying `marker`.
+fn line_of(src: &str, marker: &str) -> usize {
+    src.lines()
+        .position(|l| l.contains(marker))
+        .unwrap_or_else(|| panic!("marker {marker} not in fixture"))
+        + 1
+}
+
+fn findings(rel_path: &str, src: &str) -> Vec<(Rule, usize)> {
+    analyze_source(rel_path, src).into_iter().map(|f| (f.rule, f.line)).collect()
+}
+
+const RAW_STRINGS: &str = include_str!("../fixtures/corpus/raw_string_hides_unsafe.rs");
+const HIDDEN_ASM: &str = include_str!("../fixtures/corpus/comment_hides_asm.rs");
+const NESTED_UNSAFE: &str = include_str!("../fixtures/corpus/nested_unsafe.rs");
+const SAFETY_SPACING: &str = include_str!("../fixtures/corpus/safety_no_space.rs");
+const ATOMICS: &str = include_str!("../fixtures/corpus/atomics.rs");
+const LOCK_UNWRAP: &str = include_str!("../fixtures/corpus/lock_unwrap.rs");
+const ALLOW_ATTR: &str = include_str!("../fixtures/corpus/allow_attr.rs");
+
+#[test]
+fn raw_strings_and_char_literals_are_silent() {
+    assert_eq!(findings("crates/x/src/lib.rs", RAW_STRINGS), vec![]);
+}
+
+#[test]
+fn comments_hide_asm_but_real_sites_fire() {
+    assert_eq!(
+        findings("crates/x/src/lib.rs", HIDDEN_ASM),
+        vec![
+            (Rule::R2, line_of(HIDDEN_ASM, "MARK:real-asm")),
+            (Rule::R2, line_of(HIDDEN_ASM, "MARK:real-syscall")),
+            (Rule::R2, line_of(HIDDEN_ASM, "MARK:spaced-asm")),
+        ]
+    );
+}
+
+#[test]
+fn unsafe_coverage_including_nesting() {
+    assert_eq!(
+        findings("crates/x/src/lib.rs", NESTED_UNSAFE),
+        vec![
+            (Rule::R1, line_of(NESTED_UNSAFE, "MARK:uncovered-impl")),
+            (Rule::R1, line_of(NESTED_UNSAFE, "MARK:uncovered-block")),
+            (Rule::R1, line_of(NESTED_UNSAFE, "MARK:uncovered-nested")),
+        ]
+    );
+}
+
+#[test]
+fn safety_marker_spacing_and_staleness() {
+    assert_eq!(
+        findings("crates/x/src/lib.rs", SAFETY_SPACING),
+        vec![
+            (Rule::R1, line_of(SAFETY_SPACING, "MARK:lowercase")),
+            (Rule::R1, line_of(SAFETY_SPACING, "MARK:stale-marker")),
+        ]
+    );
+}
+
+#[test]
+fn atomics_flag_relaxed_and_seqcst_outside_tests() {
+    assert_eq!(
+        findings("crates/x/src/lib.rs", ATOMICS),
+        vec![
+            (Rule::R3, line_of(ATOMICS, "MARK:hot-relaxed")),
+            (Rule::R3, line_of(ATOMICS, "MARK:hot-seqcst")),
+        ]
+    );
+}
+
+#[test]
+fn lock_unwrap_in_serving_crates_only() {
+    assert_eq!(
+        findings("crates/serve/src/fixture.rs", LOCK_UNWRAP),
+        vec![
+            (Rule::R4, line_of(LOCK_UNWRAP, "MARK:bare-unwrap")),
+            (Rule::R4, line_of(LOCK_UNWRAP, "MARK:split-chain")),
+            (Rule::R4, line_of(LOCK_UNWRAP, "MARK:rwlock-expect")),
+        ]
+    );
+    // The same source outside the serving crates is not R4's business.
+    assert_eq!(findings("crates/pq/src/fixture.rs", LOCK_UNWRAP), vec![]);
+}
+
+#[test]
+fn allow_attributes_need_justification() {
+    assert_eq!(
+        findings("crates/x/src/lib.rs", ALLOW_ATTR),
+        vec![
+            (Rule::R5, line_of(ALLOW_ATTR, "MARK:unjustified") - 1),
+            (Rule::R5, line_of(ALLOW_ATTR, "MARK:doc-only") - 1),
+        ],
+        "R5 reports at the attribute line, one above the marked item"
+    );
+}
+
+#[test]
+fn tests_dir_paths_are_exempt_from_r3_and_r4() {
+    assert_eq!(findings("crates/serve/tests/foo.rs", LOCK_UNWRAP), vec![]);
+    assert_eq!(findings("crates/x/tests/foo.rs", ATOMICS), vec![]);
+}

@@ -1,0 +1,78 @@
+//! End-to-end tests of the `dart-audit` binary: the self-gate over the
+//! committed workspace must pass, and seeded violations / stale or
+//! malformed allowlists must fail with the right exit codes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn audit(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dart-audit")).args(args).output().expect("spawn dart-audit")
+}
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn workspace_root() -> PathBuf {
+    manifest_dir().parent().unwrap().parent().unwrap().to_path_buf()
+}
+
+fn seeded() -> PathBuf {
+    manifest_dir().join("fixtures/seeded")
+}
+
+#[test]
+fn self_gate_passes_on_the_committed_tree() {
+    let root = workspace_root();
+    let out = audit(&["--root", root.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "the committed tree must be audit-clean:\n{stdout}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("dart-audit: R1="), "summary line missing:\n{stdout}");
+    assert!(stdout.contains("stale-allowlist=0"), "{stdout}");
+}
+
+#[test]
+fn seeded_violation_fails_the_gate() {
+    let dir = seeded();
+    let out = audit(&["--root", dir.to_str().unwrap(), "--allowlist", "none"]);
+    assert_eq!(out.status.code(), Some(1), "seeded tree must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("src/lib.rs"), "{stdout}");
+    assert!(stdout.contains("[R1]"), "{stdout}");
+}
+
+#[test]
+fn stale_allowlist_entries_fail_the_gate() {
+    let dir = seeded();
+    let allow = dir.join("stale.toml");
+    let out = audit(&["--root", dir.to_str().unwrap(), "--allowlist", allow.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stale"), "stale entry must be reported:\n{stdout}");
+}
+
+#[test]
+fn malformed_allowlist_is_a_usage_error() {
+    let dir = seeded();
+    let allow = dir.join("bad.toml");
+    let out = audit(&["--root", dir.to_str().unwrap(), "--allowlist", allow.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "malformed allowlist must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("justify"), "{stderr}");
+}
+
+#[test]
+fn missing_allowlist_file_is_a_usage_error() {
+    let dir = seeded();
+    let out = audit(&[
+        "--root",
+        dir.to_str().unwrap(),
+        "--allowlist",
+        dir.join("no-such.toml").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+}

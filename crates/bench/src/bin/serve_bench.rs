@@ -125,7 +125,7 @@ fn run_naive(model: &TabularModel, pre: &PreprocessConfig, reqs: &[PrefetchReque
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // bench knobs are explicit on purpose, no config struct
 fn run_runtime(
     model: &Arc<TabularModel>,
     pre: &PreprocessConfig,
@@ -184,7 +184,7 @@ fn run_runtime(
 
 /// Best of two runs: the runtime shares cores with the OS scheduler, so a
 /// single short run is noisy (especially on few-core hosts).
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // same signature as run_runtime, which it wraps twice
 fn run_runtime_best_of2(
     model: &Arc<TabularModel>,
     pre: &PreprocessConfig,

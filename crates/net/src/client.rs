@@ -1,11 +1,12 @@
 //! A small blocking client for the wire protocol — what the TCP load
 //! generator and the integration tests speak to the server with.
 
+use dart_telemetry::lockcheck::{named_mutex, Mutex};
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, PoisonError};
 use std::time::Duration;
 
 use crate::wire::{
@@ -121,7 +122,7 @@ impl ClientPool {
     pub fn new(addr: impl Into<String>, max_idle: usize) -> Arc<ClientPool> {
         Arc::new(ClientPool {
             addr: addr.into(),
-            idle: Mutex::new(Vec::new()),
+            idle: named_mutex("net.client_idle", Vec::new()),
             max_idle,
             created: AtomicU64::new(0),
         })

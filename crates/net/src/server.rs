@@ -46,11 +46,12 @@
 //!   set, connections with no traffic and nothing in flight are reaped
 //!   (reason `idle`) instead of holding state forever.
 
+use dart_telemetry::lockcheck::{named_mutex, Mutex};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -510,7 +511,7 @@ impl NetServer {
         for _ in 0..io_threads_n {
             let (tx, rx) = wake_pair()?;
             io.push(IoShared {
-                dirty: Mutex::new(Vec::new()),
+                dirty: named_mutex("net.io_dirty", Vec::new()),
                 waker: Waker { tx, armed: AtomicBool::new(false) },
             });
             wake_rxs.push(rx);
@@ -524,7 +525,7 @@ impl NetServer {
                 ..cfg
             },
             counters: Counters::register(),
-            conns: Mutex::new(HashMap::new()),
+            conns: named_mutex("net.conns", HashMap::new()),
             io,
             next_conn_id: AtomicU32::new(1),
             shutdown: AtomicBool::new(false),
@@ -816,7 +817,7 @@ fn accept_ready(
                     doomed: AtomicU8::new(reason::ALIVE),
                     in_dirty: AtomicBool::new(false),
                     last_activity_ms: AtomicU64::new(shared.now_ms()),
-                    outbox: Mutex::new(OutBuf::default()),
+                    outbox: named_mutex("net.conn_outbox", OutBuf::default()),
                 });
                 if poller.register(fd_of(&conn.stream), id as u64).is_err() {
                     accept_failed(shared, &conn.stream);

@@ -37,7 +37,7 @@ impl FusedFfnTable {
     /// minus the `(C-1)/C` share of the FFN at the full mean (so aggregation
     /// over subspaces reconstructs an additive approximation around the
     /// mean). With `C = 1` this is exact at the prototypes.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // mirrors the two-layer FFN's full parameter list
     pub fn fit(
         train_inputs: &Matrix,
         w_hidden: &Matrix,

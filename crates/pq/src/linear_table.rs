@@ -91,7 +91,7 @@ impl LinearTable {
     /// Tabularize `x -> W · f(x) + b` where `f` is an element-wise transform
     /// folded into the table entries (see [`ProtoTransform`]).
     /// `train_inputs` must be *pre-transform* activations.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // mirrors the layer's full parameter list on purpose
     pub fn fit_transformed(
         train_inputs: &Matrix,
         weight: &Matrix,

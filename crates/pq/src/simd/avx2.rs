@@ -13,6 +13,7 @@
 //! succeeded (`super::detect`), and through tests that perform the same
 //! check.
 
+// The whole point of this module is intrinsics. (Safety story above.)
 #![allow(unsafe_code)]
 
 use std::arch::x86_64::{
@@ -25,21 +26,30 @@ const LANES: usize = 8;
 
 pub fn init_row(dst: &mut [f32], src: &[f32]) {
     debug_assert_eq!(dst.len(), src.len());
+    // SAFETY: AVX2 is present (dispatch-table gate, module docs); the tail
+    // loop bounds every vector load/store by `dst.len() == src.len()`.
     unsafe { init_row_avx2(dst, src) }
 }
 
 pub fn add_assign(dst: &mut [f32], src: &[f32]) {
     debug_assert_eq!(dst.len(), src.len());
+    // SAFETY: AVX2 is present (dispatch-table gate); loads/stores stay
+    // within `dst.len() == src.len()` by the `j + LANES <= n` loop bound.
     unsafe { add_assign_avx2(dst, src) }
 }
 
 pub fn gather_init(dst: &mut [f32], row: &[f32], idx: &[i32]) {
     check_gather(dst, row, idx);
+    // SAFETY: AVX2 is present (dispatch-table gate); `check_gather` just
+    // proved every index is in-bounds for `row` and `dst.len() == idx.len()`,
+    // the contract the unchecked hardware gather relies on.
     unsafe { gather_avx2::<true>(dst, row, idx) }
 }
 
 pub fn gather_add(dst: &mut [f32], row: &[f32], idx: &[i32]) {
     check_gather(dst, row, idx);
+    // SAFETY: as in `gather_init` — AVX2 present, indices bounds-checked by
+    // `check_gather`, `dst.len() == idx.len()`.
     unsafe { gather_avx2::<false>(dst, row, idx) }
 }
 
@@ -47,11 +57,17 @@ pub fn nearest_flat(point: &[f32], centroids: &[f32], dim: usize) -> (usize, f32
     assert!(dim > 0, "nearest_flat over zero-dim subspace");
     debug_assert_eq!(point.len(), dim);
     debug_assert_eq!(centroids.len() % dim, 0);
+    // SAFETY: AVX2 is present (dispatch-table gate); the stride gather only
+    // runs while `c0 + LANES <= k` with per-gather offsets bounded by
+    // `dim * (LANES - 1)`, so every lane reads inside `centroids`.
     unsafe { nearest_flat_avx2(point, centroids, dim) }
 }
 
 pub fn i8_scale_add(dst: &mut [f32], src: &[i8], scale: f32) {
     debug_assert_eq!(dst.len(), src.len());
+    // SAFETY: AVX2 is present (dispatch-table gate); the 8-byte int8 load
+    // and the f32 load/store stay within `dst.len() == src.len()` by the
+    // `j + LANES <= n` loop bound.
     unsafe { i8_scale_add_avx2(dst, src, scale) }
 }
 
@@ -66,6 +82,9 @@ fn check_gather(dst: &[f32], row: &[f32], idx: &[i32]) {
     }
 }
 
+/// # Safety
+/// Caller must guarantee AVX2 is available and `dst.len() == src.len()`
+/// (all vector memory ops are bounded by `dst.len()`).
 #[target_feature(enable = "avx2")]
 unsafe fn init_row_avx2(dst: &mut [f32], src: &[f32]) {
     let n = dst.len();
@@ -80,6 +99,8 @@ unsafe fn init_row_avx2(dst: &mut [f32], src: &[f32]) {
     super::scalar::init_row(&mut dst[j..], &src[j..]);
 }
 
+/// # Safety
+/// Caller must guarantee AVX2 is available and `dst.len() == src.len()`.
 #[target_feature(enable = "avx2")]
 unsafe fn add_assign_avx2(dst: &mut [f32], src: &[f32]) {
     let n = dst.len();
@@ -93,6 +114,10 @@ unsafe fn add_assign_avx2(dst: &mut [f32], src: &[f32]) {
     super::scalar::add_assign(&mut dst[j..], &src[j..]);
 }
 
+/// # Safety
+/// Caller must guarantee AVX2 is available, `dst.len() == idx.len()`, and
+/// every `idx` entry indexes inside `row` — `_mm256_i32gather_ps` performs
+/// no bounds checks (`check_gather` is the enforcing front door).
 #[target_feature(enable = "avx2")]
 unsafe fn gather_avx2<const INIT: bool>(dst: &mut [f32], row: &[f32], idx: &[i32]) {
     let n = dst.len();
@@ -115,6 +140,11 @@ unsafe fn gather_avx2<const INIT: bool>(dst: &mut [f32], row: &[f32], idx: &[i32
     }
 }
 
+/// # Safety
+/// Caller must guarantee AVX2 is available, `point.len() == dim > 0`, and
+/// `centroids.len()` is a multiple of `dim`: the vector path gathers at
+/// byte offsets up to `dim * (LANES - 1)` past each 8-centroid base, which
+/// stays inside `centroids` exactly when those shape contracts hold.
 #[target_feature(enable = "avx2")]
 unsafe fn nearest_flat_avx2(point: &[f32], centroids: &[f32], dim: usize) -> (usize, f32) {
     let k = centroids.len() / dim;
@@ -167,6 +197,10 @@ unsafe fn nearest_flat_avx2(point: &[f32], centroids: &[f32], dim: usize) -> (us
     (best, best_d)
 }
 
+/// # Safety
+/// Caller must guarantee AVX2 is available and `dst.len() == src.len()`
+/// (the 8-byte `_mm_loadl_epi64` reads `src[j..j + 8]`, bounded by the
+/// `j + LANES <= n` loop condition).
 #[target_feature(enable = "avx2")]
 unsafe fn i8_scale_add_avx2(dst: &mut [f32], src: &[i8], scale: f32) {
     let n = dst.len();

@@ -12,6 +12,7 @@
 //! Safety: NEON is baseline on AArch64 and the dispatch table re-checks
 //! `is_aarch64_feature_detected!("neon")` before installing these.
 
+// The whole point of this module is intrinsics. (Safety story above.)
 #![allow(unsafe_code)]
 
 use std::arch::aarch64::{
@@ -22,29 +23,41 @@ const LANES: usize = 4;
 
 pub fn init_row(dst: &mut [f32], src: &[f32]) {
     debug_assert_eq!(dst.len(), src.len());
+    // SAFETY: NEON is baseline on aarch64 and re-verified by the dispatch
+    // table (module docs); vector ops are bounded by `dst.len()`.
     unsafe { init_row_neon(dst, src) }
 }
 
 pub fn add_assign(dst: &mut [f32], src: &[f32]) {
     debug_assert_eq!(dst.len(), src.len());
+    // SAFETY: NEON is baseline on aarch64 (dispatch-table gate); loads and
+    // stores stay within `dst.len() == src.len()`.
     unsafe { add_assign_neon(dst, src) }
 }
 
 pub fn gather_init(dst: &mut [f32], row: &[f32], idx: &[i32]) {
     assert_eq!(dst.len(), idx.len());
+    // SAFETY: NEON is baseline on aarch64 (dispatch-table gate); the lane
+    // loads index `row` through bounds-checked slice indexing.
     unsafe { gather_neon::<true>(dst, row, idx) }
 }
 
 pub fn gather_add(dst: &mut [f32], row: &[f32], idx: &[i32]) {
     assert_eq!(dst.len(), idx.len());
+    // SAFETY: as in `gather_init` — NEON present, lane loads bounds-checked,
+    // `dst.len() == idx.len()`.
     unsafe { gather_neon::<false>(dst, row, idx) }
 }
 
 pub fn i8_scale_add(dst: &mut [f32], src: &[i8], scale: f32) {
     debug_assert_eq!(dst.len(), src.len());
+    // SAFETY: NEON is baseline on aarch64 (dispatch-table gate); the widen
+    // loads and f32 load/store are bounded by `dst.len() == src.len()`.
     unsafe { i8_scale_add_neon(dst, src, scale) }
 }
 
+/// # Safety
+/// Caller must guarantee NEON is available and `dst.len() == src.len()`.
 #[target_feature(enable = "neon")]
 unsafe fn init_row_neon(dst: &mut [f32], src: &[f32]) {
     let n = dst.len();
@@ -59,6 +72,8 @@ unsafe fn init_row_neon(dst: &mut [f32], src: &[f32]) {
     super::scalar::init_row(&mut dst[j..], &src[j..]);
 }
 
+/// # Safety
+/// Caller must guarantee NEON is available and `dst.len() == src.len()`.
 #[target_feature(enable = "neon")]
 unsafe fn add_assign_neon(dst: &mut [f32], src: &[f32]) {
     let n = dst.len();
@@ -72,6 +87,10 @@ unsafe fn add_assign_neon(dst: &mut [f32], src: &[f32]) {
     super::scalar::add_assign(&mut dst[j..], &src[j..]);
 }
 
+/// # Safety
+/// Caller must guarantee NEON is available and `dst.len() == idx.len()`.
+/// `idx` entries need no pre-validation: the software gather indexes `row`
+/// through ordinary slice indexing, which panics on out-of-range lanes.
 #[target_feature(enable = "neon")]
 unsafe fn gather_neon<const INIT: bool>(dst: &mut [f32], row: &[f32], idx: &[i32]) {
     let n = dst.len();
@@ -101,6 +120,8 @@ unsafe fn gather_neon<const INIT: bool>(dst: &mut [f32], row: &[f32], idx: &[i32
     }
 }
 
+/// # Safety
+/// Caller must guarantee NEON is available and `dst.len() == src.len()`.
 #[target_feature(enable = "neon")]
 unsafe fn i8_scale_add_neon(dst: &mut [f32], src: &[i8], scale: f32) {
     let n = dst.len();

@@ -1,7 +1,8 @@
 //! The serving runtime: shard lifecycle, placement, submission, and
 //! statistics.
 
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use dart_telemetry::lockcheck::{named_mutex, Mutex};
+use std::sync::{Arc, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -317,7 +318,7 @@ impl ServeRuntime {
             // The worker commits statistics into this shared cell once per
             // served batch; the runtime holds the other reference, so what
             // a shard served survives any way its thread can die.
-            let report_cell = Arc::new(Mutex::new(ShardReport::default()));
+            let report_cell = Arc::new(named_mutex("serve.shard_report", ShardReport::default()));
             reports.push(Arc::clone(&report_cell));
             let base_model = Arc::clone(&model);
             let topo = Arc::clone(&topology);

@@ -1,7 +1,8 @@
 //! Shard worker: queue, batch coalescing, and batched prediction.
 
+use dart_telemetry::lockcheck::{named_mutex, Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, PoisonError};
 use std::time::Instant;
 
 use dart_core::TabularModel;
@@ -79,7 +80,10 @@ impl QueueInner {
 impl ShardQueue {
     pub fn new(capacity: usize) -> ShardQueue {
         ShardQueue {
-            inner: Mutex::new(QueueInner { pending: VecDeque::new(), shutdown: false, dead: None }),
+            inner: named_mutex(
+                "serve.shard_queue",
+                QueueInner { pending: VecDeque::new(), shutdown: false, dead: None },
+            ),
             cv: Condvar::new(),
             space: Condvar::new(),
             capacity: capacity.max(1),
@@ -243,12 +247,20 @@ impl ShardQueue {
 /// see the freed residency. Draining is lazy by design: retired streams
 /// can only displace live ones when new traffic arrives, and new
 /// traffic is exactly what wakes the worker.
-#[derive(Default)]
 pub(crate) struct RetireCell {
     /// Fast-path flag so the worker loop pays one relaxed load per batch
     /// when nothing is pending (the common case — disconnects are rare).
     flagged: std::sync::atomic::AtomicBool,
     prefixes: Mutex<Vec<u32>>,
+}
+
+impl Default for RetireCell {
+    fn default() -> RetireCell {
+        RetireCell {
+            flagged: std::sync::atomic::AtomicBool::new(false),
+            prefixes: named_mutex("serve.retire", Vec::new()),
+        }
+    }
 }
 
 impl RetireCell {
@@ -296,12 +308,15 @@ pub(crate) struct SinkState {
 impl CompletionSink {
     pub fn new() -> CompletionSink {
         CompletionSink {
-            state: Mutex::new(SinkState {
-                completed: Vec::new(),
-                in_flight: 0,
-                failed: 0,
-                worker_panics: Vec::new(),
-            }),
+            state: named_mutex(
+                "serve.sink",
+                SinkState {
+                    completed: Vec::new(),
+                    in_flight: 0,
+                    failed: 0,
+                    worker_panics: Vec::new(),
+                },
+            ),
             cv: Condvar::new(),
         }
     }

@@ -18,6 +18,9 @@
 //! * [`SpanRing`] / [`SpanRecord`] — a bounded ring buffer of recent
 //!   request-lifecycle spans (queue-wait → coalesce → kernel → sink) for
 //!   debugging latency outliers without unbounded memory.
+//! * [`lockcheck`] — the serving stack's mutex facade: `std::sync`
+//!   re-exports by default, order-tracked mutexes that panic on
+//!   lock-order cycles under the `lockcheck` cargo feature.
 //!
 //! Everything here is std-only and allocation-free on the record paths;
 //! the only locks are in the registry's *registration* path and the span
@@ -26,6 +29,7 @@
 pub mod cell;
 pub mod expo;
 pub mod hist;
+pub mod lockcheck;
 pub mod registry;
 pub mod span;
 

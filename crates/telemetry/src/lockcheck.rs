@@ -1,0 +1,363 @@
+//! Lock-order checking for the serving stack's hot-path mutexes.
+//!
+//! With the `lockcheck` cargo feature **off** (the default) this module is
+//! pure re-exports: [`Mutex`], [`MutexGuard`] and [`Condvar`] are the
+//! `std::sync` types and [`named_mutex`] forwards to `Mutex::new`, so the
+//! serving crates pay nothing for importing from here.
+//!
+//! With the feature **on**, every mutex constructed through [`named_mutex`]
+//! participates in a process-wide *lock-order graph*: when a thread
+//! acquires lock `B` while holding lock `A`, the edge `A → B` is recorded;
+//! if the reverse path `B → … → A` was ever observed (on any thread), the
+//! acquisition panics with both lock names — turning a latent AB/BA
+//! deadlock into a deterministic test failure on the *first* inverted
+//! acquisition, whether or not the schedules ever actually collide.
+//!
+//! Nodes are lock *names*, not instances: every `net.conn_outbox` mutex is
+//! one node. That is deliberate — a per-connection lock class must have a
+//! single consistent rank against `net.conns`, whichever connection is
+//! involved. The tracked [`Condvar`] releases the holder's bookkeeping for
+//! the duration of the wait (the mutex really is unlocked) and re-records
+//! the re-acquisition, so edges established across a wakeup are seen too.
+//!
+//! The checker's own synchronization uses `std::sync` directly and is
+//! invisible to the graph.
+
+#[cfg(not(feature = "lockcheck"))]
+mod imp {
+    pub type Mutex<T> = std::sync::Mutex<T>;
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+    pub type Condvar = std::sync::Condvar;
+
+    /// Feature off: the name is documentation, the mutex is `std`'s.
+    pub fn named_mutex<T>(_name: &'static str, value: T) -> Mutex<T> {
+        Mutex::new(value)
+    }
+}
+
+#[cfg(feature = "lockcheck")]
+mod imp {
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet};
+    use std::ops::{Deref, DerefMut};
+    use std::sync::{LockResult, OnceLock, PoisonError, WaitTimeoutResult};
+    use std::time::Duration;
+
+    /// `Mutex::new` without a name still participates, as one shared node;
+    /// name hot-path locks via [`named_mutex`] so reports are readable.
+    const UNNAMED: &str = "<unnamed>";
+
+    type Graph = HashMap<&'static str, HashSet<&'static str>>;
+
+    fn graph() -> &'static std::sync::Mutex<Graph> {
+        static GRAPH: OnceLock<std::sync::Mutex<Graph>> = OnceLock::new();
+        GRAPH.get_or_init(|| std::sync::Mutex::new(HashMap::new()))
+    }
+
+    thread_local! {
+        /// Names of the locks this thread currently holds, in acquisition
+        /// order.
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Is there a path `from → … → to` in the recorded order graph?
+    fn reaches(g: &Graph, from: &'static str, to: &'static str) -> bool {
+        let mut stack = vec![from];
+        let mut seen = HashSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if seen.insert(n) {
+                if let Some(next) = g.get(n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    }
+
+    /// Record an acquisition attempt of `name`: check it against every lock
+    /// this thread holds, add the order edges, then push it as held.
+    /// Panics (before blocking) if the acquisition inverts a recorded order.
+    fn record_acquire(name: &'static str) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if !held.is_empty() {
+                // The checker's own lock: std, poison-recovered, untracked.
+                let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+                for &prev in held.iter() {
+                    if prev == name {
+                        panic!(
+                            "lock-order cycle: acquiring `{name}` while already holding \
+                             `{prev}` (same lock class twice on one thread)"
+                        );
+                    }
+                    if reaches(&g, name, prev) {
+                        panic!(
+                            "lock-order cycle: acquiring `{name}` while holding `{prev}`, \
+                             but the order `{name}` -> `{prev}` is already established \
+                             elsewhere — these two locks deadlock under contention"
+                        );
+                    }
+                    g.entry(prev).or_default().insert(name);
+                }
+            }
+            held.push(name);
+        });
+    }
+
+    /// Pop the most recent `name` from the held stack (guard drop, or the
+    /// unlock half of a condvar wait).
+    fn record_release(name: &'static str) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&n| n == name) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// An order-tracked mutex. Same surface as `std::sync::Mutex` for the
+    /// methods the serving crates use (`new`/`lock`).
+    pub struct Mutex<T> {
+        name: &'static str,
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex { name: UNNAMED, inner: std::sync::Mutex::new(value) }
+        }
+
+        pub(super) fn named(name: &'static str, value: T) -> Mutex<T> {
+            Mutex { name, inner: std::sync::Mutex::new(value) }
+        }
+
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            record_acquire(self.name);
+            match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard { name: self.name, inner: Some(g) }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    name: self.name,
+                    inner: Some(p.into_inner()),
+                })),
+            }
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Mutex").field("name", &self.name).field("inner", &self.inner).finish()
+        }
+    }
+
+    pub struct MutexGuard<'a, T> {
+        name: &'static str,
+        /// `None` only transiently, while a condvar wait owns the inner
+        /// guard; `Drop` then skips the release bookkeeping.
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<'a, T> MutexGuard<'a, T> {
+        /// Hand the raw guard to a condvar wait, releasing this thread's
+        /// bookkeeping (the mutex is about to be unlocked for real).
+        fn into_parts(mut self) -> (&'static str, std::sync::MutexGuard<'a, T>) {
+            let inner = self.inner.take().expect("guard already dismantled");
+            record_release(self.name);
+            (self.name, inner)
+        }
+
+        fn from_parts(name: &'static str, inner: std::sync::MutexGuard<'a, T>) -> Self {
+            MutexGuard { name, inner: Some(inner) }
+        }
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard already dismantled")
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard already dismantled")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if self.inner.take().is_some() {
+                record_release(self.name);
+            }
+        }
+    }
+
+    /// Condvar over tracked guards: unlock/relock bookkeeping mirrors what
+    /// the underlying wait does to the mutex.
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        #[allow(clippy::new_without_default)] // mirrors std::sync::Condvar::new
+        pub fn new() -> Condvar {
+            Condvar { inner: std::sync::Condvar::new() }
+        }
+
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let (name, inner) = guard.into_parts();
+            let res = self.inner.wait(inner);
+            // Re-acquired: re-check order against whatever else the thread
+            // still holds (edges across a wakeup count too).
+            record_acquire(name);
+            match res {
+                Ok(g) => Ok(MutexGuard::from_parts(name, g)),
+                Err(p) => Err(PoisonError::new(MutexGuard::from_parts(name, p.into_inner()))),
+            }
+        }
+
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            let (name, inner) = guard.into_parts();
+            let res = self.inner.wait_timeout(inner, dur);
+            record_acquire(name);
+            match res {
+                Ok((g, t)) => Ok((MutexGuard::from_parts(name, g), t)),
+                Err(p) => {
+                    let (g, t) = p.into_inner();
+                    Err(PoisonError::new((MutexGuard::from_parts(name, g), t)))
+                }
+            }
+        }
+
+        pub fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+    }
+
+    /// A tracked mutex whose acquisitions are checked under `name`.
+    pub fn named_mutex<T>(name: &'static str, value: T) -> Mutex<T> {
+        Mutex::named(name, value)
+    }
+}
+
+pub use imp::{named_mutex, Condvar, Mutex, MutexGuard};
+
+#[cfg(all(test, feature = "lockcheck"))]
+mod tests {
+    use super::*;
+    use std::sync::PoisonError;
+
+    fn catch(f: impl FnOnce() + std::panic::UnwindSafe) -> Option<String> {
+        std::panic::catch_unwind(f).err().map(|e| {
+            e.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default()
+        })
+    }
+
+    #[test]
+    fn consistent_order_is_silent() {
+        let a = named_mutex("lctest.ok_a", 0u32);
+        let b = named_mutex("lctest.ok_b", 0u32);
+        for _ in 0..3 {
+            let ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+            let gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+            drop(gb);
+            drop(ga);
+        }
+        // Disjoint re-acquisition after release is not nesting.
+        drop(a.lock().unwrap_or_else(PoisonError::into_inner));
+        drop(b.lock().unwrap_or_else(PoisonError::into_inner));
+    }
+
+    #[test]
+    fn inverted_order_panics_with_both_names() {
+        let a = named_mutex("lctest.cycle_a", 0u32);
+        let b = named_mutex("lctest.cycle_b", 0u32);
+        {
+            let _ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+            let _gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+        }
+        let msg = catch(|| {
+            let _gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+        })
+        .expect("inverted acquisition must panic");
+        assert!(msg.contains("lctest.cycle_a"), "missing first lock name: {msg}");
+        assert!(msg.contains("lctest.cycle_b"), "missing second lock name: {msg}");
+        assert!(msg.contains("lock-order cycle"), "{msg}");
+    }
+
+    #[test]
+    fn transitive_cycle_is_caught() {
+        let a = named_mutex("lctest.tri_a", ());
+        let b = named_mutex("lctest.tri_b", ());
+        let c = named_mutex("lctest.tri_c", ());
+        {
+            let _ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+            let _gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+        }
+        {
+            let _gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+            let _gc = c.lock().unwrap_or_else(PoisonError::into_inner);
+        }
+        let msg = catch(|| {
+            let _gc = c.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+        })
+        .expect("c-then-a closes the a->b->c cycle");
+        assert!(msg.contains("lctest.tri_a") && msg.contains("lctest.tri_c"), "{msg}");
+    }
+
+    #[test]
+    fn same_class_twice_panics() {
+        let a1 = named_mutex("lctest.dup", ());
+        let a2 = named_mutex("lctest.dup", ());
+        let msg = catch(|| {
+            let _g1 = a1.lock().unwrap_or_else(PoisonError::into_inner);
+            let _g2 = a2.lock().unwrap_or_else(PoisonError::into_inner);
+        })
+        .expect("same lock class nested must panic");
+        assert!(msg.contains("lctest.dup"), "{msg}");
+    }
+
+    #[test]
+    fn condvar_wait_releases_bookkeeping() {
+        use std::sync::Arc;
+        let m = Arc::new(named_mutex("lctest.cv_m", false));
+        let other = Arc::new(named_mutex("lctest.cv_other", ()));
+        let cv = Arc::new(Condvar::new());
+
+        let waiter = {
+            let (m, cv) = (m.clone(), cv.clone());
+            std::thread::spawn(move || {
+                let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);
+                while !*g {
+                    g = cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+                }
+            })
+        };
+        // While the waiter sleeps inside `wait`, cv_m is unlocked and must
+        // not be recorded as held by anyone: locking other-then-m here
+        // establishes the only edges, then waking the waiter exercises the
+        // re-acquire path.
+        {
+            let _go = other.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);
+            *g = true;
+        }
+        cv.notify_all();
+        waiter.join().unwrap();
+    }
+}
