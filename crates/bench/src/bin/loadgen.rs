@@ -17,6 +17,11 @@
 //! * `DART_LOADGEN_PANIC_STREAM` (unset by default) — fault injection:
 //!   kill the shard serving this stream id mid-batch, to demonstrate the
 //!   non-zero exit path and the failure accounting.
+//! * `DART_LOADGEN_SWAP_AT` (unset by default) — hot-swap drill: once
+//!   this many requests have been served, swap in a bit-identical
+//!   `deep_clone` of the active model mid-run. The verdict then also
+//!   requires the swap to have happened and — as always — zero lost or
+//!   failed responses: a swap that drops even one request fails the run.
 //!
 //! TCP mode (the `dart-net` front-end instead of in-process submission):
 //!
@@ -32,7 +37,10 @@
 //! * `DART_LOADGEN_IDLE_MS` (default 60000) — server-side idle timeout;
 //!   generous by default so a loaded-but-slow run is never reaped,
 //! * `DART_LOADGEN_TIMEOUT_MS` (default 10000) — client read timeout
-//!   before unanswered frames count as lost.
+//!   before unanswered frames count as lost,
+//! * `DART_NET_POLLER_SLEEP_MS` (default 5) — fallback poller probe cap,
+//!   forwarded into [`dart_net::NetConfig`] (strict parse, like every
+//!   other knob here: a malformed value exits 2 before any socket opens).
 //!
 //! Either mode exits non-zero if any request is lost, failed, or
 //! unaccounted; TCP mode also cross-checks the scraped `/metrics`
@@ -89,23 +97,95 @@ fn scraped_counter(doc: &str, name: &str) -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
+/// The mid-run hot-swap drill (`DART_LOADGEN_SWAP_AT`): a watcher thread
+/// that waits for the served-request counter to cross the trigger, then
+/// swaps in a bit-identical `deep_clone` of the active model. Because the
+/// clone is bit-identical, any lost, failed, or changed response after
+/// the swap is the swap machinery's fault — which is exactly what this
+/// smoke exists to catch.
+struct SwapDrill {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: std::thread::JoinHandle<bool>,
+}
+
+impl SwapDrill {
+    fn spawn(runtime: Arc<ServeRuntime>, trigger: u64) -> SwapDrill {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(std::sync::atomic::Ordering::SeqCst) {
+                if runtime.stats_snapshot().requests >= trigger {
+                    let (_, active) = runtime.registry().active();
+                    let clone = Arc::new(active.deep_clone());
+                    let version = runtime
+                        .swap_model(clone, "loadgen mid-run swap")
+                        .expect("bit-identical clone must be dimension-compatible");
+                    println!("loadgen: hot-swapped to model version {version} mid-run");
+                    return true;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            false
+        });
+        SwapDrill { stop, handle }
+    }
+
+    /// Stop watching and report whether the swap actually fired.
+    fn finish(self) -> bool {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        self.handle.join().expect("swap watcher panicked")
+    }
+}
+
+/// Join the swap drill (if one was requested) and fail the verdict when
+/// the trigger was never reached — a swap smoke that silently skips the
+/// swap would be a green light with no bulb.
+fn swap_verdict(drill: Option<SwapDrill>, swaps_counted: u64) -> bool {
+    match drill {
+        None => true,
+        Some(d) => {
+            let fired = d.finish();
+            if !fired {
+                eprintln!("loadgen: DART_LOADGEN_SWAP_AT set but the swap never triggered");
+                return false;
+            }
+            if swaps_counted == 0 {
+                eprintln!("loadgen: swap fired but dart_serve_model_swaps_total is 0");
+                return false;
+            }
+            true
+        }
+    }
+}
+
 /// TCP mode: put the runtime behind the `dart-net` front-end and drive
 /// it over real sockets, then cross-check the server's own counters
 /// against the client-side accounting. Exits the process with a verdict.
-fn run_tcp_mode(runtime: ServeRuntime, bind: &str, streams: usize, accesses: usize) -> ! {
+fn run_tcp_mode(
+    runtime: Arc<ServeRuntime>,
+    drill: Option<SwapDrill>,
+    bind: &str,
+    streams: usize,
+    accesses: usize,
+) -> ! {
     let conns = env_usize_strict("DART_LOADGEN_CONNS", 8).max(1);
     let io_threads = env_usize_strict("DART_LOADGEN_IO_THREADS", 4);
     let window = env_usize_strict("DART_LOADGEN_WINDOW", 256);
     let idle_ms = env_usize_strict("DART_LOADGEN_IDLE_MS", 60_000);
     let timeout_ms = env_usize_strict("DART_LOADGEN_TIMEOUT_MS", 10_000);
+    // Strict-parsed here too (exit 2 with a clear message, like every
+    // loadgen knob) and forwarded explicitly; `NetServer::start` would
+    // otherwise strict-parse the same variable itself at bind time.
+    let poller_sleep_ms = env_usize_strict("DART_NET_POLLER_SLEEP_MS", 5);
     let streams_per_conn = streams.div_ceil(conns).max(1);
 
     let server = dart_net::NetServer::start(
-        Arc::new(runtime),
+        Arc::clone(&runtime),
         dart_net::NetConfig {
             addr: bind.to_string(),
             io_threads,
             idle_timeout_ms: idle_ms as u64,
+            fallback_poller_sleep_ms: poller_sleep_ms as u64,
             ..dart_net::NetConfig::default()
         },
     )
@@ -148,10 +228,17 @@ fn run_tcp_mode(runtime: ServeRuntime, bind: &str, streams: usize, accesses: usi
     let batched = scraped_counter(&doc, "dart_net_batched_writes_total").unwrap_or(0);
     let idle_reaped =
         scraped_counter(&doc, "dart_net_disconnects_total{reason=\"idle\"}").unwrap_or(0);
+    let model_swaps = scraped_counter(&doc, "dart_serve_model_swaps_total").unwrap_or(0);
     println!("tcp: {batched} multi-frame outbox append(s), {idle_reaped} idle disconnect(s)");
     server.shutdown();
 
     let mut verdict_ok = report.is_ok();
+    // Hot-swap drill: the swap must have fired, the scraped counter must
+    // agree, and (via `report.is_ok()` above) not a single response may
+    // have been lost or failed across the swap.
+    if !swap_verdict(drill, model_swaps) {
+        verdict_ok = false;
+    }
     if frames_in != report.submitted {
         eprintln!(
             "loadgen: server decoded {frames_in} frames but the client sent {}",
@@ -195,6 +282,9 @@ fn main() {
     let panic_stream = std::env::var("DART_LOADGEN_PANIC_STREAM")
         .ok()
         .map(|v| v.parse::<u64>().expect("DART_LOADGEN_PANIC_STREAM must be a stream id"));
+    let swap_at = std::env::var("DART_LOADGEN_SWAP_AT")
+        .ok()
+        .map(|v| v.parse::<u64>().expect("DART_LOADGEN_SWAP_AT must be a request count"));
     announce_threads();
     println!(
         "loadgen: {streams} streams x {accesses} accesses, {shards} shard(s), \
@@ -216,18 +306,26 @@ fn main() {
         panic_on_stream: panic_stream,
         ..ServeConfig::default()
     };
-    let runtime = ServeRuntime::start(model, pre, cfg);
+    let runtime = Arc::new(ServeRuntime::start(model, pre, cfg));
+    let drill = swap_at.map(|n| {
+        println!("loadgen: hot-swap drill armed at {n} served request(s)");
+        SwapDrill::spawn(Arc::clone(&runtime), n)
+    });
     if let Ok(bind) = std::env::var("DART_LOADGEN_ADDR") {
-        run_tcp_mode(runtime, &bind, streams, accesses);
+        run_tcp_mode(runtime, drill, &bind, streams, accesses);
     }
     let report = run_load(&runtime, &reqs, streams);
 
     println!("{}", report.summary());
     println!("\n--- metrics exposition ---");
     print!("{}", runtime.render_metrics());
-    runtime.shutdown();
+    let swap_ok = swap_verdict(drill, runtime.stats_snapshot().model_swaps);
+    // The drill thread has been joined above, so this Arc is unique again.
+    if let Ok(runtime) = Arc::try_unwrap(runtime) {
+        runtime.shutdown();
+    }
 
-    if !report.is_ok() {
+    if !report.is_ok() || !swap_ok {
         eprintln!(
             "loadgen: FAILED ({} failure(s), {}/{} responses)",
             report.failures, report.responses, report.submitted

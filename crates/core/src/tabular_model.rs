@@ -275,6 +275,22 @@ impl TabularModel {
         json
     }
 
+    /// Content fingerprint: FNV-1a over the canonical [`Self::to_json`]
+    /// serialization. Bit-identical models — e.g. a [`Self::deep_clone`]
+    /// replica — share a fingerprint; any table-entry or config change
+    /// alters it. Used by `dart-serve`'s model registry to distinguish a
+    /// no-op hot-swap from a real model change. This serializes the whole
+    /// model, so treat it as a registry/admin-path operation, not a
+    /// serving-path one.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in self.to_json().into_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
     /// Load a model serialized by [`Self::to_json`]. f32 entries survive
     /// the round trip bit-for-bit (JSON numbers are f64, and f32 -> f64 is
     /// exact).

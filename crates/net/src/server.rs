@@ -93,6 +93,15 @@ pub struct NetConfig {
     /// outbox after this many milliseconds (disconnect reason `idle`).
     /// `0` disables idle reaping.
     pub idle_timeout_ms: u64,
+    /// Probe-sleep cap of the **fallback** poller backend, milliseconds
+    /// (clamped ≥ 1; irrelevant under epoll). The fallback has no kernel
+    /// readiness source — it sleeps then reports every token — so this
+    /// bounds how stale its readiness view can be: lower it for
+    /// latency-sensitive non-Linux serving, raise it for near-idle links
+    /// where 5 ms wakeups are pure waste. Overridable at
+    /// [`NetServer::start`] via `DART_NET_POLLER_SLEEP_MS` (strict parse:
+    /// a malformed value is a startup error, not a silent default).
+    pub fallback_poller_sleep_ms: u64,
 }
 
 impl Default for NetConfig {
@@ -105,6 +114,7 @@ impl Default for NetConfig {
             poll_timeout_ms: 2,
             batch_responses: true,
             idle_timeout_ms: 0,
+            fallback_poller_sleep_ms: 5,
         }
     }
 }
@@ -497,6 +507,34 @@ fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
     Ok((tx, rx))
 }
 
+/// Resolve the fallback poller's sleep cap: `DART_NET_POLLER_SLEEP_MS`
+/// when set (strict parse — a malformed or non-numeric value is a
+/// startup `InvalidInput` error, never a silently-applied default, the
+/// same contract as `dart_bench::env`'s strict helpers), else the
+/// configured value. `dart-net` cannot call those helpers directly
+/// (`dart-bench` depends on `dart-net`), so the policy is restated here.
+fn fallback_sleep_from_env(configured: u64) -> io::Result<u64> {
+    match std::env::var("DART_NET_POLLER_SLEEP_MS") {
+        Ok(raw) => parse_fallback_sleep_ms(&raw),
+        Err(std::env::VarError::NotPresent) => Ok(configured),
+        Err(e) => Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("DART_NET_POLLER_SLEEP_MS is not valid unicode: {e}"),
+        )),
+    }
+}
+
+/// The strict-parse half of [`fallback_sleep_from_env`], split out so
+/// tests can pin the policy without racing on process-global env vars.
+fn parse_fallback_sleep_ms(raw: &str) -> io::Result<u64> {
+    raw.trim().parse::<u64>().map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("DART_NET_POLLER_SLEEP_MS={raw:?} is not a valid millisecond count: {e}"),
+        )
+    })
+}
+
 impl NetServer {
     /// Bind `cfg.addr` and start the IO + dispatcher threads.
     pub fn start(runtime: Arc<ServeRuntime>, cfg: NetConfig) -> io::Result<NetServer> {
@@ -522,6 +560,8 @@ impl NetServer {
             cfg: NetConfig {
                 io_threads: io_threads_n,
                 poll_timeout_ms: cfg.poll_timeout_ms.max(1),
+                fallback_poller_sleep_ms: fallback_sleep_from_env(cfg.fallback_poller_sleep_ms)?
+                    .max(1),
                 ..cfg
             },
             counters: Counters::register(),
@@ -615,7 +655,8 @@ fn scan_interval(cfg: &NetConfig) -> Duration {
 /// One IO thread: poll, accept, read/decode/submit, flush what the
 /// dispatcher marked dirty, maintain writable interest, reap.
 fn io_loop(shared: &Shared, listener: &TcpListener, index: usize, wake_rx: &TcpStream) {
-    let mut poller = Poller::new().expect("poller construction cannot fail");
+    let mut poller = Poller::with_fallback_sleep(shared.cfg.fallback_poller_sleep_ms)
+        .expect("poller construction cannot fail");
     poller.register(fd_of(listener), LISTENER_TOKEN).expect("listener registration");
     poller.register(fd_of(wake_rx), WAKE_TOKEN).expect("waker registration");
     let me = &shared.io[index];
@@ -1048,5 +1089,27 @@ fn dispatch_loop(shared: &Shared) {
                 route_buffer(shared, conn_id, &single, 1);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallback_sleep_env_parse_is_strict() {
+        assert_eq!(parse_fallback_sleep_ms("7").unwrap(), 7);
+        assert_eq!(parse_fallback_sleep_ms(" 12 ").unwrap(), 12, "whitespace is tolerated");
+        // Malformed values are startup errors, never silent defaults.
+        for bad in ["", "5ms", "-1", "2.5", "fast"] {
+            let err = parse_fallback_sleep_ms(bad).expect_err(bad);
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+            assert!(err.to_string().contains("DART_NET_POLLER_SLEEP_MS"), "{err}");
+        }
+        // 0 parses (the clamp to >= 1 happens at `start`, like
+        // poll_timeout_ms), and the config default matches the historical
+        // hardcoded cap.
+        assert_eq!(parse_fallback_sleep_ms("0").unwrap(), 0);
+        assert_eq!(NetConfig::default().fallback_poller_sleep_ms, 5);
     }
 }

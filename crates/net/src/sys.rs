@@ -44,8 +44,19 @@ enum Backend {
 }
 
 impl Poller {
-    /// Build the best backend for this platform (see module docs).
+    /// Build the best backend for this platform (see module docs), with
+    /// the fallback backend's default 5 ms probe cap.
     pub fn new() -> io::Result<Poller> {
+        Self::with_fallback_sleep(5)
+    }
+
+    /// [`Self::new`], but with the fallback backend's probe-sleep cap set
+    /// to `sleep_cap_ms` milliseconds (clamped to at least 1 — a zero cap
+    /// would turn the sleep-then-probe loop into a busy spin). Irrelevant
+    /// when the epoll backend is selected; on fallback it bounds how long
+    /// the poller can be blind to new readiness, trading wakeup latency
+    /// against idle CPU (`NetConfig::fallback_poller_sleep_ms`).
+    pub fn with_fallback_sleep(sleep_cap_ms: u64) -> io::Result<Poller> {
         #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
         {
             let forced = std::env::var("DART_NET_POLLER").is_ok_and(|v| v == "fallback");
@@ -57,7 +68,7 @@ impl Poller {
             }
         }
         Ok(Poller {
-            backend: Backend::Fallback(fallback::Probe::default()),
+            backend: Backend::Fallback(fallback::Probe::new(sleep_cap_ms)),
             writable: std::collections::HashSet::new(),
         })
     }
@@ -367,12 +378,27 @@ mod fallback {
     use std::io;
 
     /// A registered token and whether it has writable interest.
-    #[derive(Default)]
     pub(super) struct Probe {
         tokens: Vec<(u64, bool)>,
+        /// Upper bound on one probe sleep, milliseconds (>= 1). The
+        /// hardcoded 5 ms this replaces was wrong for real non-Linux
+        /// deployments: too coarse for latency-sensitive serving, too
+        /// fine (pure wasted wakeups) for near-idle links.
+        sleep_cap_ms: u64,
+    }
+
+    impl Default for Probe {
+        /// The historical 5 ms cap (what [`super::Poller::new`] uses).
+        fn default() -> Probe {
+            Probe::new(5)
+        }
     }
 
     impl Probe {
+        pub(super) fn new(sleep_cap_ms: u64) -> Probe {
+            Probe { tokens: Vec::new(), sleep_cap_ms: sleep_cap_ms.max(1) }
+        }
+
         pub(super) fn register(&mut self, token: u64) -> io::Result<()> {
             if self.tokens.iter().any(|&(t, _)| t == token) {
                 return Err(io::Error::new(io::ErrorKind::AlreadyExists, "token registered"));
@@ -404,7 +430,7 @@ mod fallback {
         pub(super) fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: u64) -> io::Result<()> {
             // Cap the probe interval so a caller's long timeout does not
             // turn into long stretches of readiness blindness.
-            std::thread::sleep(std::time::Duration::from_millis(timeout_ms.min(5)));
+            std::thread::sleep(std::time::Duration::from_millis(timeout_ms.min(self.sleep_cap_ms)));
             // Spurious readiness on both axes, but writability only for
             // tokens that asked (same only-while-pending discipline the
             // epoll backend enforces in the kernel).

@@ -38,6 +38,15 @@
 //!   cpuset, and serve from a node-local model replica deep-copied by a
 //!   pinned thread (first-touch pages). Degrades to exactly the unplaced
 //!   behavior on single-node hosts or without the `numa` feature.
+//! * **Versioned model state** — the model is held in a [`ModelSlot`]
+//!   (epoch-counted `Arc` swap) fronted by a [`ModelRegistry`]. Workers
+//!   re-check the epoch once per batch with a single atomic load and
+//!   adopt new versions at batch boundaries, so a retrained model can be
+//!   hot-swapped with zero downtime — no batch ever observes a torn
+//!   model, and old versions are reclaimed once every shard has moved
+//!   past them. The [`shadow`] module closes the loop: replayed live
+//!   traffic is re-trained/re-tabularized in the background and promoted
+//!   through an A/B gate only if it beats the incumbent.
 //! * **Batch coalescing** — each worker drains its queue (up to
 //!   `max_batch` requests) and issues one `predict_batch` call for every
 //!   warm stream in the drain, amortizing table-lookup locality.
@@ -53,17 +62,28 @@ pub mod loadgen;
 pub mod lru;
 pub mod metrics;
 pub mod placement;
+pub mod registry;
 pub mod request;
 pub mod router;
 pub mod runtime;
+pub mod shadow;
 pub mod shard;
+pub mod slot;
 pub mod stream;
 
 pub use loadgen::{generate_requests, run_load, LoadGenConfig, LoadReport};
 pub use lru::StreamLru;
 pub use metrics::render_exposition;
 pub use placement::ShardPlacement;
+pub use registry::{
+    ModelRegistry, ModelVersion, RegistryCounters, RejectedCandidate, VersionState,
+};
 pub use request::{PrefetchRequest, PrefetchResponse};
 pub use router::StreamRouter;
 pub use runtime::{ServeConfig, ServeRuntime, ServeStats, SubmitRejected};
+pub use shadow::{
+    gate_candidate, ReplaySample, ReplaySampler, ShadowConfig, ShadowHandle, ShadowOutcome,
+    ShadowTrainer,
+};
+pub use slot::ModelSlot;
 pub use stream::StreamState;

@@ -26,6 +26,10 @@
 //! | `dart_serve_max_batch` | gauge | largest coalesced batch |
 //! | `dart_serve_shard_node{shard}` | gauge | NUMA node (-1 unplaced) |
 //! | `dart_serve_shard_pinned{shard}` | gauge | 1 if worker pinned |
+//! | `dart_serve_model_version` | gauge | active model version (slot epoch) |
+//! | `dart_serve_model_swaps_total` | counter | model hot-swaps since start |
+//! | `dart_serve_model_rollbacks_total` | counter | model rollbacks since start |
+//! | `dart_serve_shard_model_version{shard}` | gauge | version each shard adopted |
 //! | `dart_serve_request_latency_nanoseconds` | histogram | queue+serve |
 //! | `dart_serve_batch_size` | histogram | coalesced batch sizes |
 //! | `dart_serve_stage_duration_nanoseconds{stage}` | histogram | lifecycle stages |
@@ -171,6 +175,41 @@ pub fn render_exposition(stats: &ServeStats) -> String {
     }
 
     e.header(
+        "dart_serve_model_version",
+        MetricKind::Gauge,
+        "Active model version (ModelSlot epoch; starts at 1, bumps on \
+         every hot-swap including rollbacks). Correlate latency or \
+         hit-rate shifts with promotions through this.",
+    );
+    e.sample("dart_serve_model_version", &[], stats.model_version);
+
+    e.header(
+        "dart_serve_model_swaps_total",
+        MetricKind::Counter,
+        "Model hot-swaps since startup (promotions + rollbacks).",
+    );
+    e.sample("dart_serve_model_swaps_total", &[], stats.model_swaps);
+
+    e.header(
+        "dart_serve_model_rollbacks_total",
+        MetricKind::Counter,
+        "Explicit model rollbacks since startup (each also counts as a \
+         swap).",
+    );
+    e.sample("dart_serve_model_rollbacks_total", &[], stats.model_rollbacks);
+
+    e.header(
+        "dart_serve_shard_model_version",
+        MetricKind::Gauge,
+        "Model version each shard worker most recently adopted (0 = \
+         initial adoption still pending; lagging = may serve one more \
+         batch on the previous version).",
+    );
+    for (id, &v) in shard_ids.iter().zip(&stats.per_shard_model_version) {
+        e.sample("dart_serve_shard_model_version", &[("shard", id.as_str())], v);
+    }
+
+    e.header(
         "dart_serve_request_latency_nanoseconds",
         MetricKind::Histogram,
         "Request latency (enqueue to response), log2 buckets.",
@@ -215,6 +254,10 @@ mod tests {
             per_shard_streams: vec![2, 1],
             per_shard_node: vec![Some(0), None],
             per_shard_pinned: vec![true, false],
+            model_version: 3,
+            model_swaps: 2,
+            model_rollbacks: 1,
+            per_shard_model_version: vec![3, 2],
             ..ServeStats::default()
         };
         stats.latency.record(900);
@@ -226,6 +269,10 @@ mod tests {
             "dart_serve_requests_total{shard=\"1\"} 3",
             "dart_serve_shard_node{shard=\"1\"} -1",
             "dart_serve_shard_pinned{shard=\"0\"} 1",
+            "dart_serve_model_version 3",
+            "dart_serve_model_swaps_total 2",
+            "dart_serve_model_rollbacks_total 1",
+            "dart_serve_shard_model_version{shard=\"1\"} 2",
             "dart_serve_request_latency_nanoseconds_count 1",
             "dart_serve_stage_duration_nanoseconds_bucket{stage=\"kernel\",le=\"+Inf\"} 0",
         ] {

@@ -2,7 +2,7 @@
 //! statistics.
 
 use dart_telemetry::lockcheck::{named_mutex, Mutex};
-use std::sync::{Arc, OnceLock, PoisonError};
+use std::sync::{Arc, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -12,12 +12,15 @@ use dart_telemetry::{Histogram, SpanRecord, SpanRing};
 use dart_trace::PreprocessConfig;
 
 use crate::placement::{plan_placement, ShardPlacement};
+use crate::registry::ModelRegistry;
 use crate::request::{PrefetchRequest, PrefetchResponse};
 use crate::router::StreamRouter;
+use crate::shadow::ReplaySampler;
 use crate::shard::{
     CompletionSink, EmitPolicy, Envelope, RetireCell, ShardQueue, ShardReport, ShardTelemetry,
     ShardWorker, TryPushError,
 };
+use crate::slot::ModelSlot;
 
 /// Why [`ServeRuntime::try_submit`] did **not** accept a request. This is
 /// the only rejection that produces no response through the completion
@@ -106,6 +109,13 @@ pub struct ServeConfig {
     /// with the `telemetry` feature (the stage timestamps otherwise
     /// compile to no-ops).
     pub span_capacity: usize,
+    /// Capacity of the live-traffic replay buffer feeding the shadow
+    /// retrainer ([`ServeRuntime::replay`]): shard workers append each
+    /// served batch's accesses (one bulk push per batch, after responses
+    /// are delivered), oldest samples falling off beyond the cap. `0` —
+    /// the default — disables sampling entirely (no buffer, no per-batch
+    /// cost).
+    pub replay_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -125,6 +135,7 @@ impl Default for ServeConfig {
             stall_ms: 0,
             panic_in_recovery: false,
             span_capacity: 256,
+            replay_capacity: 0,
         }
     }
 }
@@ -176,6 +187,21 @@ pub struct ServeStats {
     /// Streams explicitly retired by dead-connection cleanup
     /// ([`ServeRuntime::retire_streams_with_prefix`]), across all shards.
     pub stream_retirements: u64,
+    /// The active model version (the [`crate::ModelSlot`] epoch; starts
+    /// at 1, bumps on every hot-swap including rollbacks). Scrapes can
+    /// correlate latency shifts with promotions through this.
+    pub model_version: u64,
+    /// Successful model hot-swaps since startup (promotions + rollbacks).
+    pub model_swaps: u64,
+    /// Explicit model rollbacks since startup (each also counts in
+    /// [`Self::model_swaps`]).
+    pub model_rollbacks: u64,
+    /// Model version each shard most recently adopted (at startup, then
+    /// re-checked every batch boundary). `0` means the shard's worker has
+    /// not finished its initial adoption yet; after a swap, a lagging
+    /// entry identifies a shard that may still serve one more batch on
+    /// the older version.
+    pub per_shard_model_version: Vec<u64>,
     /// Median request latency (queue + inference), nanoseconds.
     /// Percentiles come from a log2-bucketed histogram (O(1) memory per
     /// shard), so they are exact to within ~1.5x.
@@ -227,6 +253,16 @@ pub struct ServeRuntime {
     router: StreamRouter,
     queues: Vec<Arc<ShardQueue>>,
     sink: Arc<CompletionSink>,
+    /// The versioned model slot every shard worker serves through, and
+    /// its registry front (version metadata, publish/rollback, swap and
+    /// rejection counters). The runtime's hot-swap surface.
+    registry: Arc<ModelRegistry>,
+    /// Live-traffic replay buffer feeding the shadow retrainer
+    /// (`None` when `ServeConfig::replay_capacity` is 0).
+    replay: Option<Arc<ReplaySampler>>,
+    /// Preprocessing the runtime was started with — the dimension
+    /// contract every hot-swapped candidate is validated against.
+    pre: PreprocessConfig,
     workers: Vec<JoinHandle<()>>,
     /// Per-shard statistics cells. Workers commit into these once per
     /// served batch; shutdown reads them directly, so a shard's served
@@ -281,14 +317,23 @@ impl ServeRuntime {
 
         // NUMA placement: discover the topology (cheap sysfs read; exact
         // single-node fallback elsewhere) and plan shard -> node
-        // assignments. Each node lazily gets one model replica, deep-copied
-        // by the FIRST worker pinned there — first-touch puts the replica's
-        // arena pages on that node. On a single-node topology no replica is
-        // made: the original model already is node-local.
+        // assignments. Each node lazily gets one model replica per model
+        // *version*, deep-copied by the FIRST worker pinned there to adopt
+        // that version — first-touch puts the replica's arena pages on
+        // that node, and a hot-swap refreshes the cell the same way. On a
+        // single-node topology no replica is made: the original model
+        // already is node-local.
         let topology = Arc::new(NumaTopology::detect());
         let plan = plan_placement(&topology, cfg.shards, cfg.placement);
-        let replicas: Arc<Vec<OnceLock<Arc<TabularModel>>>> =
-            Arc::new(topology.nodes().iter().map(|_| OnceLock::new()).collect());
+
+        // Versioned model state: the slot holds the authoritative
+        // (epoch, model) pair every worker reads through a per-shard
+        // handle; the registry fronts it with version metadata and the
+        // publish/rollback API. Startup is version 1.
+        let slot = Arc::new(ModelSlot::new(model, topology.nodes().len(), cfg.shards));
+        let registry = Arc::new(ModelRegistry::new(Arc::clone(&slot)));
+        let replay =
+            (cfg.replay_capacity > 0).then(|| Arc::new(ReplaySampler::new(cfg.replay_capacity)));
 
         let sink = Arc::new(CompletionSink::new());
         // One kernel pool for the whole runtime: every shard's batched
@@ -320,9 +365,9 @@ impl ServeRuntime {
             // a shard served survives any way its thread can die.
             let report_cell = Arc::new(named_mutex("serve.shard_report", ShardReport::default()));
             reports.push(Arc::clone(&report_cell));
-            let base_model = Arc::clone(&model);
+            let worker_slot = Arc::clone(&slot);
+            let worker_replay = replay.clone();
             let topo = Arc::clone(&topology);
-            let reps = Arc::clone(&replicas);
             let max_batch = cfg.max_batch;
             let max_streams = cfg.max_streams_per_shard;
             let panic_on_stream = cfg.panic_on_stream;
@@ -344,13 +389,13 @@ impl ServeRuntime {
                         // Pinning is best-effort: a reported no-op (feature
                         // off, non-Linux) or a cpuset-restricted failure
                         // degrades to unpinned, never to a dead shard —
-                        // and an unpinned worker does NOT create or use a
+                        // and an unpinned worker does NOT serve from a
                         // node replica: without the pin there is no
                         // first-touch guarantee, so a copy would spend
                         // memory for zero locality. The outcome is
                         // recorded (`ServeStats::per_shard_pinned`) so
                         // operators can see placement silently degrading.
-                        let model = match node_id {
+                        let replica_node = match node_id {
                             Some(id) => {
                                 let node =
                                     topo.node(id).expect("placement plan references unknown node");
@@ -364,23 +409,28 @@ impl ServeRuntime {
                                 report_cell.lock().unwrap_or_else(PoisonError::into_inner).pinned =
                                     pinned;
                                 if pinned && topo.is_multi_node() {
-                                    let idx = topo
-                                        .node_index(id)
-                                        .expect("plan node must exist in topology");
-                                    Arc::clone(reps[idx].get_or_init(|| {
-                                        // First worker pinned to this node:
-                                        // deep-copy the arenas node-locally.
-                                        Arc::new(base_model.deep_clone())
-                                    }))
+                                    // Serve from this node's refreshable
+                                    // replica cell — the slot deep-copies
+                                    // on this (pinned) thread when the
+                                    // cell is stale, at startup and after
+                                    // every hot-swap alike.
+                                    Some(
+                                        topo.node_index(id)
+                                            .expect("plan node must exist in topology"),
+                                    )
                                 } else {
                                     // One node (the original already lives
                                     // there — a copy would only waste
                                     // memory), or the pin didn't take.
-                                    base_model
+                                    None
                                 }
                             }
-                            None => base_model,
+                            None => None,
                         };
+                        // Initial adoption happens HERE, on the pinned
+                        // worker thread (first-touch for any replica), and
+                        // publishes this shard's adopted epoch.
+                        let model = worker_slot.handle(shard_id, replica_node);
                         let worker = ShardWorker {
                             shard_id,
                             model,
@@ -394,6 +444,7 @@ impl ServeRuntime {
                             retire: retire_cell,
                             telemetry: shard_telemetry,
                             spans: span_ring,
+                            replay: worker_replay,
                         };
                         let run_cell = Arc::clone(&report_cell);
                         // A panicking worker must not strand its queue: the
@@ -447,6 +498,9 @@ impl ServeRuntime {
             router: StreamRouter::new(cfg.shards),
             queues,
             sink,
+            registry,
+            replay,
+            pre,
             workers,
             reports,
             telemetry,
@@ -471,6 +525,74 @@ impl ServeRuntime {
     /// The stream-to-shard router in use.
     pub fn router(&self) -> &StreamRouter {
         &self.router
+    }
+
+    /// The model registry fronting this runtime's versioned model slot:
+    /// version metadata, publish/rollback, and the swap counters. The
+    /// shadow retrainer promotes through this; operators can too.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The active model version (slot epoch; starts at 1, bumps on every
+    /// hot-swap including rollbacks).
+    pub fn model_version(&self) -> u64 {
+        self.registry.active_version()
+    }
+
+    /// Hot-swap the serving model with **zero downtime**: validates the
+    /// candidate against the runtime's preprocessing dimensions, then
+    /// publishes it as a new version. Every shard worker adopts it at its
+    /// next batch boundary — in-flight batches finish on the version they
+    /// adopted, no request is dropped or answered by a torn model, and
+    /// under NUMA placement each node re-clones its first-touch replica
+    /// on first adoption. Returns the new version id, or an error (and no
+    /// state change at all) on a dimension mismatch.
+    pub fn swap_model(&self, model: Arc<TabularModel>, provenance: &str) -> Result<u64, String> {
+        // Same dimension contract `start` asserts — but a hot-swap comes
+        // from a live retraining loop, so refuse instead of panicking.
+        if model.config.seq_len != self.pre.seq_len {
+            return Err(format!(
+                "candidate seq_len {} != serving seq_len {}",
+                model.config.seq_len, self.pre.seq_len
+            ));
+        }
+        if model.config.input_dim != self.pre.input_dim() {
+            return Err(format!(
+                "candidate input_dim {} != serving input_dim {}",
+                model.config.input_dim,
+                self.pre.input_dim()
+            ));
+        }
+        if model.config.output_dim != self.pre.output_dim() {
+            return Err(format!(
+                "candidate output_dim {} != serving output_dim {}",
+                model.config.output_dim,
+                self.pre.output_dim()
+            ));
+        }
+        Ok(self.registry.publish(model, provenance, None, None))
+    }
+
+    /// The live-traffic replay buffer feeding the shadow retrainer
+    /// (`None` unless [`ServeConfig::replay_capacity`] > 0).
+    pub fn replay(&self) -> Option<&Arc<ReplaySampler>> {
+        self.replay.as_ref()
+    }
+
+    /// The dedicated kernel pool, when `pool_threads` was set — hand this
+    /// to [`crate::ShadowTrainer::spawn`] so background retraining steals
+    /// work alongside the serving kernels instead of spawning its own
+    /// threads. `None` means the process-global pool is in use.
+    pub fn kernel_pool(&self) -> Option<Arc<rayon::ThreadPool>> {
+        self.pool.clone()
+    }
+
+    /// The preprocessing configuration the runtime serves with (the
+    /// dimension contract for hot-swap candidates and the config a
+    /// shadow trainer must be built with).
+    pub fn preprocess(&self) -> &PreprocessConfig {
+        &self.pre
     }
 
     /// The NUMA topology discovered at startup (the single-node fallback
@@ -743,6 +865,13 @@ impl ServeRuntime {
         stats.worker_panics = sink_state.worker_panics.clone();
         drop(sink_state);
         stats.per_shard_node = self.plan.clone();
+        // Versioned-model observability: the active version, the swap /
+        // rollback counters, and how far each shard's worker has adopted.
+        stats.model_version = self.registry.active_version();
+        let counters = self.registry.counters();
+        stats.model_swaps = counters.swaps;
+        stats.model_rollbacks = counters.rollbacks;
+        stats.per_shard_model_version = self.registry.slot().adopted_epochs();
         stats.p50_latency_ns = latency.percentile(0.50);
         stats.p99_latency_ns = latency.percentile(0.99);
         stats.mean_latency_ns = latency.mean();

@@ -5,13 +5,14 @@ use std::collections::VecDeque;
 use std::sync::{Arc, PoisonError};
 use std::time::Instant;
 
-use dart_core::TabularModel;
 use dart_nn::matrix::Matrix;
 use dart_telemetry::{AtomicHistogram, Gauge, Histogram, SpanRing};
 use dart_trace::PreprocessConfig;
 
 use crate::lru::StreamLru;
 use crate::request::PrefetchResponse;
+use crate::shadow::{ReplaySample, ReplaySampler};
+use crate::slot::ModelHandle;
 
 #[cfg(feature = "telemetry")]
 use dart_telemetry::SpanRecord;
@@ -457,11 +458,14 @@ pub(crate) struct EmitPolicy {
     pub max_degree: usize,
 }
 
-/// One shard: owns its streams' history state and a handle to the shared
-/// model.
+/// One shard: owns its streams' history state and a versioned handle
+/// into the shared [`crate::ModelSlot`].
 pub(crate) struct ShardWorker {
     pub shard_id: usize,
-    pub model: Arc<TabularModel>,
+    /// Versioned model view: re-checked once per batch boundary (one
+    /// atomic load when nothing changed), so hot-swapped versions are
+    /// adopted between batches and a batch never observes a torn model.
+    pub model: ModelHandle,
     pub pre: PreprocessConfig,
     pub max_batch: usize,
     pub emit: EmitPolicy,
@@ -487,6 +491,10 @@ pub(crate) struct ShardWorker {
     /// written under the `telemetry` feature).
     #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
     pub spans: Arc<SpanRing>,
+    /// Live-traffic replay sampler feeding the shadow retrainer
+    /// (`ServeConfig::replay_capacity > 0`); one bulk push per served
+    /// batch. `None` disables sampling entirely.
+    pub replay: Option<Arc<ReplaySampler>>,
 }
 
 impl ShardWorker {
@@ -504,7 +512,7 @@ impl ShardWorker {
     /// performs no steady-state allocation for feature staging regardless
     /// of how many batches it drains.
     pub fn run(
-        self,
+        mut self,
         queue: Arc<ShardQueue>,
         sink: Arc<CompletionSink>,
         report: Arc<Mutex<ShardReport>>,
@@ -546,6 +554,13 @@ impl ShardWorker {
             // If anything below unwinds, the guard converts this batch
             // into failure responses so its in-flight slots are released.
             let mut batch_guard = BatchGuard::arm(&sink, self.shard_id, &batch);
+            // Batch-boundary model adoption, deliberately AFTER arming the
+            // guard: if adopting a hot-swapped version panics (a node
+            // replica's deep clone OOMs, say), the batch fails cleanly —
+            // its in-flight slots are released — instead of leaking. The
+            // adopted `Arc` serves this whole batch: a swap landing
+            // mid-batch is picked up at the next boundary, never torn.
+            let model = Arc::clone(self.model.current());
             warm.clear();
 
             // Phase 1: update stream state in arrival order. Features are
@@ -593,7 +608,7 @@ impl ShardWorker {
                 stack_buf.clear();
                 stack_buf.extend_from_slice(&feats.as_slice()[..warm.len() * t * di]);
                 let stacked = Matrix::from_vec(warm.len() * t, di, std::mem::take(&mut stack_buf));
-                let probs = self.model.predict_batch(&stacked);
+                let probs = model.predict_batch(&stacked);
                 stack_buf = stacked.into_vec();
                 for (w, &(i, anchor)) in warm.iter().enumerate() {
                     responses[i].prefetch_blocks =
@@ -637,6 +652,19 @@ impl ShardWorker {
             sink_state.in_flight -= batch.len() as u64;
             drop(sink_state);
             sink.cv.notify_all();
+
+            // Feed the shadow retrainer's replay window (one bulk push per
+            // batch, after the responses are already delivered — sampling
+            // adds nothing to request latency). Arrival order within the
+            // batch is preserved, which is what keeps per-stream replay
+            // traces meaningful.
+            if let Some(sampler) = &self.replay {
+                sampler.push_batch(batch.iter().map(|env| ReplaySample {
+                    stream_id: env.req.stream_id,
+                    pc: env.req.pc,
+                    addr: env.req.addr,
+                }));
+            }
 
             // Lifecycle telemetry, all lock-free cells: batch-size always
             // (one relaxed add per batch), stage durations and span

@@ -36,6 +36,10 @@ fn sample_stats() -> ServeStats {
         per_shard_pinned: vec![true, false],
         per_shard_streams: vec![5, 4],
         stream_evictions: 2,
+        model_version: 3,
+        model_swaps: 2,
+        model_rollbacks: 1,
+        per_shard_model_version: vec![3, 2],
         in_flight: 4,
         queue_depth: 7,
         uptime_ns: 2_500_000_000,
